@@ -1,0 +1,126 @@
+(* The optlsim command-line front end: boot the full-system rsync
+   benchmark (or a synthetic compute workload) under a chosen core model
+   and machine configuration, with PTLsim-style command lists.
+
+     optlsim rsync --core ooo --machine k8 --files 24
+     optlsim compute --commands "-core ooo -run -stopinsns 100k : -native"
+     optlsim stats   # list core models and machine configs *)
+
+open Ptlsim
+open Cmdliner
+
+let machine_of_name = function
+  | "k8" | "k8-ptlsim" -> Config.k8_ptlsim
+  | "k8-silicon" -> Config.k8_silicon
+  | "tiny" -> Config.tiny
+  | other -> failwith ("unknown machine config: " ^ other)
+
+let print_summary d k =
+  let st = d.Domain.env.Env.stats in
+  Printf.printf "cycles (domain):      %d\n" (Statstree.get st "domain.cycles");
+  Printf.printf "instructions:         %d\n" (Domain.insns d);
+  Printf.printf "mode switches:        %d\n" (Statstree.get st "domain.mode_switches");
+  let total = float_of_int (max 1 (Statstree.get st "domain.cycles")) in
+  let pct p = 100.0 *. float_of_int (Statstree.get st p) /. total in
+  Printf.printf "user/kernel/idle:     %.1f%% / %.1f%% / %.1f%%\n"
+    (pct "domain.cycles_in_mode.user")
+    (pct "domain.cycles_in_mode.kernel")
+    (pct "domain.cycles_in_mode.idle");
+  List.iter
+    (fun p ->
+      let v = Statstree.get st p in
+      if v > 0 then Printf.printf "%-22s%d\n" (p ^ ":") v)
+    [ "ooo.commit.insns"; "ooo.commit.uops"; "ooo.commit.mispredicts";
+      "ooo.dcache.dtlb_misses"; "ooo.mem.L1D.misses"; "kernel.syscalls";
+      "kernel.context_switches"; "kernel.packets"; "kernel.disk_reads" ];
+  (match k with
+  | Some k ->
+    Printf.printf "shutdown:             %b\n" (Kernel.is_shutdown k)
+  | None -> ());
+  Printf.printf "phase markers:        %s\n"
+    (String.concat " "
+       (List.map (fun (m, c) -> Printf.sprintf "%d@%d" m c) (Domain.markers d)))
+
+let run_rsync core machine files commands max_mcycles =
+  let fileset = { Fileset.default with Fileset.nfiles = files } in
+  let d, k =
+    Ptlmon.launch
+      {
+        Ptlmon.default_spec with
+        Ptlmon.programs = Rsync_progs.programs ();
+        files = Fileset.generate fileset;
+        machine_config = machine_of_name machine;
+        core;
+      }
+  in
+  Domain.submit d commands;
+  ignore (Domain.run ~max_cycles:(max_mcycles * 1_000_000) d);
+  Printf.printf "synchronized correctly: %b\n" (Rsync_bench.verify_sync k);
+  print_summary d (Some k)
+
+let run_compute core machine commands max_mcycles =
+  let g = Gasm.create () in
+  Gasm.jmp g "main";
+  Gasm.label g "main";
+  Gasm.li g Gasm.rbp Abi.user_heap_base;
+  Gasm.lii g Gasm.rcx 500_000;
+  Gasm.label g "top";
+  Gasm.ld g Gasm.rax ~base:Gasm.rbp ();
+  Gasm.addi g Gasm.rax 1;
+  Gasm.st g ~base:Gasm.rbp Gasm.rax ();
+  Gasm.imuli g Gasm.rbx 1103515245;
+  Gasm.addi g Gasm.rbx 12345;
+  Gasm.dec g Gasm.rcx;
+  Gasm.jne g "top";
+  Gasm.sys_marker g 999;
+  Gasm.sys_exit g 0;
+  let env = Env.create () in
+  let ctx = Context.create ~vcpu_id:0 in
+  let k = Kernel.create env ctx in
+  Kernel.register_program k ~name:"init" (Gasm.assemble g);
+  Kernel.boot k;
+  let d = Domain.create ~kernel:k ~core ~config:(machine_of_name machine) env ctx in
+  Domain.submit d commands;
+  ignore (Domain.run ~max_cycles:(max_mcycles * 1_000_000) d);
+  print_summary d (Some k)
+
+let core_arg =
+  Arg.(value & opt string "ooo" & info [ "core" ] ~doc:"Core model (ooo, smt, inorder, seq).")
+
+let machine_arg =
+  Arg.(value & opt string "k8" & info [ "machine" ] ~doc:"Machine config (k8, k8-silicon, tiny).")
+
+let files_arg =
+  Arg.(value & opt int 12 & info [ "files" ] ~doc:"Number of files in the rsync set.")
+
+let commands_arg =
+  Arg.(
+    value
+    & opt string "-run"
+    & info [ "commands" ] ~doc:"PTLsim-style command list (e.g. \"-core ooo -run\").")
+
+let max_mcycles_arg =
+  Arg.(value & opt int 8000 & info [ "max-mcycles" ] ~doc:"Cycle budget, in millions.")
+
+let rsync_cmd =
+  Cmd.v (Cmd.info "rsync" ~doc:"Run the paper's rsync-over-ssh benchmark")
+    Term.(const run_rsync $ core_arg $ machine_arg $ files_arg $ commands_arg $ max_mcycles_arg)
+
+let compute_cmd =
+  Cmd.v (Cmd.info "compute" ~doc:"Run a synthetic compute workload")
+    Term.(const run_compute $ core_arg $ machine_arg $ commands_arg $ max_mcycles_arg)
+
+let stats_cmd =
+  Cmd.v (Cmd.info "stats" ~doc:"List registered core models")
+    Term.(
+      const (fun () ->
+          Printf.printf "core models: %s\n" (String.concat ", " (Registry.names ()));
+          Printf.printf "machine configs: k8 (k8-ptlsim), k8-silicon, tiny\n")
+      $ const ())
+
+let () =
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "optlsim" ~doc:"Cycle-accurate full-system x86-64-style simulator")
+          [ rsync_cmd; compute_cmd; stats_cmd ]))

@@ -1,0 +1,1 @@
+examples/cosim_demo.ml: Checkpoint Config Context Cosim Domain Env Gasm Insn Kernel Machine Printf Ptlsim Statstree String

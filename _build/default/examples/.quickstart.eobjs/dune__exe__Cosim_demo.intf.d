@@ -1,0 +1,1 @@
+examples/cosim_demo.mli:

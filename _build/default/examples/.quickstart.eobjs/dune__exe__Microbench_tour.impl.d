@@ -1,0 +1,1 @@
+examples/microbench_tour.ml: Char Config Env Int64 List Machine Ooo_core Printf Ptl_workloads Ptlsim Regs Statstree String W64

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asm Config Env Flags Insn List Machine Ooo_core Printf Ptlsim Regs Statstree W64

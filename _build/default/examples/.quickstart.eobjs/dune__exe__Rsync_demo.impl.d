@@ -1,0 +1,1 @@
+examples/rsync_demo.ml: Domain Env Fileset List Printf Ptlmon Ptlsim Rsync_bench Statstree

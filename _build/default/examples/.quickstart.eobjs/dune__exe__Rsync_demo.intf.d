@@ -1,0 +1,1 @@
+examples/rsync_demo.mli:

@@ -1,0 +1,1 @@
+examples/smt_locks.ml: Array Config Context Env Gasm Insn Int64 List Machine Ooo_core Printf Ptlsim Statstree W64

@@ -1,0 +1,66 @@
+(* SMT demo (paper §2.2/§4.4): several hardware threads share one core —
+   issue queues, functional units and caches — while running a true
+   shared-memory workload with LOCK-prefixed instructions arbitrated by
+   the interlock controller.
+
+     dune exec examples/smt_locks.exe *)
+
+open Ptlsim
+
+let lock_workload ~iters =
+  let g = Gasm.create ~base:0x40_0000L () in
+  Gasm.li g Gasm.rbp Machine.heap_base;
+  Gasm.lii g Gasm.r12 iters;
+  Gasm.label g "again";
+  (* spinlock acquire with xchg (implicitly locked on x86) *)
+  Gasm.label g "spin";
+  Gasm.lii g Gasm.rax 1;
+  Gasm.ins g (Insn.Xchg (W64.B8, Insn.Mem (Insn.mem_bd Gasm.rbp 0L), Gasm.rax));
+  Gasm.cmpi g Gasm.rax 0;
+  Gasm.jne g "spin";
+  (* critical section: increment the shared counter *)
+  Gasm.ld g Gasm.rcx ~base:Gasm.rbp ~disp:8 ();
+  Gasm.addi g Gasm.rcx 1;
+  Gasm.st g ~base:Gasm.rbp ~disp:8 Gasm.rcx ();
+  (* release *)
+  Gasm.xor g Gasm.rax Gasm.rax;
+  Gasm.st g ~base:Gasm.rbp Gasm.rax ();
+  (* private work between acquisitions *)
+  Gasm.lii g Gasm.rdx 30;
+  Gasm.label g "work";
+  Gasm.ins g (Insn.Locked (Insn.Alu (Insn.Add, W64.B8, Insn.Mem (Insn.mem_bd Gasm.rbp 64L), Insn.Imm 1L)));
+  Gasm.dec g Gasm.rdx;
+  Gasm.jne g "work";
+  Gasm.dec g Gasm.r12;
+  Gasm.jne g "again";
+  Gasm.ins g Insn.Hlt;
+  Gasm.assemble g
+
+let () =
+  let iters = 300 in
+  let image = lock_workload ~iters in
+  List.iter
+    (fun threads ->
+      let m = Machine.create image in
+      let ctxs =
+        Array.init threads (fun i ->
+            if i = 0 then m.Machine.ctx
+            else begin
+              let c = Context.create ~vcpu_id:i in
+              Context.restore c ~snapshot:m.Machine.ctx;
+              c
+            end)
+      in
+      let config = { Config.k8_ptlsim with Config.smt_threads = threads } in
+      let core = Ooo_core.create config m.Machine.env ctxs in
+      let cycles = Ooo_core.run core ~max_cycles:200_000_000 in
+      let counter = Machine.read_mem m ~vaddr:(Int64.add Machine.heap_base 8L) ~size:W64.B8 in
+      let st = m.Machine.env.Env.stats in
+      Printf.printf
+        "%d thread(s): %9d cycles | counter %Ld/%d | interlock acquires %d, contended %d\n%!"
+        threads cycles counter (threads * iters)
+        (Statstree.get st "interlock.acquires")
+        (Statstree.get st "interlock.contended");
+      assert (counter = Int64.of_int (threads * iters)))
+    [ 1; 2; 4 ];
+  print_endline "no lost updates at any thread count: interlock semantics hold."

@@ -1,0 +1,1 @@
+lib/arch/assists.ml: Context Env Fault Int64 Printf Ptl_isa Ptl_uop Ptl_util Queue Vmem W64

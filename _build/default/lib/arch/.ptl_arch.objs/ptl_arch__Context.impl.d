@@ -1,0 +1,1 @@
+lib/arch/context.ml: Array Int64 List Printf Ptl_isa Ptl_uop Queue

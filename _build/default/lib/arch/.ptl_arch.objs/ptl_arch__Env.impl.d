@@ -1,0 +1,1 @@
+lib/arch/env.ml: Context Int64 Ptl_mem Ptl_stats Vmem

@@ -1,0 +1,1 @@
+lib/arch/fault.ml: Int64 Printf

@@ -1,0 +1,1 @@
+lib/arch/machine.ml: Char Context Env Int64 Ptl_isa Ptl_mem Seqcore String Vmem

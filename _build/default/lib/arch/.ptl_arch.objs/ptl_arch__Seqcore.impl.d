@@ -1,0 +1,1 @@
+lib/arch/seqcore.ml: Array Assists Context Env Fault Int64 List Ptl_mem Ptl_stats Ptl_uop Ptl_util Vmem W64

@@ -1,0 +1,1 @@
+lib/arch/vmem.ml: Char Context Fault Int64 Ptl_mem Ptl_util String W64

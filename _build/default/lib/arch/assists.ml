@@ -1,0 +1,201 @@
+(** Microcode assists: the serialized routines behind complex and
+    privileged instructions, plus precise exception and interrupt delivery.
+
+    PTLsim "uses its microcode to build stack frames, access interrupt
+    descriptor tables, switch to kernel mode and redirect the processor to
+    the exception handler entry point" (§2.1) — this module is that
+    microcode. Assists run at commit, with the pipeline drained, and update
+    the VCPU context and guest memory directly.
+
+    Interrupt frame layout (descending stack; addresses ascending from the
+    new rsp): [errcode][return_rip][old_mode][old_flags][old_rsp]. Handlers
+    pop the error code (add rsp, 8) and end with [iret]. *)
+
+open Ptl_util
+module Flags = Ptl_isa.Flags
+module Uop = Ptl_uop.Uop
+
+exception Triple_fault of string
+
+let push64 env ctx ~rsp v ~at_rip =
+  let rsp' = Int64.sub rsp 8L in
+  Vmem.write env.Env.vmem ctx ~vaddr:rsp' ~size:W64.B8 ~value:v ~at_rip;
+  rsp'
+
+(** Deliver vector [vector] with error code, returning to [return_rip].
+    Used for faults, software interrupts and external interrupts alike. *)
+let deliver env (ctx : Context.t) ~vector ~errcode ~return_rip =
+  let at_rip = return_rip in
+  let saved_mode = ctx.Context.mode in
+  (* IDT and stack-frame accesses are system accesses regardless of the
+     interrupted privilege level *)
+  ctx.mode <- Context.Kernel;
+  let handler =
+    let slot = Int64.add ctx.idt_base (Int64.of_int (8 * vector)) in
+    try Vmem.read env.Env.vmem ctx ~vaddr:slot ~size:W64.B8 ~at_rip
+    with Fault.Guest_fault _ ->
+      ctx.mode <- saved_mode;
+      raise (Triple_fault "IDT unreadable")
+  in
+  ctx.mode <- saved_mode;
+  if handler = 0L then
+    raise (Triple_fault (Printf.sprintf "no handler for vector %d" vector));
+  let old_rsp = Context.gpr ctx Ptl_isa.Regs.rsp in
+  let old_flags = Int64.of_int ctx.flags in
+  let old_mode = match ctx.mode with Context.User -> 0L | Context.Kernel -> 1L in
+  (* Stack switch on privilege change, like TSS.RSP0. *)
+  let base = if ctx.mode = Context.User then ctx.kernel_rsp else old_rsp in
+  (try
+     ctx.mode <- Context.Kernel (* frame pushes are kernel accesses *);
+     let rsp = push64 env ctx ~rsp:base old_rsp ~at_rip in
+     let rsp = push64 env ctx ~rsp old_flags ~at_rip in
+     let rsp = push64 env ctx ~rsp old_mode ~at_rip in
+     let rsp = push64 env ctx ~rsp return_rip ~at_rip in
+     let rsp = push64 env ctx ~rsp errcode ~at_rip in
+     Context.set_gpr ctx Ptl_isa.Regs.rsp rsp
+   with Fault.Guest_fault f ->
+     raise (Triple_fault ("fault pushing interrupt frame: " ^ Fault.to_string f)));
+  ctx.flags <- Flags.set_if false ctx.flags;
+  ctx.rip <- handler;
+  ctx.running <- true
+
+(** Deliver an architectural fault raised by a uop of the instruction at
+    [fault.at_rip]; the instruction restarts (or the handler fixes up). *)
+let deliver_fault env ctx (f : Fault.t) =
+  deliver env ctx ~vector:(Fault.vector f.kind) ~errcode:(Fault.error_code f.kind)
+    ~return_rip:f.at_rip
+
+(** Try to deliver one pending external interrupt at an instruction
+    boundary. Returns true if control was redirected. *)
+let try_deliver_irq env (ctx : Context.t) =
+  if Flags.iflag ctx.flags && Context.has_pending_irq ctx then begin
+    let vector = Queue.pop ctx.pending_irqs in
+    deliver env ctx ~vector ~errcode:0L ~return_rip:ctx.rip;
+    true
+  end
+  else false
+
+let require_kernel (ctx : Context.t) ~at_rip =
+  if ctx.mode <> Context.Kernel then
+    Fault.raise_fault Fault.General_protection ~at_rip
+
+(** Execute the assist of uop [u]. The assist performs the whole
+    architectural effect of its instruction, including the RIP update. May
+    raise [Fault.Guest_fault] (delivered by the caller's commit logic). *)
+let run env (ctx : Context.t) (u : Uop.t) (a : Uop.assist) =
+  let at_rip = u.Uop.rip in
+  let next () = ctx.rip <- u.Uop.next_rip in
+  match a with
+  | Uop.A_syscall ->
+    (* fast system call: rcx <- return rip, r11 <- flags, enter kernel *)
+    Context.set_gpr ctx Ptl_isa.Regs.rcx u.Uop.next_rip;
+    Context.set_gpr ctx Ptl_isa.Regs.r11 (Int64.of_int ctx.flags);
+    ctx.flags <- Flags.set_if false ctx.flags;
+    ctx.mode <- Context.Kernel;
+    ctx.rip <- ctx.syscall_entry
+  | Uop.A_sysret ->
+    require_kernel ctx ~at_rip;
+    ctx.flags <- Int64.to_int (Context.gpr ctx Ptl_isa.Regs.r11);
+    ctx.mode <- Context.User;
+    ctx.rip <- Context.gpr ctx Ptl_isa.Regs.rcx
+  | Uop.A_int vector ->
+    deliver env ctx ~vector ~errcode:0L ~return_rip:u.Uop.next_rip
+  | Uop.A_iret ->
+    require_kernel ctx ~at_rip;
+    let rsp = Context.gpr ctx Ptl_isa.Regs.rsp in
+    let rd off = Vmem.read env.Env.vmem ctx ~vaddr:(Int64.add rsp off) ~size:W64.B8 ~at_rip in
+    let new_rip = rd 0L in
+    let new_mode = rd 8L in
+    let new_flags = rd 16L in
+    let new_rsp = rd 24L in
+    ctx.rip <- new_rip;
+    ctx.mode <- (if new_mode = 0L then Context.User else Context.Kernel);
+    ctx.flags <- Int64.to_int new_flags;
+    Context.set_gpr ctx Ptl_isa.Regs.rsp new_rsp
+  | Uop.A_pushf ->
+    let rsp = Context.gpr ctx Ptl_isa.Regs.rsp in
+    let rsp = push64 env ctx ~rsp (Int64.of_int ctx.flags) ~at_rip in
+    Context.set_gpr ctx Ptl_isa.Regs.rsp rsp;
+    next ()
+  | Uop.A_popf ->
+    let rsp = Context.gpr ctx Ptl_isa.Regs.rsp in
+    let v = Vmem.read env.Env.vmem ctx ~vaddr:rsp ~size:W64.B8 ~at_rip in
+    Context.set_gpr ctx Ptl_isa.Regs.rsp (Int64.add rsp 8L);
+    let v = Int64.to_int v in
+    (* user mode may not change IF *)
+    let v =
+      if ctx.mode = Context.Kernel then v
+      else Flags.set_if (Flags.iflag ctx.flags) v
+    in
+    ctx.flags <- v;
+    next ()
+  | Uop.A_cli ->
+    require_kernel ctx ~at_rip;
+    ctx.flags <- Flags.set_if false ctx.flags;
+    next ()
+  | Uop.A_sti ->
+    require_kernel ctx ~at_rip;
+    ctx.flags <- Flags.set_if true ctx.flags;
+    next ()
+  | Uop.A_hlt ->
+    require_kernel ctx ~at_rip;
+    ctx.running <- false;
+    next ();
+    env.Env.on_hlt ctx
+  | Uop.A_pause ->
+    next ();
+    env.Env.on_pause ctx
+  | Uop.A_rdtsc ->
+    let tsc = Env.tsc env in
+    Context.set_gpr ctx Ptl_isa.Regs.rax (Int64.logand tsc 0xFFFFFFFFL);
+    Context.set_gpr ctx Ptl_isa.Regs.rdx (Int64.shift_right_logical tsc 32);
+    next ()
+  | Uop.A_rdpmc ->
+    let idx = Int64.to_int (Context.gpr ctx Ptl_isa.Regs.rcx) in
+    let v = env.Env.rdpmc idx in
+    Context.set_gpr ctx Ptl_isa.Regs.rax (Int64.logand v 0xFFFFFFFFL);
+    Context.set_gpr ctx Ptl_isa.Regs.rdx (Int64.shift_right_logical v 32);
+    next ()
+  | Uop.A_cpuid ->
+    (* "OPTLsimVirtualCPU" identification, leaf-independent *)
+    Context.set_gpr ctx Ptl_isa.Regs.rax 1L;
+    Context.set_gpr ctx Ptl_isa.Regs.rbx 0x4C54504FL (* "OPTL" *);
+    Context.set_gpr ctx Ptl_isa.Regs.rcx 0x206D6973L (* "sim " *);
+    Context.set_gpr ctx Ptl_isa.Regs.rdx 0x34365F78L (* "x_64" *);
+    next ()
+  | Uop.A_mov_to_cr cr ->
+    require_kernel ctx ~at_rip;
+    let v = Context.gpr ctx (Int64.to_int u.Uop.imm) in
+    (match cr with
+    | 1 -> ctx.kernel_rsp <- v
+    | 3 ->
+      ctx.cr3 <- Int64.to_int v;
+      Context.flush_tlbs ctx
+    | 5 -> ctx.syscall_entry <- v
+    | 6 -> ctx.idt_base <- v
+    | _ -> Fault.raise_fault Fault.General_protection ~at_rip);
+    next ()
+  | Uop.A_mov_from_cr cr ->
+    require_kernel ctx ~at_rip;
+    let v =
+      match cr with
+      | 1 -> ctx.kernel_rsp
+      | 2 -> ctx.cr2
+      | 3 -> Int64.of_int ctx.cr3
+      | 5 -> ctx.syscall_entry
+      | 6 -> ctx.idt_base
+      | _ -> Fault.raise_fault Fault.General_protection ~at_rip
+    in
+    Context.set_gpr ctx (Int64.to_int u.Uop.imm) v;
+    next ()
+  | Uop.A_invlpg ->
+    require_kernel ctx ~at_rip;
+    (* address precomputed into t0 by the translation *)
+    Context.flush_tlbs ctx;
+    next ()
+  | Uop.A_ptlcall ->
+    next ();
+    env.Env.ptlcall ctx
+  | Uop.A_kcall ->
+    next ();
+    env.Env.kcall ctx

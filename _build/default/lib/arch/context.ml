@@ -1,0 +1,132 @@
+(** The per-VCPU [Context] structure — "central to multi-processor support"
+    (paper §4.4): all architectural registers, machine state registers,
+    page table base and internal simulator state for one virtual CPU. Each
+    core model commits into its VCPU's context; microcode assists and every
+    other subsystem read and write it.
+
+    Paravirtual control registers (our Xen-flavoured MSR substitutes):
+    - cr1: kernel stack pointer loaded on user->kernel transitions (RSP0)
+    - cr2: last page-fault address (read-only, set by hardware)
+    - cr3: page table root MFN (writes flush the TLBs)
+    - cr5: syscall entry point
+    - cr6: IDT base (virtual address of a table of 8-byte handler
+      pointers indexed by vector) *)
+
+module Flags = Ptl_isa.Flags
+
+type mode = User | Kernel
+
+type t = {
+  vcpu_id : int;
+  (* Full uop-level architectural register file: GPRs, temporaries, flags
+     slot, zero register, XMM, st0. Temporaries are architecturally
+     committed like everything else (they are dead across instructions). *)
+  regs : int64 array;
+  mutable rip : int64;
+  mutable flags : int;  (* condition codes + IF *)
+  mutable mode : mode;
+  mutable cr3 : int;  (* page table root MFN *)
+  mutable cr2 : int64;  (* page fault linear address *)
+  mutable kernel_rsp : int64;  (* cr1 *)
+  mutable syscall_entry : int64;  (* cr5 *)
+  mutable idt_base : int64;  (* cr6 *)
+  mutable running : bool;  (* false while blocked in hlt *)
+  pending_irqs : int Queue.t;
+  (* Incremented on CR3 writes and invlpg so cores know to flush TLBs. *)
+  mutable tlb_generation : int;
+  (* Committed-instruction counter (architectural, read by rdpmc/ptlcall). *)
+  mutable insns_committed : int;
+}
+
+let create ~vcpu_id =
+  {
+    vcpu_id;
+    regs = Array.make Ptl_uop.Uop.num_arch_regs 0L;
+    rip = 0L;
+    flags = Flags.empty;
+    mode = Kernel;
+    cr3 = 0;
+    cr2 = 0L;
+    kernel_rsp = 0L;
+    syscall_entry = 0L;
+    idt_base = 0L;
+    running = true;
+    pending_irqs = Queue.create ();
+    tlb_generation = 0;
+    insns_committed = 0;
+  }
+
+let get_reg t r =
+  if r = Ptl_uop.Uop.reg_zero then 0L
+  else if r = Ptl_uop.Uop.reg_flags then Int64.of_int t.flags
+  else t.regs.(r)
+
+let set_reg t r v =
+  if r = Ptl_uop.Uop.reg_zero then ()
+  else if r = Ptl_uop.Uop.reg_flags then t.flags <- Int64.to_int v
+  else t.regs.(r) <- v
+
+let gpr t r = t.regs.(r)
+let set_gpr t r v = t.regs.(r) <- v
+
+let is_kernel t = t.mode = Kernel
+
+(** Queue an external/virtual interrupt for delivery at the next
+    instruction boundary (subject to IF). *)
+let raise_irq t vector = Queue.push vector t.pending_irqs
+
+let has_pending_irq t = not (Queue.is_empty t.pending_irqs)
+
+(** Whether an interrupt could be taken right now. *)
+let interruptible t = Flags.iflag t.flags && has_pending_irq t
+
+let flush_tlbs t = t.tlb_generation <- t.tlb_generation + 1
+
+(** Deep copy for checkpointing. The IRQ queue is copied by value. *)
+let copy t =
+  {
+    t with
+    regs = Array.copy t.regs;
+    pending_irqs = Queue.copy t.pending_irqs;
+  }
+
+(** Restore [t] from [snapshot] in place (references to [t] stay valid). *)
+let restore t ~snapshot =
+  Array.blit snapshot.regs 0 t.regs 0 (Array.length t.regs);
+  t.rip <- snapshot.rip;
+  t.flags <- snapshot.flags;
+  t.mode <- snapshot.mode;
+  t.cr3 <- snapshot.cr3;
+  t.cr2 <- snapshot.cr2;
+  t.kernel_rsp <- snapshot.kernel_rsp;
+  t.syscall_entry <- snapshot.syscall_entry;
+  t.idt_base <- snapshot.idt_base;
+  t.running <- snapshot.running;
+  Queue.clear t.pending_irqs;
+  Queue.iter (fun v -> Queue.push v t.pending_irqs) snapshot.pending_irqs;
+  t.tlb_generation <- snapshot.tlb_generation + 1;
+  t.insns_committed <- snapshot.insns_committed
+
+(** Compare the architecturally visible state of two contexts; returns the
+    list of differing components (used by co-simulation divergence checks,
+    paper §2.3). Temporaries are ignored: they are dead between
+    instructions. *)
+let diff a b =
+  let out = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+  for r = 0 to 15 do
+    if a.regs.(r) <> b.regs.(r) then
+      note "%s: %#Lx vs %#Lx" (Ptl_isa.Regs.gpr_name r) a.regs.(r) b.regs.(r)
+  done;
+  for x = 0 to 15 do
+    let ra = Ptl_uop.Uop.xmm x in
+    if a.regs.(ra) <> b.regs.(ra) then note "xmm%d: %#Lx vs %#Lx" x a.regs.(ra) b.regs.(ra)
+  done;
+  if a.regs.(Ptl_uop.Uop.reg_st0) <> b.regs.(Ptl_uop.Uop.reg_st0) then
+    note "st0: %#Lx vs %#Lx" a.regs.(Ptl_uop.Uop.reg_st0) b.regs.(Ptl_uop.Uop.reg_st0);
+  if a.rip <> b.rip then note "rip: %#Lx vs %#Lx" a.rip b.rip;
+  if a.flags land Flags.cc_mask <> b.flags land Flags.cc_mask then
+    note "flags: %s vs %s" (Flags.to_string a.flags) (Flags.to_string b.flags);
+  if a.mode <> b.mode then note "mode differs";
+  if a.cr3 <> b.cr3 then note "cr3: %d vs %d" a.cr3 b.cr3;
+  List.rev !out

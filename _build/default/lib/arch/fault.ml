@@ -1,0 +1,50 @@
+(** Architectural exceptions (faults) with their x86 vector numbers.
+
+    Faults detected while executing uops are raised as [Guest_fault]; the
+    owning core catches them and invokes the precise-exception microcode in
+    {!Context} at the boundary of the faulting x86 instruction (the paper's
+    atomic-commit rule: all uops of the instruction are discarded before
+    the fault is delivered). *)
+
+type kind =
+  | Divide_error (* #DE, vector 0 *)
+  | Invalid_opcode (* #UD, vector 6 *)
+  | General_protection (* #GP, vector 13 *)
+  | Page_fault of { vaddr : int64; not_present : bool; write : bool; user : bool; fetch : bool }
+    (* #PF, vector 14 *)
+
+type t = { kind : kind; at_rip : int64 }
+
+exception Guest_fault of t
+
+let vector = function
+  | Divide_error -> 0
+  | Invalid_opcode -> 6
+  | General_protection -> 13
+  | Page_fault _ -> 14
+
+(** The x86 page-fault error code: bit0 = protection (1) vs not-present
+    (0), bit1 = write, bit2 = user mode, bit4 = instruction fetch. *)
+let error_code = function
+  | Divide_error | Invalid_opcode -> 0L
+  | General_protection -> 0L
+  | Page_fault { not_present; write; user; fetch; _ } ->
+    let b c n = if c then 1 lsl n else 0 in
+    Int64.of_int (b (not not_present) 0 lor b write 1 lor b user 2 lor b fetch 4)
+
+let to_string t =
+  let k =
+    match t.kind with
+    | Divide_error -> "#DE"
+    | Invalid_opcode -> "#UD"
+    | General_protection -> "#GP"
+    | Page_fault { vaddr; not_present; write; user; fetch } ->
+      Printf.sprintf "#PF[%#Lx%s%s%s%s]" vaddr
+        (if not_present then " not-present" else " prot")
+        (if write then " write" else " read")
+        (if user then " user" else " kernel")
+        (if fetch then " ifetch" else "")
+  in
+  Printf.sprintf "%s at rip=%#Lx" k t.at_rip
+
+let raise_fault kind ~at_rip = raise (Guest_fault { kind; at_rip })

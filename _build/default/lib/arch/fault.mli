@@ -1,0 +1,28 @@
+(** Architectural exceptions with their x86 vector numbers. Cores catch
+    [Guest_fault] and invoke the precise-exception microcode at the
+    boundary of the faulting instruction (the atomic-commit rule: all of
+    its uops are discarded first). *)
+
+type kind =
+  | Divide_error  (* #DE, vector 0 *)
+  | Invalid_opcode  (* #UD, vector 6 *)
+  | General_protection  (* #GP, vector 13 *)
+  | Page_fault of {
+      vaddr : int64;
+      not_present : bool;
+      write : bool;
+      user : bool;
+      fetch : bool;
+    }  (* #PF, vector 14 *)
+
+type t = { kind : kind; at_rip : int64 }
+
+exception Guest_fault of t
+
+val vector : kind -> int
+
+(** The x86 page-fault error code bits (P/W/U/I). *)
+val error_code : kind -> int64
+
+val to_string : t -> string
+val raise_fault : kind -> at_rip:int64 -> 'a

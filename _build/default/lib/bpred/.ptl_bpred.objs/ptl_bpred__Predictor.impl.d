@@ -1,0 +1,1 @@
+lib/bpred/predictor.ml: Array Bitops Int64 Ptl_stats Ptl_util

@@ -1,0 +1,1 @@
+lib/hyper/checkpoint.ml: Ptl_arch Ptl_mem

@@ -1,0 +1,1 @@
+lib/hyper/checkpoint.mli: Ptl_arch

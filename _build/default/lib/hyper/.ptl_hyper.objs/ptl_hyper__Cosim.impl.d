@@ -1,0 +1,1 @@
+lib/hyper/cosim.ml: Ptl_arch Ptl_ooo

@@ -1,0 +1,1 @@
+lib/hyper/cosim.mli: Ptl_isa Ptl_ooo

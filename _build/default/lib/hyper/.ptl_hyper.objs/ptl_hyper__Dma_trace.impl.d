@@ -1,0 +1,1 @@
+lib/hyper/dma_trace.ml: List Ptl_arch Ptl_mem

@@ -1,0 +1,1 @@
+lib/hyper/dma_trace.mli: Ptl_arch

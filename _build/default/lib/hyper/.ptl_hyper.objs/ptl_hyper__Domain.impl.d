@@ -1,0 +1,1 @@
+lib/hyper/domain.ml: Int64 List Logs Ptl_arch Ptl_isa Ptl_kernel Ptl_ooo Ptl_stats Ptlcall

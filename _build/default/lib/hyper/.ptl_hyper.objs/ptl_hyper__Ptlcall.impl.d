@@ -1,0 +1,1 @@
+lib/hyper/ptlcall.ml: Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/hyper/ptlcall.mli:

@@ -1,0 +1,1 @@
+lib/hyper/ptlmon.ml: Domain List Ptl_arch Ptl_isa Ptl_kernel Ptl_ooo

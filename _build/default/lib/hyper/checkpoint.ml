@@ -1,0 +1,40 @@
+(** Domain checkpointing: capture and restore the machine state of a
+    bare-metal (kernel-less) domain — physical memory, VCPU context and
+    the virtual clock. This is the foundation of the interrupt/DMA
+    trace-and-inject methodology of §4.2 ("a checkpoint of the target
+    machine's physical memory and register state is captured ... the
+    simulator then starts execution at the checkpoint").
+
+    Full-system domains with a live minios instance carry host-side
+    kernel bookkeeping (continuations) that is deliberately not
+    checkpointable; the trace/inject experiments run on bare-machine
+    workloads, like the paper's device-level replay. *)
+
+module Env = Ptl_arch.Env
+module Context = Ptl_arch.Context
+module Pm = Ptl_mem.Phys_mem
+
+type t = {
+  mem_snapshot : Pm.t;
+  ctx_snapshot : Context.t;
+  cycle : int;
+  tsc_offset : int64;
+}
+
+(** Capture the machine state. *)
+let capture (env : Env.t) (ctx : Context.t) =
+  {
+    mem_snapshot = Pm.copy env.Env.mem;
+    ctx_snapshot = Context.copy ctx;
+    cycle = env.Env.cycle;
+    tsc_offset = env.Env.tsc_offset;
+  }
+
+(** Restore the machine state in place: existing references to the
+    environment and context remain valid, exactly like restarting a
+    domain from a Xen checkpoint. *)
+let restore t (env : Env.t) (ctx : Context.t) =
+  Pm.restore env.Env.mem ~snapshot:t.mem_snapshot;
+  Context.restore ctx ~snapshot:t.ctx_snapshot;
+  env.Env.cycle <- t.cycle;
+  env.Env.tsc_offset <- t.tsc_offset

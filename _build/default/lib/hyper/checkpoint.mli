@@ -1,0 +1,9 @@
+(** Domain checkpointing (paper §4.2): capture and restore physical
+    memory, VCPU context and the virtual clock of a bare-machine domain.
+    Restores are in place, so existing references remain valid — like
+    restarting a domain from a Xen checkpoint. *)
+
+type t
+
+val capture : Ptl_arch.Env.t -> Ptl_arch.Context.t -> t
+val restore : t -> Ptl_arch.Env.t -> Ptl_arch.Context.t -> unit

@@ -1,0 +1,90 @@
+(** Native-mode co-simulation self-validation (§2.3).
+
+    "It is possible, on an instruction by instruction basis, to determine
+    where the architectural state produced by PTLsim's model begins to
+    diverge from the state produced by the native x86 host processor ...
+    Using binary search techniques, the problem can be rapidly isolated."
+
+    Here the functional core plays the reference processor: the same
+    image runs on both engines, comparing architectural state every
+    [check_every] committed instructions, and [bisect] narrows the first
+    divergent instruction when one exists. *)
+
+module Machine = Ptl_arch.Machine
+module Context = Ptl_arch.Context
+module Seqcore = Ptl_arch.Seqcore
+module Ooo = Ptl_ooo.Ooo_core
+module Config = Ptl_ooo.Config
+
+type result =
+  | Agree of int  (* instructions compared *)
+  | Diverged of { after_insns : int; diffs : string list }
+
+(* Run [image] on the functional core for exactly [n] committed
+   instructions (single-instruction blocks for exact stepping). *)
+let run_reference image ~n =
+  let m = Machine.create image in
+  let seq = Seqcore.create ~max_bb_insns:1 m.Machine.env m.Machine.ctx in
+  let rec go () =
+    if m.Machine.ctx.Context.insns_committed < n && m.Machine.ctx.Context.running
+    then begin
+      (match Seqcore.step_block seq with
+      | Seqcore.Executed 0 | Seqcore.Idle -> ()
+      | Seqcore.Executed _ | Seqcore.Interrupted -> go ())
+    end
+  in
+  go ();
+  m
+
+(* Run [image] on the OOO core for at least [n] committed instructions. *)
+let run_model ?(config = Config.tiny) image ~n =
+  let m = Machine.create image in
+  let core = Ooo.create config m.Machine.env [| m.Machine.ctx |] in
+  let budget = ref 50_000_000 in
+  while
+    m.Machine.ctx.Context.insns_committed < n
+    && (not (Ooo.all_idle core))
+    && !budget > 0
+  do
+    Ooo.step core;
+    m.Machine.env.Ptl_arch.Env.cycle <- m.Machine.env.Ptl_arch.Env.cycle + 1;
+    decr budget
+  done;
+  m
+
+(** Compare the model against the reference every [check_every]
+    instructions, up to [max_insns]. The model may overrun a checkpoint by
+    a few commits within one cycle, so the reference is aligned to the
+    model's actual committed count before comparing. *)
+let validate ?config ?(check_every = 50) ~max_insns image =
+  let rec go n =
+    if n > max_insns then Agree max_insns
+    else begin
+      let model_m = run_model ?config image ~n in
+      let actual = model_m.Machine.ctx.Context.insns_committed in
+      let ref_m = run_reference image ~n:actual in
+      let diffs = Context.diff ref_m.Machine.ctx model_m.Machine.ctx in
+      if diffs <> [] then Diverged { after_insns = actual; diffs }
+      else if actual < n (* program finished early: fully compared *)
+      then Agree actual
+      else go (n + check_every)
+    end
+  in
+  go check_every
+
+(** Binary-search the first divergent instruction between [lo] (known
+    agreeing) and [hi] (known diverged) — the paper's isolation
+    technique. *)
+let bisect ?config image ~lo ~hi =
+  let rec go lo hi =
+    if hi - lo <= 1 then hi
+    else begin
+      let mid = (lo + hi) / 2 in
+      let model_m = run_model ?config image ~n:mid in
+      let actual = model_m.Machine.ctx.Context.insns_committed in
+      let ref_m = run_reference image ~n:actual in
+      if Context.diff ref_m.Machine.ctx model_m.Machine.ctx = [] then go mid hi
+      else go lo mid
+    end
+  in
+  go lo hi

@@ -1,0 +1,20 @@
+(** Native-mode co-simulation self-validation (paper §2.3): run the same
+    image on the cycle-accurate core and the functional reference,
+    compare architectural state at instruction-count checkpoints, and
+    binary-search the first divergence when one exists. *)
+
+type result =
+  | Agree of int  (* instructions compared *)
+  | Diverged of { after_insns : int; diffs : string list }
+
+(** Compare every [check_every] instructions up to [max_insns]. *)
+val validate :
+  ?config:Ptl_ooo.Config.t ->
+  ?check_every:int ->
+  max_insns:int ->
+  Ptl_isa.Asm.image ->
+  result
+
+(** Narrow the first divergent instruction between [lo] (agreeing) and
+    [hi] (diverged). *)
+val bisect : ?config:Ptl_ooo.Config.t -> Ptl_isa.Asm.image -> lo:int -> hi:int -> int

@@ -1,0 +1,62 @@
+(** Interrupt and DMA trace recording and injection (§4.2).
+
+    "The event records (comprising a timestamp, interrupt type, any memory
+    overwritten by the DMA transaction ...) are written to a trace file.
+    The simulator then starts execution at the checkpoint, and reads the
+    interrupt and DMA trace file as if it were a queue: the event at the
+    head of the queue is injected into the simulated processor if and when
+    the simulation reaches the cycle number the event was timestamped
+    with." This yields deterministic, infinitely repeatable simulation of
+    external bus traffic — the methodology of Intel's internal P4 tools
+    the paper cites.
+
+    Records carry the virtual cycle, the interrupt vector, and the bytes a
+    DMA wrote (address + payload), so replay reproduces both the timing
+    and the memory effects. *)
+
+module Env = Ptl_arch.Env
+module Context = Ptl_arch.Context
+module Pm = Ptl_mem.Phys_mem
+
+type event = {
+  at_cycle : int;
+  vector : int option;  (* interrupt to raise, if any *)
+  dma : (int * string) list;  (* (paddr, bytes) written before the irq *)
+}
+
+type trace = { mutable events : event list (* newest first while recording *) }
+
+let create () = { events = [] }
+
+(** Record an external event at the current virtual time. *)
+let record trace (env : Env.t) ?vector ?(dma = []) () =
+  trace.events <- { at_cycle = env.Env.cycle; vector; dma } :: trace.events
+
+let events trace = List.rev trace.events
+
+let length trace = List.length trace.events
+
+(** An injector replays a trace against a running domain: call [pump]
+    regularly (it is cheap); due events perform their DMA writes and
+    raise their interrupts at exactly the recorded cycles. *)
+type injector = { mutable queue : event list }
+
+let injector trace = { queue = events trace }
+
+let pending inj = List.length inj.queue
+
+(** Next event's cycle, or None when drained. *)
+let next_cycle inj =
+  match inj.queue with [] -> None | e :: _ -> Some e.at_cycle
+
+let pump inj (env : Env.t) (ctx : Context.t) =
+  let rec go () =
+    match inj.queue with
+    | e :: rest when e.at_cycle <= env.Env.cycle ->
+      inj.queue <- rest;
+      List.iter (fun (paddr, bytes) -> Pm.write_string env.Env.mem paddr bytes) e.dma;
+      (match e.vector with Some v -> Context.raise_irq ctx v | None -> ());
+      go ()
+    | _ -> ()
+  in
+  go ()

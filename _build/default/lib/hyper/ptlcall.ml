@@ -1,0 +1,98 @@
+(** The ptlcall command-list language.
+
+    "A command list (specified as a text string) may consist of
+    '-core smt -run -stopinsns 10m : -native'. This command tells PTLsim
+    to switch back to simulation mode, execute 10 million x86 instructions
+    under PTLsim's SMT core, then switch back to native mode" (§4.1).
+
+    Guest programs invoke it through the [ptlcall] opcode (0x0f37) with
+    rdi = guest pointer to the command string and rsi = its length; the
+    in-guest [ptlctl] wrapper program (see {!Ptl_workloads}) is "simply a
+    wrapper around the ptlcall instruction". *)
+
+type stop_condition =
+  | Stop_insns of int
+  | Stop_cycles of int
+  | Stop_rip of int64
+  | Stop_marker of int  (* stop when the guest issues this phase marker *)
+
+(** One phase of execution requested by a command list. *)
+type command =
+  | Set_core of string  (* -core <model> *)
+  | Run of stop_condition list  (* -run [-stopinsns N] [-stopcycles N]... *)
+  | Native  (* -native: switch to full-speed native mode *)
+  | Snapshot  (* -snapshot: capture a statistics snapshot *)
+  | Kill  (* -kill: stop the domain and finalize statistics *)
+  | Flush_stats  (* -flushstats: zero all counters *)
+
+exception Parse_error of string
+
+(* "10m" = 10 million, "64k" = 65?? no: decimal thousands, like PTLsim *)
+let parse_count s =
+  let n = String.length s in
+  if n = 0 then raise (Parse_error "empty count");
+  let mult, digits =
+    match s.[n - 1] with
+    | 'k' | 'K' -> (1_000, String.sub s 0 (n - 1))
+    | 'm' | 'M' -> (1_000_000, String.sub s 0 (n - 1))
+    | 'g' | 'G' -> (1_000_000_000, String.sub s 0 (n - 1))
+    | _ -> (1, s)
+  in
+  match int_of_string_opt digits with
+  | Some v -> v * mult
+  | None -> raise (Parse_error ("bad count: " ^ s))
+
+let parse_rip s =
+  match Int64.of_string_opt s with
+  | Some v -> v
+  | None -> raise (Parse_error ("bad rip: " ^ s))
+
+(** Parse a command list. Phases are separated by ":"; tokens by spaces. *)
+let parse text : command list =
+  let tokens =
+    String.split_on_char ' ' text
+    |> List.concat_map (fun t ->
+           if String.contains t ':' && t <> ":" then
+             String.split_on_char ':' t |> List.concat_map (fun x -> [ x; ":" ])
+           else [ t ])
+    |> List.filter (fun t -> t <> "")
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | ":" :: rest -> go acc rest
+    | "-core" :: name :: rest -> go (Set_core name :: acc) rest
+    | "-native" :: rest -> go (Native :: acc) rest
+    | "-snapshot" :: rest -> go (Snapshot :: acc) rest
+    | "-kill" :: rest -> go (Kill :: acc) rest
+    | "-flushstats" :: rest -> go (Flush_stats :: acc) rest
+    | "-run" :: rest ->
+      (* gather stop conditions attached to this run *)
+      let rec stops acc_s = function
+        | "-stopinsns" :: n :: rest -> stops (Stop_insns (parse_count n) :: acc_s) rest
+        | "-stopcycles" :: n :: rest -> stops (Stop_cycles (parse_count n) :: acc_s) rest
+        | "-stoprip" :: r :: rest -> stops (Stop_rip (parse_rip r) :: acc_s) rest
+        | "-stopmarker" :: n :: rest -> stops (Stop_marker (parse_count n) :: acc_s) rest
+        | rest -> (List.rev acc_s, rest)
+      in
+      let conditions, rest = stops [] rest in
+      go (Run conditions :: acc) rest
+    | tok :: _ -> raise (Parse_error ("unknown token: " ^ tok))
+  in
+  go [] tokens
+
+let command_to_string = function
+  | Set_core n -> "-core " ^ n
+  | Run conds ->
+    "-run"
+    ^ String.concat ""
+        (List.map
+           (function
+             | Stop_insns n -> Printf.sprintf " -stopinsns %d" n
+             | Stop_cycles n -> Printf.sprintf " -stopcycles %d" n
+             | Stop_rip r -> Printf.sprintf " -stoprip %#Lx" r
+             | Stop_marker n -> Printf.sprintf " -stopmarker %d" n)
+           conds)
+  | Native -> "-native"
+  | Snapshot -> "-snapshot"
+  | Kill -> "-kill"
+  | Flush_stats -> "-flushstats"

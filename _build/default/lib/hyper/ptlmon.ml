@@ -1,0 +1,52 @@
+(** PTLmon: the monitor that instantiates PTLsim inside a target domain.
+
+    The paper's PTLmon "is responsible for booting PTLsim inside the
+    target domain and coordinating its communication with the outside
+    world" (§4): it reserves memory, loads the simulator core, and
+    performs the contextswap hypercall. Here it assembles the pieces —
+    environment, VCPU, minios kernel, workload programs and files — and
+    returns a ready {!Domain}. *)
+
+module Env = Ptl_arch.Env
+module Context = Ptl_arch.Context
+module Kernel = Ptl_kernel.Kernel
+module Config = Ptl_ooo.Config
+
+type spec = {
+  programs : (string * Ptl_isa.Asm.image) list;  (* must include "init" *)
+  files : (string * string) list;
+  kernel_config : Kernel.config;
+  machine_config : Config.t;
+  core : string;  (* initial simulation core model *)
+  snapshot_interval : int option;  (* statistics snapshots (cycles) *)
+}
+
+let default_spec =
+  {
+    programs = [];
+    files = [];
+    kernel_config = Kernel.default_config;
+    machine_config = Config.k8_ptlsim;
+    core = "ooo";
+    snapshot_interval = None;
+  }
+
+(** Build and boot a full-system domain. The domain starts in native mode
+    (the paper: "PTLsim always boots into simulation mode to perform
+    initialization tasks, but immediately switches back to native mode to
+    start the guest kernel's boot process"); the workload switches modes
+    via ptlcall. *)
+let launch ?stats (spec : spec) =
+  let env = Env.create ?stats () in
+  let ctx = Context.create ~vcpu_id:0 in
+  let k = Kernel.create ~config:spec.kernel_config env ctx in
+  List.iter (fun (name, contents) -> Kernel.add_file k ~name ~contents) spec.files;
+  List.iter (fun (name, image) -> Kernel.register_program k ~name image) spec.programs;
+  Kernel.boot k;
+  let d =
+    Domain.create ~kernel:k ~core:spec.core ~config:spec.machine_config env ctx
+  in
+  (match spec.snapshot_interval with
+  | Some interval -> Domain.enable_timelapse d ~interval
+  | None -> ());
+  (d, k)

@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Array Bitops Buffer Char Encode Hashtbl Insn Int64 List Printf Ptl_util String

@@ -1,0 +1,1 @@
+lib/isa/decode.ml: Char Encode Flags Insn Int64 Opcodes Ptl_util Regs String W64

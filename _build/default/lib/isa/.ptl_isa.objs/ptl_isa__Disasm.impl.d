@@ -1,0 +1,1 @@
+lib/isa/disasm.ml: Buffer Flags Insn List Printf Ptl_util Regs String W64

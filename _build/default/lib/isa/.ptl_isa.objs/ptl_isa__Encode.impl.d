@@ -1,0 +1,1 @@
+lib/isa/encode.ml: Bitops Buffer Char Flags Insn Int64 Opcodes Printf Ptl_util String W64

@@ -1,0 +1,1 @@
+lib/isa/flags.ml: Printf Ptl_util String W64

@@ -1,0 +1,1 @@
+lib/isa/insn.ml: Flags List Ptl_util Regs W64

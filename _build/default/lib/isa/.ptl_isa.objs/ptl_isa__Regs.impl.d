@@ -1,0 +1,1 @@
+lib/isa/regs.ml: Array Printf String

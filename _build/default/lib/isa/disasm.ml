@@ -1,0 +1,110 @@
+(** Textual disassembly of x86lite-64 instructions (AT&T-flavoured Intel
+    syntax: destination first), used by logs, debug dumps and the
+    co-simulation divergence reports. *)
+
+open Ptl_util
+
+let mem_to_string (m : Insn.mem) =
+  let buf = Buffer.create 16 in
+  Buffer.add_char buf '[';
+  let parts = ref [] in
+  (match m.base with Some r -> parts := Regs.gpr_name r :: !parts | None -> ());
+  (match m.index with
+  | Some r ->
+    let s = Regs.gpr_name r in
+    parts := (if m.scale = 1 then s else Printf.sprintf "%s*%d" s m.scale) :: !parts
+  | None -> ());
+  if m.disp <> 0L || !parts = [] then
+    parts := Printf.sprintf "%#Lx" m.disp :: !parts;
+  Buffer.add_string buf (String.concat "+" (List.rev !parts));
+  Buffer.add_char buf ']';
+  Buffer.contents buf
+
+let rm_to_string = function
+  | Insn.Reg r -> Regs.gpr_name r
+  | Insn.Mem m -> mem_to_string m
+
+let src_to_string = function
+  | Insn.RM rm -> rm_to_string rm
+  | Insn.Imm v -> Printf.sprintf "%#Lx" v
+
+let sz = W64.size_to_string
+
+let two name size dst src =
+  Printf.sprintf "%s%s %s, %s" name (sz size) (rm_to_string dst) (src_to_string src)
+
+let rec to_string (insn : Insn.t) =
+  match insn with
+  | Insn.Nop -> "nop"
+  | Insn.Alu (op, size, dst, src) -> two (Insn.alu_name op) size dst src
+  | Insn.Test (size, dst, src) -> two "test" size dst src
+  | Insn.Mov (size, dst, src) -> two "mov" size dst src
+  | Insn.Movabs (r, v) -> Printf.sprintf "movabs %s, %#Lx" (Regs.gpr_name r) v
+  | Insn.Lea (r, m) -> Printf.sprintf "lea %s, %s" (Regs.gpr_name r) (mem_to_string m)
+  | Insn.Movzx (d, s, r, rm) ->
+    Printf.sprintf "movzx%s%s %s, %s" (sz d) (sz s) (Regs.gpr_name r) (rm_to_string rm)
+  | Insn.Movsx (d, s, r, rm) ->
+    Printf.sprintf "movsx%s%s %s, %s" (sz d) (sz s) (Regs.gpr_name r) (rm_to_string rm)
+  | Insn.Unary (op, size, dst) ->
+    Printf.sprintf "%s%s %s" (Insn.unary_name op) (sz size) (rm_to_string dst)
+  | Insn.Shift (op, size, dst, count) ->
+    Printf.sprintf "%s%s %s, %s" (Insn.shift_name op) (sz size) (rm_to_string dst)
+      (match count with Insn.ImmC n -> string_of_int n | Insn.Cl -> "cl")
+  | Insn.Imul2 (size, r, rm) ->
+    Printf.sprintf "imul%s %s, %s" (sz size) (Regs.gpr_name r) (rm_to_string rm)
+  | Insn.Muldiv (op, size, rm) ->
+    Printf.sprintf "%s%s %s" (Insn.muldiv_name op) (sz size) (rm_to_string rm)
+  | Insn.Push src -> Printf.sprintf "push %s" (src_to_string src)
+  | Insn.Pop dst -> Printf.sprintf "pop %s" (rm_to_string dst)
+  | Insn.Call t -> Printf.sprintf "call %#Lx" t
+  | Insn.CallInd rm -> Printf.sprintf "call *%s" (rm_to_string rm)
+  | Insn.Ret -> "ret"
+  | Insn.Jmp t -> Printf.sprintf "jmp %#Lx" t
+  | Insn.JmpInd rm -> Printf.sprintf "jmp *%s" (rm_to_string rm)
+  | Insn.Jcc (c, t) -> Printf.sprintf "j%s %#Lx" (Flags.cond_name c) t
+  | Insn.Setcc (c, dst) -> Printf.sprintf "set%s %s" (Flags.cond_name c) (rm_to_string dst)
+  | Insn.Cmovcc (c, size, r, rm) ->
+    Printf.sprintf "cmov%s%s %s, %s" (Flags.cond_name c) (sz size) (Regs.gpr_name r)
+      (rm_to_string rm)
+  | Insn.Xchg (size, dst, r) ->
+    Printf.sprintf "xchg%s %s, %s" (sz size) (rm_to_string dst) (Regs.gpr_name r)
+  | Insn.Xadd (size, dst, r) ->
+    Printf.sprintf "xadd%s %s, %s" (sz size) (rm_to_string dst) (Regs.gpr_name r)
+  | Insn.Cmpxchg (size, dst, r) ->
+    Printf.sprintf "cmpxchg%s %s, %s" (sz size) (rm_to_string dst) (Regs.gpr_name r)
+  | Insn.Bittest (op, size, dst, src) ->
+    Printf.sprintf "%s%s %s, %s" (Insn.bittest_name op) (sz size) (rm_to_string dst)
+      (match src with Insn.Breg r -> Regs.gpr_name r | Insn.Bimm n -> string_of_int n)
+  | Insn.Movs (size, rep) -> Printf.sprintf "%smovs%s" (if rep then "rep " else "") (sz size)
+  | Insn.Stos (size, rep) -> Printf.sprintf "%sstos%s" (if rep then "rep " else "") (sz size)
+  | Insn.Lods (size, rep) -> Printf.sprintf "%slods%s" (if rep then "rep " else "") (sz size)
+  | Insn.Hlt -> "hlt"
+  | Insn.Syscall -> "syscall"
+  | Insn.Sysret -> "sysret"
+  | Insn.Int n -> Printf.sprintf "int %#x" n
+  | Insn.Iret -> "iret"
+  | Insn.Pushf -> "pushf"
+  | Insn.Popf -> "popf"
+  | Insn.Cli -> "cli"
+  | Insn.Sti -> "sti"
+  | Insn.Pause -> "pause"
+  | Insn.Ptlcall -> "ptlcall"
+  | Insn.Kcall -> "kcall"
+  | Insn.Rdtsc -> "rdtsc"
+  | Insn.Rdpmc -> "rdpmc"
+  | Insn.Cpuid -> "cpuid"
+  | Insn.MovToCr (cr, r) -> Printf.sprintf "mov cr%d, %s" cr (Regs.gpr_name r)
+  | Insn.MovFromCr (cr, r) -> Printf.sprintf "mov %s, cr%d" (Regs.gpr_name r) cr
+  | Insn.Invlpg m -> Printf.sprintf "invlpg %s" (mem_to_string m)
+  | Insn.Fld m -> Printf.sprintf "fld %s" (mem_to_string m)
+  | Insn.Fst m -> Printf.sprintf "fstp %s" (mem_to_string m)
+  | Insn.Fp (op, m) -> Printf.sprintf "%s %s" (Insn.fpop_name op) (mem_to_string m)
+  | Insn.SseLoad (x, m) -> Printf.sprintf "movsd %s, %s" (Regs.xmm_name x) (mem_to_string m)
+  | Insn.SseStore (m, x) -> Printf.sprintf "movsd %s, %s" (mem_to_string m) (Regs.xmm_name x)
+  | Insn.SseMov (xd, xs) -> Printf.sprintf "movsd %s, %s" (Regs.xmm_name xd) (Regs.xmm_name xs)
+  | Insn.Sse (op, xd, xs) ->
+    Printf.sprintf "%s %s, %s" (Insn.sse2_name op) (Regs.xmm_name xd) (Regs.xmm_name xs)
+  | Insn.Cvtsi2sd (x, r) -> Printf.sprintf "cvtsi2sd %s, %s" (Regs.xmm_name x) (Regs.gpr_name r)
+  | Insn.Cvtsd2si (r, x) -> Printf.sprintf "cvtsd2si %s, %s" (Regs.gpr_name r) (Regs.xmm_name x)
+  | Insn.Comisd (xa, xb) -> Printf.sprintf "comisd %s, %s" (Regs.xmm_name xa) (Regs.xmm_name xb)
+  | Insn.Locked body -> "lock " ^ to_string body

@@ -1,0 +1,101 @@
+(** Processor condition-code flags and condition evaluation.
+
+    Flags are kept as an int bitmask using the real x86 RFLAGS bit positions
+    so that [pushf]/[popf] and interrupt stack frames look authentic. The
+    modeled flags are CF, PF, ZF, SF, OF plus the IF interrupt-enable bit
+    (AF is not modeled; see DESIGN.md "Key modelling decisions"). *)
+
+type t = int
+
+let cf_bit = 0
+let pf_bit = 2
+let zf_bit = 6
+let sf_bit = 7
+let if_bit = 9
+let of_bit = 11
+
+let cf_mask = 1 lsl cf_bit
+let pf_mask = 1 lsl pf_bit
+let zf_mask = 1 lsl zf_bit
+let sf_mask = 1 lsl sf_bit
+let if_mask = 1 lsl if_bit
+let of_mask = 1 lsl of_bit
+
+(** All condition-code flags (excluding IF). *)
+let cc_mask = cf_mask lor pf_mask lor zf_mask lor sf_mask lor of_mask
+
+let empty = 0
+
+let cf f = f land cf_mask <> 0
+let pf f = f land pf_mask <> 0
+let zf f = f land zf_mask <> 0
+let sf f = f land sf_mask <> 0
+let iflag f = f land if_mask <> 0
+let off f = f land of_mask <> 0
+
+let set_bool mask b f = if b then f lor mask else f land lnot mask
+
+let set_cf = set_bool cf_mask
+let set_pf = set_bool pf_mask
+let set_zf = set_bool zf_mask
+let set_sf = set_bool sf_mask
+let set_if = set_bool if_mask
+let set_of = set_bool of_mask
+
+(** Build the ZF/SF/PF portion from a result value of the given size,
+    preserving the other bits of [f]. *)
+let of_result size v f =
+  let open Ptl_util in
+  let f = set_zf (W64.is_zero size v) f in
+  let f = set_sf (W64.sign_bit size v) f in
+  set_pf (W64.parity v) f
+
+(** The sixteen x86 condition codes, in encoding order 0..15. *)
+type cond =
+  | O | NO | B | AE | E | NE | BE | A | S | NS | P | NP | L | GE | LE | G
+
+let cond_code = function
+  | O -> 0 | NO -> 1 | B -> 2 | AE -> 3 | E -> 4 | NE -> 5 | BE -> 6 | A -> 7
+  | S -> 8 | NS -> 9 | P -> 10 | NP -> 11 | L -> 12 | GE -> 13 | LE -> 14 | G -> 15
+
+let cond_of_code = function
+  | 0 -> O | 1 -> NO | 2 -> B | 3 -> AE | 4 -> E | 5 -> NE | 6 -> BE | 7 -> A
+  | 8 -> S | 9 -> NS | 10 -> P | 11 -> NP | 12 -> L | 13 -> GE | 14 -> LE | 15 -> G
+  | n -> invalid_arg (Printf.sprintf "Flags.cond_of_code: %d" n)
+
+let cond_name = function
+  | O -> "o" | NO -> "no" | B -> "b" | AE -> "ae" | E -> "e" | NE -> "ne"
+  | BE -> "be" | A -> "a" | S -> "s" | NS -> "ns" | P -> "p" | NP -> "np"
+  | L -> "l" | GE -> "ge" | LE -> "le" | G -> "g"
+
+(** Evaluate a condition against a flags word, per the x86 definitions. *)
+let eval cond f =
+  match cond with
+  | O -> off f
+  | NO -> not (off f)
+  | B -> cf f
+  | AE -> not (cf f)
+  | E -> zf f
+  | NE -> not (zf f)
+  | BE -> cf f || zf f
+  | A -> not (cf f || zf f)
+  | S -> sf f
+  | NS -> not (sf f)
+  | P -> pf f
+  | NP -> not (pf f)
+  | L -> sf f <> off f
+  | GE -> sf f = off f
+  | LE -> zf f || sf f <> off f
+  | G -> not (zf f) && sf f = off f
+
+(** The inverse condition (same encoding trick as x86: flip bit 0). *)
+let negate cond = cond_of_code (cond_code cond lxor 1)
+
+let to_string f =
+  String.concat ""
+    [ (if off f then "O" else "o");
+      (if sf f then "S" else "s");
+      (if zf f then "Z" else "z");
+      (if pf f then "P" else "p");
+      (if cf f then "C" else "c");
+      (if iflag f then "I" else "i") ]

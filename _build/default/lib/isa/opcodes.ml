@@ -1,0 +1,81 @@
+(** Binary opcode assignments of the x86lite-64 encoding.
+
+    One-byte primary opcodes, with 0x0F escaping to a secondary page (just
+    like real x86). The paper's [ptlcall] breakout opcode is 0x0F 0x37,
+    matching PTLsim exactly. Prefix bytes: 0xF0 = LOCK, 0xF3 = REP. *)
+
+let pfx_lock = 0xF0
+let pfx_rep = 0xF3
+
+let nop = 0x00
+
+(* ALU group: opcode = alu_base + operation index (Add..Cmp). *)
+let alu_base = 0x01
+let test = 0x09
+let mov = 0x0A
+let movabs = 0x0B
+let lea = 0x0C
+let movzx = 0x0D
+let movsx = 0x0E
+let escape = 0x0F
+
+(* Unary group: opcode = unary_base + operation index (Not..Dec). *)
+let unary_base = 0x10
+(* Shift group: opcode = shift_base + operation index (Shl..Ror). *)
+let shift_base = 0x14
+let imul2 = 0x19
+(* Mul/div group: opcode = muldiv_base + operation index (Mul..Idiv). *)
+let muldiv_base = 0x1A
+let push = 0x1E
+let pop = 0x1F
+let call = 0x20
+let ret = 0x21
+let jmp = 0x22
+let jcc = 0x23
+let jmp_ind = 0x24
+let call_ind = 0x25
+let setcc = 0x26
+let cmovcc = 0x27
+let xchg = 0x28
+let xadd = 0x29
+let cmpxchg = 0x2A
+(* Bit test group: opcode = bittest_base + operation index (Bt..Btc). *)
+let bittest_base = 0x2B
+let movs = 0x2F
+let stos = 0x30
+let lods = 0x31
+let hlt = 0x32
+let syscall = 0x33
+let sysret = 0x34
+let int_ = 0x35
+let iret = 0x36
+let pushf = 0x37
+let popf = 0x38
+let cli = 0x39
+let sti = 0x3A
+let pause = 0x3B
+
+(* Secondary page (after 0x0F). *)
+let x_rdtsc = 0x01
+let x_rdpmc = 0x02
+let x_cpuid = 0x03
+let x_mov_to_cr = 0x04
+let x_mov_from_cr = 0x05
+let x_invlpg = 0x06
+let x_kcall = 0x07
+let x_fld = 0x10
+let x_fst = 0x11
+(* FP arithmetic group: opcode = x_fp_base + operation index (Fadd..Fdiv). *)
+let x_fp_base = 0x12
+let x_sse_load = 0x20
+let x_sse_store = 0x21
+let x_sse_mov = 0x22
+(* SSE arithmetic group: opcode = x_sse_base + operation index (Addsd..Divsd). *)
+let x_sse_base = 0x23
+let x_cvtsi2sd = 0x28
+let x_cvtsd2si = 0x29
+let x_comisd = 0x2A
+let x_ptlcall = 0x37
+
+(* Field encodings for the "no register" marker in memory operands. *)
+let no_reg = 0xFF

@@ -1,0 +1,1 @@
+lib/kernel/kbuild.ml: Abi Int64 List Ptl_isa Ptl_util W64

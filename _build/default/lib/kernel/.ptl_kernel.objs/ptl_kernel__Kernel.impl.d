@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Abi Array Buffer Char Hashtbl Int64 Kbuild List Logs Option Printf Ptl_arch Ptl_isa Ptl_mem Ptl_stats Ptl_util Queue Ramfs String W64

@@ -1,0 +1,1 @@
+lib/kernel/ramfs.ml: Array Bytes Char Hashtbl List Ptl_mem String

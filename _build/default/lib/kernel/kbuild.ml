@@ -1,0 +1,200 @@
+(** Builder for the minios kernel image — real guest code for every path
+    where the paper's full-system claim needs genuine kernel-mode cycles:
+    interrupt entry/exit with full register save/restore, the syscall
+    dispatcher, data-movement copy loops, the TCP-checksum transmit loop,
+    a run-queue scan on every timer tick, and the idle loop.
+
+    Host-side kernel services are reached through the paravirtual [kcall]
+    instruction; the *site* of each kcall (its return address) identifies
+    the service, so no registers are clobbered for dispatch. *)
+
+open Ptl_util
+module Insn = Ptl_isa.Insn
+module Regs = Ptl_isa.Regs
+module Asm = Ptl_isa.Asm
+module Flags = Ptl_isa.Flags
+
+(** Resolved addresses the host kernel model needs. *)
+type layout = {
+  image : Asm.image;
+  l_boot : int64;
+  l_idle : int64;
+  l_syscall_entry : int64;
+  l_syscall_kcall : int64;  (* re-entry point for retried syscalls *)
+  l_sysret : int64;  (* restore rcx/r11 and sysret *)
+  l_copy_ret : int64;  (* rep movsb; sysret *)
+  l_copy_commit_ret : int64;  (* rep movsb; kcall commit; sysret *)
+  l_csum_copy_commit_ret : int64;  (* checksum; rep movsb; kcall commit *)
+  l_timer_resume : int64;  (* pops + iret, for rescheduled processes *)
+  l_runqueue : int64;
+  (* kcall sites (address immediately after each kcall) *)
+  s_boot : int64;
+  s_syscall : int64;
+  s_timer : int64;
+  s_io : int64;
+  s_fault : int64;  (* shared by #PF/#GP/#DE/#UD entries *)
+  s_commit : int64;  (* publish side effects after a guest copy loop *)
+}
+
+let runqueue_entries = 32
+
+(* push/pop all GPRs except rsp (interrupt paths save the full frame). *)
+let save_regs a =
+  List.iter
+    (fun r -> Asm.ins a (Insn.Push (Insn.RM (Insn.Reg r))))
+    [ Regs.rax; Regs.rcx; Regs.rdx; Regs.rbx; Regs.rbp; Regs.rsi; Regs.rdi;
+      Regs.r8; Regs.r9; Regs.r10; Regs.r11; Regs.r12; Regs.r13; Regs.r14; Regs.r15 ]
+
+let restore_regs a =
+  List.iter
+    (fun r -> Asm.ins a (Insn.Pop (Insn.Reg r)))
+    [ Regs.r15; Regs.r14; Regs.r13; Regs.r12; Regs.r11; Regs.r10; Regs.r9;
+      Regs.r8; Regs.rdi; Regs.rsi; Regs.rbp; Regs.rbx; Regs.rdx; Regs.rcx;
+      Regs.rax ]
+
+let build () =
+  let a = Asm.create ~base:Abi.kernel_base () in
+
+  (* ---- boot ---- *)
+  Asm.label a "boot";
+  Asm.lea_label a Regs.rax "idt";
+  Asm.ins a (Insn.MovToCr (6, Regs.rax));
+  Asm.lea_label a Regs.rax "syscall_entry";
+  Asm.ins a (Insn.MovToCr (5, Regs.rax));
+  (* kernel boot stack: supplied by the host before entry in cr1 *)
+  Asm.ins a Insn.Kcall;
+  Asm.label a "after_boot_kcall";
+  (* the boot kcall normally context-switches to init; if it returns,
+     fall into the idle loop *)
+  Asm.label a "idle";
+  Asm.ins a Insn.Sti;
+  Asm.ins a Insn.Hlt;
+  Asm.jmp a "idle";
+
+  (* ---- syscall path ----
+     rcx/r11 hold the user return state but are clobbered by the kernel
+     copy loops (rep movsb), so they are saved on the user stack around
+     the service, like a real kernel's entry/exit frames. *)
+  Asm.align a 16;
+  Asm.label a "syscall_entry";
+  Asm.ins a (Insn.Push (Insn.RM (Insn.Reg Regs.rcx)));
+  Asm.ins a (Insn.Push (Insn.RM (Insn.Reg Regs.r11)));
+  Asm.label a "syscall_kcall";
+  Asm.ins a Insn.Kcall;
+  Asm.label a "after_syscall_kcall";
+  Asm.label a "sysret_path";
+  Asm.ins a (Insn.Pop (Insn.Reg Regs.r11));
+  Asm.ins a (Insn.Pop (Insn.Reg Regs.rcx));
+  Asm.ins a Insn.Sysret;
+
+  (* copy continuation: kernel<->user data movement (read/write/pipe).
+     Host preloads rsi/rdi/rcx; rax already holds the return value. *)
+  Asm.align a 16;
+  Asm.label a "copy_ret";
+  Asm.ins a (Insn.Movs (W64.B1, true));
+  Asm.jmp a "sysret_path";
+
+  (* copy with post-commit: data movement whose side effects (ring
+     indices, file sizes) are published only after the copy completed,
+     via a second kcall. *)
+  Asm.align a 16;
+  Asm.label a "copy_commit_ret";
+  Asm.ins a (Insn.Movs (W64.B1, true));
+  Asm.label a "commit_kcall";
+  Asm.ins a Insn.Kcall;
+  Asm.label a "after_commit_kcall";
+  Asm.jmp a "sysret_path";
+
+  (* transmit continuation: TCP-style checksum pass, copy, then commit.
+     In: rsi=src, rdi=dst, rcx=len, r11=len (saved). rax set at commit. *)
+  Asm.align a 16;
+  Asm.label a "csum_copy_ret";
+  Asm.ins a (Insn.Alu (Insn.Xor, W64.B8, Insn.Reg Regs.rdx, Insn.RM (Insn.Reg Regs.rdx)));
+  Asm.ins a (Insn.Test (W64.B8, Insn.Reg Regs.rcx, Insn.RM (Insn.Reg Regs.rcx)));
+  Asm.jcc a Flags.E "csum_done";
+  Asm.label a "csum_loop";
+  Asm.ins a (Insn.Movzx (W64.B8, W64.B1, Regs.rax, Insn.Mem (Insn.mem_bd Regs.rsi 0L)));
+  Asm.ins a (Insn.Alu (Insn.Add, W64.B8, Insn.Reg Regs.rdx, Insn.RM (Insn.Reg Regs.rax)));
+  Asm.ins a (Insn.Shift (Insn.Rol, W64.B8, Insn.Reg Regs.rdx, Insn.ImmC 1));
+  Asm.ins a (Insn.Alu (Insn.Add, W64.B8, Insn.Reg Regs.rsi, Insn.Imm 1L));
+  Asm.ins a (Insn.Unary (Insn.Dec, W64.B8, Insn.Reg Regs.rcx));
+  Asm.jcc a Flags.NE "csum_loop";
+  Asm.label a "csum_done";
+  (* restore rsi/rcx from r11 and do the copy *)
+  Asm.ins a (Insn.Alu (Insn.Sub, W64.B8, Insn.Reg Regs.rsi, Insn.RM (Insn.Reg Regs.r11)));
+  Asm.ins a (Insn.Mov (W64.B8, Insn.Reg Regs.rcx, Insn.RM (Insn.Reg Regs.r11)));
+  Asm.ins a (Insn.Movs (W64.B1, true));
+  (* share the commit kcall site with copy_commit_ret *)
+  Asm.jmp a "commit_kcall";
+
+  (* ---- timer interrupt ---- *)
+  Asm.align a 16;
+  Asm.label a "timer_entry";
+  save_regs a;
+  (* scheduler work: scan the run queue (real kernel-mode cycles) *)
+  Asm.lea_label a Regs.rbx "runqueue";
+  Asm.ins a (Insn.Mov (W64.B8, Insn.Reg Regs.rcx, Insn.Imm (Int64.of_int runqueue_entries)));
+  Asm.label a "rq_scan";
+  Asm.ins a (Insn.Mov (W64.B8, Insn.Reg Regs.rax, Insn.RM (Insn.Mem (Insn.mem_bd Regs.rbx 0L))));
+  Asm.ins a (Insn.Alu (Insn.Add, W64.B8, Insn.Reg Regs.rbx, Insn.Imm 8L));
+  Asm.ins a (Insn.Unary (Insn.Dec, W64.B8, Insn.Reg Regs.rcx));
+  Asm.jcc a Flags.NE "rq_scan";
+  Asm.ins a Insn.Kcall;
+  Asm.label a "after_timer_kcall";
+  Asm.label a "timer_resume";
+  restore_regs a;
+  Asm.ins a (Insn.Alu (Insn.Add, W64.B8, Insn.Reg Regs.rsp, Insn.Imm 8L));
+  Asm.ins a Insn.Iret;
+
+  (* ---- I/O completion interrupt ---- *)
+  Asm.align a 16;
+  Asm.label a "io_entry";
+  save_regs a;
+  Asm.ins a Insn.Kcall;
+  Asm.label a "after_io_kcall";
+  Asm.jmp a "timer_resume" (* same restore path *);
+
+  (* ---- fault entries (#DE/#UD/#GP/#PF): host decides, usually kills *)
+  Asm.align a 16;
+  Asm.label a "fault_entry";
+  Asm.ins a Insn.Kcall;
+  Asm.label a "after_fault_kcall";
+  Asm.ins a (Insn.Alu (Insn.Add, W64.B8, Insn.Reg Regs.rsp, Insn.Imm 8L));
+  Asm.ins a Insn.Iret;
+
+  (* ---- data ---- *)
+  Asm.align a 64;
+  Asm.label a "runqueue";
+  for _ = 1 to runqueue_entries do
+    Asm.quad a 0L
+  done;
+  Asm.align a 64;
+  Asm.label a "idt";
+  for v = 0 to 47 do
+    if v = 0 || v = 6 || v = 13 || v = 14 then Asm.quad_label a "fault_entry"
+    else if v = Abi.vec_timer then Asm.quad_label a "timer_entry"
+    else if v = Abi.vec_io then Asm.quad_label a "io_entry"
+    else Asm.quad a 0L
+  done;
+
+  let image = Asm.assemble a in
+  let sym = Asm.symbol image in
+  {
+    image;
+    l_boot = sym "boot";
+    l_idle = sym "idle";
+    l_syscall_entry = sym "syscall_entry";
+    l_syscall_kcall = sym "syscall_kcall";
+    l_sysret = sym "sysret_path";
+    l_copy_ret = sym "copy_ret";
+    l_copy_commit_ret = sym "copy_commit_ret";
+    l_csum_copy_commit_ret = sym "csum_copy_ret";
+    l_timer_resume = sym "timer_resume";
+    l_runqueue = sym "runqueue";
+    s_boot = sym "after_boot_kcall";
+    s_syscall = sym "after_syscall_kcall";
+    s_timer = sym "after_timer_kcall";
+    s_io = sym "after_io_kcall";
+    s_fault = sym "after_fault_kcall";
+    s_commit = sym "after_commit_kcall";
+  }

@@ -1,0 +1,1 @@
+lib/mem/cache.ml: Array Bitops Hashtbl Ptl_stats Ptl_util Rng

@@ -1,0 +1,1 @@
+lib/mem/coherence.ml: Array Hashtbl Ptl_stats Ptl_util

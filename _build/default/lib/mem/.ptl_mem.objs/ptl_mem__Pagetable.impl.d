@@ -1,0 +1,1 @@
+lib/mem/pagetable.ml: Int64 List Phys_mem

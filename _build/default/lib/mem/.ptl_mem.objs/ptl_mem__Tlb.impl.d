@@ -1,0 +1,1 @@
+lib/mem/tlb.ml: Array Int64 Option Pagetable Phys_mem

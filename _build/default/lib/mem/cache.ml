@@ -1,0 +1,213 @@
+(** Set-associative cache array with banking, write-back dirty state and
+    pluggable replacement.
+
+    This is the building block for the L1 I/D, L2 and L3 models in
+    {!Hierarchy}. It models tag state only (data lives in guest physical
+    memory); what matters for cycle accuracy is hits, misses, evictions,
+    dirty write-backs and bank conflicts. The K8 experiment (paper §5) uses
+    the banking model: the K8 L1 D-cache is pseudo dual-ported with 8 banks
+    along 64-bit boundaries, and colliding accesses replay for one cycle. *)
+
+open Ptl_util
+
+type replacement = Lru | Random_repl | Fifo
+
+type config = {
+  name : string;
+  size_bytes : int;
+  line_size : int;
+  ways : int;
+  latency : int;  (* access latency in cycles on a hit *)
+  banks : int;  (* 1 = no banking *)
+  replacement : replacement;
+}
+
+let k8_l1d =
+  {
+    name = "L1D";
+    size_bytes = 64 * 1024;
+    line_size = 64;
+    ways = 2;
+    latency = 3;
+    banks = 8;
+    replacement = Lru;
+  }
+
+let k8_l1i = { k8_l1d with name = "L1I"; banks = 1 }
+
+let k8_l2 =
+  {
+    name = "L2";
+    size_bytes = 1024 * 1024;
+    line_size = 64;
+    ways = 16;
+    latency = 10;
+    banks = 1;
+    replacement = Lru;
+  }
+
+type line = {
+  mutable tag : int;  (* -1 = invalid *)
+  mutable dirty : bool;
+  mutable stamp : int;  (* LRU recency or FIFO insertion order *)
+}
+
+type t = {
+  config : config;
+  sets : int;
+  lines : line array array;
+  rng : Rng.t;
+  mutable tick : int;
+  (* statistics *)
+  hits : Ptl_stats.Statstree.counter;
+  misses : Ptl_stats.Statstree.counter;
+  writebacks : Ptl_stats.Statstree.counter;
+}
+
+let create ?(stats_prefix = "") stats config =
+  if not (Bitops.is_pow2 config.line_size) then invalid_arg "Cache: line size";
+  let nlines = config.size_bytes / config.line_size in
+  if nlines mod config.ways <> 0 then invalid_arg "Cache: geometry";
+  let sets = nlines / config.ways in
+  if not (Bitops.is_pow2 sets) then invalid_arg "Cache: sets must be a power of two";
+  let prefix =
+    if stats_prefix = "" then "cache." ^ config.name else stats_prefix ^ "." ^ config.name
+  in
+  let counter suffix = Ptl_stats.Statstree.counter stats (prefix ^ "." ^ suffix) in
+  {
+    config;
+    sets;
+    lines =
+      Array.init sets (fun _ ->
+          Array.init config.ways (fun _ -> { tag = -1; dirty = false; stamp = 0 }));
+    rng = Rng.create (Hashtbl.hash config.name);
+    tick = 0;
+    hits = counter "hits";
+    misses = counter "misses";
+    writebacks = counter "writebacks";
+  }
+
+let line_shift t = Bitops.log2 t.config.line_size
+let line_addr t paddr = Bitops.align_down paddr t.config.line_size
+let set_of t paddr = (paddr lsr line_shift t) land (t.sets - 1)
+let tag_of t paddr = paddr lsr line_shift t
+
+(** Bank touched by an access (banks divide the line along 8-byte words,
+    K8-style). *)
+let bank_of t paddr = (paddr lsr 3) land (t.config.banks - 1)
+
+(** Non-destructive presence test. *)
+let probe t paddr =
+  let s = set_of t paddr and tag = tag_of t paddr in
+  Array.exists (fun l -> l.tag = tag) t.lines.(s)
+
+type access_result =
+  | Hit
+  (* Miss carrying the dirty victim line's physical address needing
+     write-back, if any. The line is filled (allocated) by the access. *)
+  | Miss of { writeback : int option }
+
+let pick_victim t set =
+  let ways = t.lines.(set) in
+  (* Prefer an invalid way. *)
+  let rec find_invalid w =
+    if w >= Array.length ways then None
+    else if ways.(w).tag = -1 then Some w
+    else find_invalid (w + 1)
+  in
+  match find_invalid 0 with
+  | Some w -> w
+  | None ->
+    (match t.config.replacement with
+    | Random_repl -> Rng.int t.rng t.config.ways
+    | Lru | Fifo ->
+      let victim = ref 0 and best = ref max_int in
+      Array.iteri
+        (fun w l ->
+          if l.stamp < !best then begin
+            best := l.stamp;
+            victim := w
+          end)
+        ways;
+      !victim)
+
+(** Access (and allocate on miss) the line containing [paddr].
+    [write] marks the line dirty on hit or after fill. *)
+let access t paddr ~write =
+  t.tick <- t.tick + 1;
+  let s = set_of t paddr and tag = tag_of t paddr in
+  let ways = t.lines.(s) in
+  let rec find w = if w >= Array.length ways then None else if ways.(w).tag = tag then Some w else find (w + 1) in
+  match find 0 with
+  | Some w ->
+    Ptl_stats.Statstree.incr t.hits;
+    if t.config.replacement = Lru then ways.(w).stamp <- t.tick;
+    if write then ways.(w).dirty <- true;
+    Hit
+  | None ->
+    Ptl_stats.Statstree.incr t.misses;
+    let w = pick_victim t s in
+    let victim = ways.(w) in
+    let writeback =
+      if victim.tag >= 0 && victim.dirty then begin
+        Ptl_stats.Statstree.incr t.writebacks;
+        Some (victim.tag lsl line_shift t)
+      end
+      else None
+    in
+    victim.tag <- tag;
+    victim.dirty <- write;
+    victim.stamp <- t.tick;
+    Miss { writeback }
+
+(** Insert a line without counting an access (prefetch fills). *)
+let fill t paddr =
+  let s = set_of t paddr and tag = tag_of t paddr in
+  let ways = t.lines.(s) in
+  if not (Array.exists (fun l -> l.tag = tag) ways) then begin
+    t.tick <- t.tick + 1;
+    let w = pick_victim t s in
+    let victim = ways.(w) in
+    victim.tag <- tag;
+    victim.dirty <- false;
+    victim.stamp <- t.tick
+  end
+
+(** Invalidate the line containing [paddr]; returns true if it was present
+    and dirty (caller must write back). *)
+let invalidate t paddr =
+  let s = set_of t paddr and tag = tag_of t paddr in
+  let dirty = ref false in
+  Array.iter
+    (fun l ->
+      if l.tag = tag then begin
+        if l.dirty then dirty := true;
+        l.tag <- -1;
+        l.dirty <- false
+      end)
+    t.lines.(s);
+  !dirty
+
+let flush_all t =
+  Array.iter
+    (fun ways ->
+      Array.iter
+        (fun l ->
+          l.tag <- -1;
+          l.dirty <- false)
+        ways)
+    t.lines
+
+(** Number of valid lines (occupancy invariant checks in tests). *)
+let occupancy t =
+  Array.fold_left
+    (fun acc ways ->
+      acc + Array.fold_left (fun a l -> if l.tag >= 0 then a + 1 else a) 0 ways)
+    0 t.lines
+
+(** Configured hit latency (cycles). *)
+let latency t = t.config.latency
+
+let hits t = Ptl_stats.Statstree.value t.hits
+let misses t = Ptl_stats.Statstree.value t.misses
+let accesses t = hits t + misses t

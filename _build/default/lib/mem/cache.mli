@@ -1,0 +1,62 @@
+(** Set-associative cache tag array with banking, write-back dirty state
+    and pluggable replacement — the building block of {!Hierarchy}. Data
+    lives in guest physical memory; this models hits, misses, evictions,
+    dirty write-backs and bank conflicts (the K8's 8-banked pseudo
+    dual-ported L1D, paper §5). *)
+
+type replacement = Lru | Random_repl | Fifo
+
+type config = {
+  name : string;
+  size_bytes : int;
+  line_size : int;
+  ways : int;
+  latency : int;  (* hit latency, cycles *)
+  banks : int;  (* 1 = no banking *)
+  replacement : replacement;
+}
+
+(** The paper's §5 geometries: 64 KB 2-way L1D (8 banks) / L1I, 1 MB
+    16-way L2. *)
+val k8_l1d : config
+
+val k8_l1i : config
+val k8_l2 : config
+
+type t
+
+val create : ?stats_prefix:string -> Ptl_stats.Statstree.t -> config -> t
+
+val line_addr : t -> int -> int
+
+(** Bank touched by an access (banks divide lines along 8-byte words). *)
+val bank_of : t -> int -> int
+
+(** Non-destructive presence test. *)
+val probe : t -> int -> bool
+
+type access_result =
+  | Hit
+  | Miss of { writeback : int option }
+      (** allocated; the dirty victim's address needs writing back *)
+
+(** Access (allocating on miss); [write] marks the line dirty. *)
+val access : t -> int -> write:bool -> access_result
+
+(** Insert a line without counting an access (prefetch fill). *)
+val fill : t -> int -> unit
+
+(** Invalidate a line; true when it was present and dirty. *)
+val invalidate : t -> int -> bool
+
+val flush_all : t -> unit
+
+(** Valid-line count (occupancy invariants in tests). *)
+val occupancy : t -> int
+
+(** Configured hit latency (cycles). *)
+val latency : t -> int
+
+val hits : t -> int
+val misses : t -> int
+val accesses : t -> int

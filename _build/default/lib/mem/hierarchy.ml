@@ -1,0 +1,181 @@
+(** The per-core cache hierarchy: L1 I/D, unified L2, optional unified L3,
+    miss buffers (MSHRs) and an optional next-line prefetcher.
+
+    This composes {!Cache} arrays into the default PTLsim data cache
+    hierarchy (paper §2.2: L1 D, L1 I, unified L2, unified L3, DTLB and
+    ITLB, with movement of lines through miss buffers). Accesses return a
+    latency in cycles; outstanding misses are tracked in an MSHR table so
+    overlapping misses to the same line merge instead of paying the full
+    memory latency twice (non-blocking cache behaviour the out-of-order
+    core depends on). *)
+
+module Stats = Ptl_stats.Statstree
+
+type config = {
+  l1d : Cache.config;
+  l1i : Cache.config;
+  l2 : Cache.config;
+  l3 : Cache.config option;
+  mem_latency : int;
+  mshrs : int;
+  prefetch_next_line : bool;
+}
+
+(** The paper's §5 configuration of PTLsim-as-K8: 64 KB 2-way L1 D and I,
+    1 MB 16-way L2 10 cycles away, no L3, memory 112 cycles away, no
+    prefetch (PTLsim had none — one source of its Table 1 L1-miss delta). *)
+let k8_ptlsim =
+  {
+    l1d = Cache.k8_l1d;
+    l1i = Cache.k8_l1i;
+    l2 = Cache.k8_l2;
+    l3 = None;
+    mem_latency = 112;
+    mshrs = 8;
+    prefetch_next_line = false;
+  }
+
+(** The reference-silicon configuration: same geometry plus the K8's
+    hardware prefetcher. *)
+let k8_silicon = { k8_ptlsim with prefetch_next_line = true }
+
+type t = {
+  config : config;
+  l1d : Cache.t;
+  l1i : Cache.t;
+  l2 : Cache.t;
+  l3 : Cache.t option;
+  (* line paddr -> cycle at which the fill completes *)
+  mshr : (int, int) Hashtbl.t;
+  loads : Stats.counter;
+  stores : Stats.counter;
+  ifetches : Stats.counter;
+  prefetches : Stats.counter;
+  mshr_merges : Stats.counter;
+  (* Optional extra latency charged on misses that must consult other
+     cores (installed by the multicore coherence layer). *)
+  mutable remote_penalty : paddr:int -> write:bool -> int;
+  (* Upgrade penalty on write hits to lines other cores may share. *)
+  mutable remote_write_hit : paddr:int -> int;
+}
+
+let create ?(prefix = "mem") stats config =
+  {
+    config;
+    l1d = Cache.create ~stats_prefix:prefix stats config.l1d;
+    l1i = Cache.create ~stats_prefix:prefix stats config.l1i;
+    l2 = Cache.create ~stats_prefix:prefix stats config.l2;
+    l3 = Option.map (fun c -> Cache.create ~stats_prefix:prefix stats c) config.l3;
+    mshr = Hashtbl.create 64;
+    loads = Stats.counter stats (prefix ^ ".loads");
+    stores = Stats.counter stats (prefix ^ ".stores");
+    ifetches = Stats.counter stats (prefix ^ ".ifetches");
+    prefetches = Stats.counter stats (prefix ^ ".prefetches");
+    mshr_merges = Stats.counter stats (prefix ^ ".mshr_merges");
+    remote_penalty = (fun ~paddr:_ ~write:_ -> 0);
+    remote_write_hit = (fun ~paddr:_ -> 0);
+  }
+
+let set_remote_penalty t f = t.remote_penalty <- f
+let set_remote_write_hit t f = t.remote_write_hit <- f
+
+let l1d t = t.l1d
+let l1i t = t.l1i
+let l2 t = t.l2
+
+(* Drop completed MSHR entries. *)
+let expire_mshrs t ~cycle =
+  if Hashtbl.length t.mshr > 0 then begin
+    let dead = Hashtbl.fold (fun line ready acc -> if ready <= cycle then line :: acc else acc) t.mshr [] in
+    List.iter (Hashtbl.remove t.mshr) dead
+  end
+
+(* Latency to bring a line into the given L1 from below, filling lower
+   levels on the way. *)
+let miss_latency t ~write ~paddr =
+  let l2_result = Cache.access t.l2 paddr ~write:false in
+  let after_l2 =
+    match l2_result with
+    | Cache.Hit -> t.config.l2.latency
+    | Cache.Miss _ ->
+      (match t.l3 with
+      | None -> t.config.l2.latency + t.config.mem_latency
+      | Some l3 ->
+        (match Cache.access l3 paddr ~write:false with
+        | Cache.Hit -> t.config.l2.latency + Cache.latency l3
+        | Cache.Miss _ ->
+          t.config.l2.latency + Cache.latency l3 + t.config.mem_latency))
+  in
+  after_l2 + t.remote_penalty ~paddr ~write
+
+let prefetch t paddr =
+  if t.config.prefetch_next_line then begin
+    let next = Cache.line_addr t.l1d paddr + t.config.l1d.line_size in
+    if not (Cache.probe t.l2 next) then begin
+      Stats.incr t.prefetches;
+      (* The K8 prefetcher fills into L2; L1D still takes the (cheap)
+         miss but the line is close by. *)
+      Cache.fill t.l2 next
+    end
+  end
+
+let data_access t ~cycle ~paddr ~write =
+  expire_mshrs t ~cycle;
+  let line = Cache.line_addr t.l1d paddr in
+  match Cache.access t.l1d paddr ~write with
+  | Cache.Hit ->
+    t.config.l1d.latency + if write then t.remote_write_hit ~paddr else 0
+  | Cache.Miss _ ->
+    (match Hashtbl.find_opt t.mshr line with
+    | Some ready when ready > cycle ->
+      (* Merge with the outstanding miss. *)
+      Stats.incr t.mshr_merges;
+      ready - cycle
+    | _ ->
+      let extra =
+        (* A full MSHR file delays the new miss until the earliest
+           outstanding fill returns. *)
+        if Hashtbl.length t.mshr >= t.config.mshrs then begin
+          let earliest = Hashtbl.fold (fun _ r acc -> min r acc) t.mshr max_int in
+          max 0 (earliest - cycle)
+        end
+        else 0
+      in
+      let lat = t.config.l1d.latency + extra + miss_latency t ~write ~paddr in
+      Hashtbl.replace t.mshr line (cycle + lat);
+      prefetch t paddr;
+      lat)
+
+(** Timed data load; returns latency in cycles. *)
+let load t ~cycle ~paddr =
+  Stats.incr t.loads;
+  data_access t ~cycle ~paddr ~write:false
+
+(** Timed data store (write-allocate, write-back); returns latency. *)
+let store t ~cycle ~paddr =
+  Stats.incr t.stores;
+  data_access t ~cycle ~paddr ~write:true
+
+(** Timed instruction fetch; returns latency. *)
+let ifetch t ~cycle ~paddr =
+  expire_mshrs t ~cycle;
+  Stats.incr t.ifetches;
+  match Cache.access t.l1i paddr ~write:false with
+  | Cache.Hit -> t.config.l1i.latency
+  | Cache.Miss _ -> t.config.l1i.latency + miss_latency t ~write:false ~paddr
+
+(** Invalidate a line everywhere (coherence, SMC handling). *)
+let invalidate_line t paddr =
+  ignore (Cache.invalidate t.l1d paddr);
+  ignore (Cache.invalidate t.l1i paddr);
+  ignore (Cache.invalidate t.l2 paddr);
+  Option.iter (fun l3 -> ignore (Cache.invalidate l3 paddr)) t.l3
+
+(** Flush all levels (the paper's -perfctr option flushes all CPU caches
+    before switching to native mode). *)
+let flush t =
+  Cache.flush_all t.l1d;
+  Cache.flush_all t.l1i;
+  Cache.flush_all t.l2;
+  Option.iter Cache.flush_all t.l3;
+  Hashtbl.reset t.mshr

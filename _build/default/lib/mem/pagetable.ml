@@ -1,0 +1,157 @@
+(** The 4-level x86-64 page table tree and its hardware walker.
+
+    Page table entries are 8 bytes with the real x86-64 bit layout
+    (present, writable, user, accessed, dirty, NX). The walker performs the
+    chain of four dependent loads the paper describes (§4.3) and reports
+    the physical address of every PTE it touched so the timing model can
+    inject those loads into the cache hierarchy. Accessed/dirty tracking
+    bits are set during the walk, exactly as x86 microcode/hardware does
+    (§2.1). *)
+
+let pte_p = 0x1L (* present *)
+let pte_w = 0x2L (* writable *)
+let pte_u = 0x4L (* user-accessible *)
+let pte_a = 0x20L (* accessed *)
+let pte_d = 0x40L (* dirty *)
+let pte_nx = Int64.min_int (* bit 63: no-execute *)
+
+let levels = 4
+let index_bits = 9
+
+(** Virtual address bits 12..47 are translated; the rest must be the sign
+    extension of bit 47 (canonical form). *)
+let canonical vaddr =
+  let top = Int64.shift_right vaddr 47 in
+  top = 0L || top = -1L
+
+let vpn_index vaddr level =
+  (* level 3 = root (bits 39-47) ... level 0 = leaf (bits 12-20) *)
+  Int64.to_int
+    (Int64.logand
+       (Int64.shift_right_logical vaddr (Phys_mem.page_shift + (index_bits * level)))
+       0x1FFL)
+
+let make_pte ~mfn ~writable ~user ~nx =
+  let v = Int64.of_int (mfn lsl Phys_mem.page_shift) in
+  let v = Int64.logor v pte_p in
+  let v = if writable then Int64.logor v pte_w else v in
+  let v = if user then Int64.logor v pte_u else v in
+  if nx then Int64.logor v pte_nx else v
+
+let pte_mfn pte =
+  Int64.to_int (Int64.shift_right_logical pte Phys_mem.page_shift) land 0xFFFFFFFFF
+
+(** Why a translation failed; mirrors the x86 page-fault error code. *)
+type fault = {
+  fault_vaddr : int64;
+  not_present : bool;  (* true: P bit clear; false: protection violation *)
+  on_write : bool;
+  on_user : bool;
+  on_exec : bool;
+}
+
+(** A successful translation. [pte_addrs] lists the physical address of each
+    PTE read, root first — the walker's four dependent loads. *)
+type translation = {
+  mfn : int;
+  writable : bool;
+  user : bool;
+  nx : bool;
+  pte_addrs : int list;
+}
+
+(** Walk the tree rooted at [cr3_mfn] for [vaddr]. [write]/[user]/[exec]
+    describe the access being performed (used for permission checks and
+    dirty-bit setting). When [set_ad] is true (hardware behaviour) the
+    accessed bits of every level and the dirty bit of the leaf are updated
+    in memory. *)
+let walk mem ~cr3_mfn ~vaddr ~write ~user ~exec ?(set_ad = true) () :
+    (translation, fault) result =
+  let fail ~not_present =
+    Error { fault_vaddr = vaddr; not_present; on_write = write; on_user = user; on_exec = exec }
+  in
+  if not (canonical vaddr) then fail ~not_present:true
+  else begin
+    let rec go level table_mfn pte_addrs =
+      let idx = vpn_index vaddr level in
+      let pte_addr = Phys_mem.paddr_of_mfn table_mfn + (8 * idx) in
+      let pte = Phys_mem.read64 mem pte_addr in
+      let pte_addrs = pte_addr :: pte_addrs in
+      if Int64.logand pte pte_p = 0L then fail ~not_present:true
+      else begin
+        (* Permission bits are checked at every level on x86-64. *)
+        if write && Int64.logand pte pte_w = 0L then fail ~not_present:false
+        else if user && Int64.logand pte pte_u = 0L then fail ~not_present:false
+        else if exec && level = 0 && Int64.logand pte pte_nx <> 0L then
+          fail ~not_present:false
+        else begin
+          if set_ad then begin
+            let pte' = Int64.logor pte pte_a in
+            let pte' =
+              if level = 0 && write then Int64.logor pte' pte_d else pte'
+            in
+            if pte' <> pte then Phys_mem.write64 mem pte_addr pte'
+          end;
+          if level = 0 then
+            Ok
+              {
+                mfn = pte_mfn pte;
+                writable = Int64.logand pte pte_w <> 0L;
+                user = Int64.logand pte pte_u <> 0L;
+                nx = Int64.logand pte pte_nx <> 0L;
+                pte_addrs = List.rev pte_addrs;
+              }
+          else go (level - 1) (pte_mfn pte) pte_addrs
+        end
+      end
+    in
+    go (levels - 1) cr3_mfn []
+  end
+
+(** Install a translation [vaddr -> mfn], allocating intermediate tables
+    with [alloc] as needed (the guest-kernel/hypervisor MMU-update path). *)
+let map mem ~cr3_mfn ~vaddr ~mfn ~writable ~user ?(nx = false) ~alloc () =
+  if not (canonical vaddr) then invalid_arg "Pagetable.map: non-canonical";
+  let rec go level table_mfn =
+    let idx = vpn_index vaddr level in
+    let pte_addr = Phys_mem.paddr_of_mfn table_mfn + (8 * idx) in
+    if level = 0 then Phys_mem.write64 mem pte_addr (make_pte ~mfn ~writable ~user ~nx)
+    else begin
+      let pte = Phys_mem.read64 mem pte_addr in
+      let next_mfn =
+        if Int64.logand pte pte_p = 0L then begin
+          let fresh = alloc () in
+          (* Intermediate entries are writable+user; the leaf governs. *)
+          Phys_mem.write64 mem pte_addr
+            (make_pte ~mfn:fresh ~writable:true ~user:true ~nx:false);
+          fresh
+        end
+        else pte_mfn pte
+      in
+      go (level - 1) next_mfn
+    end
+  in
+  go (levels - 1) cr3_mfn
+
+(** Remove the translation for [vaddr] (leaf only; tables are not freed). *)
+let unmap mem ~cr3_mfn ~vaddr =
+  let rec go level table_mfn =
+    let idx = vpn_index vaddr level in
+    let pte_addr = Phys_mem.paddr_of_mfn table_mfn + (8 * idx) in
+    let pte = Phys_mem.read64 mem pte_addr in
+    if Int64.logand pte pte_p = 0L then ()
+    else if level = 0 then Phys_mem.write64 mem pte_addr 0L
+    else go (level - 1) (pte_mfn pte)
+  in
+  go (levels - 1) cr3_mfn
+
+(** Read-only probe used by debuggers and the functional reference: no A/D
+    updates, no permission checks beyond presence. *)
+let probe mem ~cr3_mfn ~vaddr =
+  match walk mem ~cr3_mfn ~vaddr ~write:false ~user:false ~exec:false ~set_ad:false () with
+  | Ok tr -> Some tr.mfn
+  | Error _ -> None
+
+(** Translate a virtual address to physical, or a fault. *)
+let to_paddr translation vaddr =
+  Phys_mem.paddr_of_mfn translation.mfn + Int64.to_int (Int64.logand vaddr (Int64.of_int Phys_mem.page_mask))

@@ -1,0 +1,119 @@
+(** Guest physical memory: a sparse set of 4 KiB machine frames (MFNs).
+
+    Like Xen, the hypervisor hands out arbitrary non-contiguous machine
+    frame numbers rather than a linear span starting at zero (paper §3), so
+    frames live in a hash table and the allocator can be seeded to start at
+    any MFN. Physical addresses are OCaml [int]s (the guest physical space
+    is far below 2^62); all multi-byte accesses are little-endian and may
+    cross page boundaries. *)
+
+let page_shift = 12
+let page_size = 1 lsl page_shift
+let page_mask = page_size - 1
+
+type t = {
+  frames : (int, Bytes.t) Hashtbl.t;
+  mutable next_mfn : int;
+  mutable allocated : int;
+}
+
+let create ?(first_mfn = 0x100) () =
+  { frames = Hashtbl.create 1024; next_mfn = first_mfn; allocated = 0 }
+
+let mfn_of_paddr paddr = paddr lsr page_shift
+let offset_of_paddr paddr = paddr land page_mask
+let paddr_of_mfn mfn = mfn lsl page_shift
+
+let page_exists t mfn = Hashtbl.mem t.frames mfn
+
+(** Frame backing [mfn], allocating a zeroed frame on first touch. *)
+let frame t mfn =
+  match Hashtbl.find_opt t.frames mfn with
+  | Some b -> b
+  | None ->
+    let b = Bytes.make page_size '\x00' in
+    Hashtbl.add t.frames mfn b;
+    t.allocated <- t.allocated + 1;
+    b
+
+(** Allocate a fresh frame and return its MFN. *)
+let alloc_page t =
+  let mfn = t.next_mfn in
+  t.next_mfn <- t.next_mfn + 1;
+  ignore (frame t mfn);
+  mfn
+
+let allocated_pages t = t.allocated
+
+let read8 t paddr =
+  Char.code (Bytes.get (frame t (mfn_of_paddr paddr)) (offset_of_paddr paddr))
+
+let write8 t paddr v =
+  Bytes.set (frame t (mfn_of_paddr paddr)) (offset_of_paddr paddr)
+    (Char.chr (v land 0xFF))
+
+(* Multi-byte accesses use the fast within-page path when possible and a
+   byte loop when the access straddles a frame boundary. *)
+let read_n t paddr n =
+  let off = offset_of_paddr paddr in
+  if off + n <= page_size then begin
+    let b = frame t (mfn_of_paddr paddr) in
+    match n with
+    | 1 -> Int64.of_int (Char.code (Bytes.get b off))
+    | 2 -> Int64.of_int (Bytes.get_uint16_le b off)
+    | 4 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le b off)) 0xFFFFFFFFL
+    | 8 -> Bytes.get_int64_le b off
+    | _ -> Ptl_util.W64.of_bytes n (fun i -> Char.code (Bytes.get b (off + i)))
+  end
+  else Ptl_util.W64.of_bytes n (fun i -> read8 t (paddr + i))
+
+let write_n t paddr n v =
+  let off = offset_of_paddr paddr in
+  if off + n <= page_size then begin
+    let b = frame t (mfn_of_paddr paddr) in
+    match n with
+    | 1 -> Bytes.set b off (Char.chr (Int64.to_int (Int64.logand v 0xFFL)))
+    | 2 -> Bytes.set_uint16_le b off (Int64.to_int (Int64.logand v 0xFFFFL))
+    | 4 -> Bytes.set_int32_le b off (Int64.to_int32 v)
+    | 8 -> Bytes.set_int64_le b off v
+    | _ ->
+      for i = 0 to n - 1 do
+        Bytes.set b (off + i) (Char.chr (Ptl_util.W64.byte v i))
+      done
+  end
+  else
+    for i = 0 to n - 1 do
+      write8 t (paddr + i) (Ptl_util.W64.byte v i)
+    done
+
+let read16 t paddr = Int64.to_int (read_n t paddr 2)
+let read32 t paddr = read_n t paddr 4
+let read64 t paddr = read_n t paddr 8
+let write16 t paddr v = write_n t paddr 2 (Int64.of_int v)
+let write32 t paddr v = write_n t paddr 4 v
+let write64 t paddr v = write_n t paddr 8 v
+
+(** Sized access in terms of {!Ptl_util.W64.size}. *)
+let read_sized t paddr size = read_n t paddr (Ptl_util.W64.bytes_of_size size)
+let write_sized t paddr size v = write_n t paddr (Ptl_util.W64.bytes_of_size size) v
+
+(** Copy a string into physical memory at [paddr]. *)
+let write_string t paddr s =
+  String.iteri (fun i c -> write8 t (paddr + i) (Char.code c)) s
+
+(** Read [n] bytes starting at [paddr]. *)
+let read_string t paddr n = String.init n (fun i -> Char.chr (read8 t (paddr + i)))
+
+(** Deep copy (for domain checkpointing). *)
+let copy t =
+  let frames = Hashtbl.create (Hashtbl.length t.frames) in
+  Hashtbl.iter (fun mfn b -> Hashtbl.add frames mfn (Bytes.copy b)) t.frames;
+  { frames; next_mfn = t.next_mfn; allocated = t.allocated }
+
+(** Restore [t] to the state captured in [snapshot] (in place, so existing
+    references to [t] stay valid). *)
+let restore t ~snapshot =
+  Hashtbl.reset t.frames;
+  Hashtbl.iter (fun mfn b -> Hashtbl.add t.frames mfn (Bytes.copy b)) snapshot.frames;
+  t.next_mfn <- snapshot.next_mfn;
+  t.allocated <- snapshot.allocated

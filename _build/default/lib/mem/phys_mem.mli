@@ -1,0 +1,50 @@
+(** Guest physical memory: a sparse set of 4 KiB machine frames (MFNs).
+
+    Like Xen, frames have arbitrary non-contiguous machine frame numbers
+    (paper §3). Physical addresses are OCaml [int]s; multi-byte accesses
+    are little-endian and may cross frame boundaries. *)
+
+type t
+
+val page_shift : int
+val page_size : int
+val page_mask : int
+
+val create : ?first_mfn:int -> unit -> t
+
+val mfn_of_paddr : int -> int
+val offset_of_paddr : int -> int
+val paddr_of_mfn : int -> int
+
+val page_exists : t -> int -> bool
+
+(** Frame backing an MFN, allocating a zeroed frame on first touch. *)
+val frame : t -> int -> Bytes.t
+
+(** Allocate a fresh frame; returns its MFN. *)
+val alloc_page : t -> int
+
+val allocated_pages : t -> int
+
+val read8 : t -> int -> int
+val write8 : t -> int -> int -> unit
+val read16 : t -> int -> int
+val read32 : t -> int -> int64
+val read64 : t -> int -> int64
+val write16 : t -> int -> int -> unit
+val write32 : t -> int -> int64 -> unit
+val write64 : t -> int -> int64 -> unit
+
+(** Sized access in terms of {!Ptl_util.W64.size}. *)
+val read_sized : t -> int -> Ptl_util.W64.size -> int64
+
+val write_sized : t -> int -> Ptl_util.W64.size -> int64 -> unit
+
+val write_string : t -> int -> string -> unit
+val read_string : t -> int -> int -> string
+
+(** Deep copy, for domain checkpointing. *)
+val copy : t -> t
+
+(** Restore in place from a snapshot (existing references stay valid). *)
+val restore : t -> snapshot:t -> unit

@@ -1,0 +1,177 @@
+(** Translation lookaside buffers.
+
+    Set-associative, LRU-replaced, with an optional second level and an
+    optional page-directory-entry (PDE) cache — the K8 structures the paper
+    identifies as the cause of its Table 1 DTLB discrepancy (PTLsim modeled
+    only a 32-entry L1 TLB; the real K8 adds a 1024-entry 4-way L2 TLB and
+    a 24-entry PDE cache that short-circuits page walks). Both
+    configurations are constructible here so the experiment harness can
+    reproduce that row of Table 1 and the `ablate-tlb` bench. *)
+
+type entry = {
+  vpn : int64;
+  mfn : int;
+  writable : bool;
+  user : bool;
+  nx : bool;
+}
+
+(** One set-associative translation array. *)
+type level = {
+  sets : int;
+  ways : int;
+  tags : int64 array array;  (* [set].(way) = vpn, or -1L for invalid *)
+  data : entry option array array;
+  lru : int array array;  (* larger = more recently used *)
+  mutable tick : int;
+}
+
+let make_level ~entries ~ways =
+  if entries mod ways <> 0 then invalid_arg "Tlb: entries/ways";
+  let sets = entries / ways in
+  if sets < 1 then invalid_arg "Tlb: too few entries";
+  {
+    sets;
+    ways;
+    tags = Array.init sets (fun _ -> Array.make ways (-1L));
+    data = Array.init sets (fun _ -> Array.make ways None);
+    lru = Array.init sets (fun _ -> Array.make ways 0);
+    tick = 0;
+  }
+
+let set_of level vpn = Int64.to_int (Int64.unsigned_rem vpn (Int64.of_int level.sets))
+
+let level_lookup level vpn =
+  let s = set_of level vpn in
+  let rec go w =
+    if w >= level.ways then None
+    else if level.tags.(s).(w) = vpn then begin
+      level.tick <- level.tick + 1;
+      level.lru.(s).(w) <- level.tick;
+      level.data.(s).(w)
+    end
+    else go (w + 1)
+  in
+  go 0
+
+let level_insert level vpn entry =
+  let s = set_of level vpn in
+  (* Reuse a matching or invalid way, else evict the LRU way. *)
+  let victim = ref 0 in
+  let best = ref max_int in
+  (try
+     for w = 0 to level.ways - 1 do
+       if level.tags.(s).(w) = vpn || level.tags.(s).(w) = -1L then begin
+         victim := w;
+         raise Exit
+       end;
+       if level.lru.(s).(w) < !best then begin
+         best := level.lru.(s).(w);
+         victim := w
+       end
+     done
+   with Exit -> ());
+  level.tick <- level.tick + 1;
+  level.tags.(s).(!victim) <- vpn;
+  level.data.(s).(!victim) <- Some entry;
+  level.lru.(s).(!victim) <- level.tick
+
+let level_flush level =
+  Array.iter (fun row -> Array.fill row 0 (Array.length row) (-1L)) level.tags;
+  Array.iter (fun row -> Array.fill row 0 (Array.length row) None) level.data
+
+let level_flush_page level vpn =
+  let s = set_of level vpn in
+  for w = 0 to level.ways - 1 do
+    if level.tags.(s).(w) = vpn then begin
+      level.tags.(s).(w) <- -1L;
+      level.data.(s).(w) <- None
+    end
+  done
+
+type config = {
+  l1_entries : int;
+  l1_ways : int;
+  l2 : (int * int) option;  (* entries, ways *)
+  pde_entries : int;  (* 0 = no PDE cache *)
+}
+
+(** PTLsim's configuration in the paper's §5 experiment: a single 32-entry
+    L1 TLB. *)
+let ptlsim_config = { l1_entries = 32; l1_ways = 32; l2 = None; pde_entries = 0 }
+
+(** The real K8's two-level TLB with PDE cache (paper §5). *)
+let k8_config =
+  { l1_entries = 32; l1_ways = 32; l2 = Some (1024, 4); pde_entries = 24 }
+
+type t = {
+  l1 : level;
+  l2 : level option;
+  (* PDE cache: maps the upper 27 VPN bits to the level-1 table, cutting a
+     4-load walk to 1 load. Modeled as a tiny fully-associative level. *)
+  pde : level option;
+}
+
+let create config =
+  {
+    l1 = make_level ~entries:config.l1_entries ~ways:config.l1_ways;
+    l2 =
+      Option.map (fun (entries, ways) -> make_level ~entries ~ways) config.l2;
+    pde =
+      (if config.pde_entries > 0 then
+         Some (make_level ~entries:config.pde_entries ~ways:config.pde_entries)
+       else None);
+  }
+
+let vpn_of_vaddr vaddr = Int64.shift_right_logical vaddr Phys_mem.page_shift
+
+(** Result of a lookup: where the translation was found. *)
+type hit = L1_hit of entry | L2_hit of entry | Tlb_miss
+
+let lookup t vaddr =
+  let vpn = vpn_of_vaddr vaddr in
+  match level_lookup t.l1 vpn with
+  | Some e -> L1_hit e
+  | None ->
+    (match t.l2 with
+    | None -> Tlb_miss
+    | Some l2 ->
+      (match level_lookup l2 vpn with
+      | Some e ->
+        (* Promote into L1. *)
+        level_insert t.l1 vpn e;
+        L2_hit e
+      | None -> Tlb_miss))
+
+(** Install a translation after a walk fills it. *)
+let insert t vaddr entry =
+  let vpn = vpn_of_vaddr vaddr in
+  level_insert t.l1 vpn entry;
+  Option.iter (fun l2 -> level_insert l2 vpn entry) t.l2;
+  (* Remember the upper levels of the walk in the PDE cache. *)
+  Option.iter
+    (fun pde ->
+      level_insert pde (Int64.shift_right_logical vpn 9)
+        { entry with vpn = Int64.shift_right_logical vpn 9 })
+    t.pde
+
+(** Number of page-walk memory loads needed on a miss: 4 without a PDE
+    cache, 1 when the PDE cache covers the upper levels. *)
+let walk_loads t vaddr =
+  match t.pde with
+  | None -> Pagetable.levels
+  | Some pde ->
+    let upper = Int64.shift_right_logical (vpn_of_vaddr vaddr) 9 in
+    (match level_lookup pde upper with Some _ -> 1 | None -> Pagetable.levels)
+
+(** Flush everything (CR3 reload). *)
+let flush t =
+  level_flush t.l1;
+  Option.iter level_flush t.l2;
+  Option.iter level_flush t.pde
+
+(** Flush one page (invlpg). *)
+let flush_page t vaddr =
+  let vpn = vpn_of_vaddr vaddr in
+  level_flush_page t.l1 vpn;
+  Option.iter (fun l2 -> level_flush_page l2 vpn) t.l2

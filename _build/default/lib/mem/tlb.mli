@@ -1,0 +1,47 @@
+(** Translation lookaside buffers: set-associative, LRU, with an optional
+    second level and an optional page-directory-entry (PDE) cache — the
+    K8 structures behind the paper's Table 1 DTLB row. *)
+
+type entry = {
+  vpn : int64;
+  mfn : int;
+  writable : bool;
+  user : bool;
+  nx : bool;
+}
+
+type config = {
+  l1_entries : int;
+  l1_ways : int;
+  l2 : (int * int) option;  (* entries, ways *)
+  pde_entries : int;  (* 0 = no PDE cache *)
+}
+
+(** The paper's §5 PTLsim configuration: one 32-entry TLB level. *)
+val ptlsim_config : config
+
+(** The real K8: 32-entry L1 + 1024-entry 4-way L2 + 24-entry PDE cache. *)
+val k8_config : config
+
+type t
+
+val create : config -> t
+
+type hit = L1_hit of entry | L2_hit of entry | Tlb_miss
+
+(** Look up a virtual address; L2 hits promote into L1. *)
+val lookup : t -> int64 -> hit
+
+(** Install a translation after a page walk (fills every level and the
+    PDE cache). *)
+val insert : t -> int64 -> entry -> unit
+
+(** Memory loads a page walk for this address needs: 4 without a PDE
+    cache, 1 when the PDE cache covers the upper levels. *)
+val walk_loads : t -> int64 -> int
+
+(** Flush everything (CR3 reload; the K8 predates ASIDs). *)
+val flush : t -> unit
+
+(** Flush one page (invlpg). *)
+val flush_page : t -> int64 -> unit

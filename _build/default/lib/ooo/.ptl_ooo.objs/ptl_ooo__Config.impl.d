@@ -1,0 +1,1 @@
+lib/ooo/config.ml: Printf Ptl_bpred Ptl_mem Ptl_uop

@@ -1,0 +1,1 @@
+lib/ooo/inorder_core.ml: Config Int64 List Ptl_arch Ptl_bpred Ptl_mem Ptl_stats

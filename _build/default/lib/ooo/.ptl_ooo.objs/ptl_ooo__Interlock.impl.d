@@ -1,0 +1,1 @@
+lib/ooo/interlock.ml: Hashtbl List Printf Ptl_stats

@@ -1,0 +1,1 @@
+lib/ooo/interlock.mli: Hashtbl Ptl_stats

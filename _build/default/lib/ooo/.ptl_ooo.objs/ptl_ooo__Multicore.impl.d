@@ -1,0 +1,1 @@
+lib/ooo/multicore.ml: Array Config Interlock Ooo_core Printf Ptl_arch Ptl_mem Ptl_uop

@@ -1,0 +1,1 @@
+lib/ooo/ooo_core.ml: Array Config Int64 Interlock List Option Physreg Printf Ptl_arch Ptl_bpred Ptl_isa Ptl_mem Ptl_stats Ptl_uop Ptl_util Ring W64

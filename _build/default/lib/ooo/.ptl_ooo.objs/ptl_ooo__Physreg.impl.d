@@ -1,0 +1,1 @@
+lib/ooo/physreg.ml: Array Queue

@@ -1,0 +1,1 @@
+lib/ooo/registry.ml: Array Config Hashtbl Inorder_core Ooo_core Ptl_arch

@@ -1,0 +1,152 @@
+(** A simple scalar in-order timed core.
+
+    PTLsim ships an in-order sequential core "used for rapid testing and
+    microcode debugging" (§2.2); this is its timed cousin: functional
+    execution via {!Ptl_arch.Seqcore} with a cycle cost charged per event —
+    one base cycle per uop, blocking cache/TLB accesses, and a fixed
+    misprediction penalty against its own branch predictor. It serves as a
+    baseline core model (the `inorder` registry entry) and anchors the
+    ablation benches. *)
+
+module Seqcore = Ptl_arch.Seqcore
+module Context = Ptl_arch.Context
+module Vmem = Ptl_arch.Vmem
+module Env = Ptl_arch.Env
+module Hierarchy = Ptl_mem.Hierarchy
+module Tlb = Ptl_mem.Tlb
+module Pm = Ptl_mem.Phys_mem
+module Pt = Ptl_mem.Pagetable
+module Predictor = Ptl_bpred.Predictor
+module Stats = Ptl_stats.Statstree
+
+type t = {
+  env : Env.t;
+  ctx : Context.t;
+  seq : Seqcore.t;
+  hierarchy : Hierarchy.t;
+  dtlb : Tlb.t;
+  itlb : Tlb.t;
+  bpred : Predictor.t;
+  mutable pending_cycles : int;  (* cost accumulated by the current block *)
+  mutable tlb_gen_seen : int;
+  c_cycles : Stats.counter;
+  c_kernel : Stats.counter;
+  c_user : Stats.counter;
+  c_idle : Stats.counter;
+}
+
+let create ?(prefix = "inorder") (config : Config.t) env ctx =
+  let stats = env.Env.stats in
+  let t =
+    {
+      env;
+      ctx;
+      seq = Seqcore.create ~prefix env ctx;
+      hierarchy =
+        Hierarchy.create ~prefix:(prefix ^ ".mem") stats config.Config.hierarchy;
+      dtlb = Tlb.create config.Config.dtlb;
+      itlb = Tlb.create config.Config.itlb;
+      bpred = Predictor.create ~prefix:(prefix ^ ".bpred") stats config.Config.bpred;
+      pending_cycles = 0;
+      tlb_gen_seen = ctx.Context.tlb_generation;
+      c_cycles = Stats.counter stats (prefix ^ ".cycles");
+      c_kernel = Stats.counter stats (prefix ^ ".cycles_in_mode.kernel");
+      c_user = Stats.counter stats (prefix ^ ".cycles_in_mode.user");
+      c_idle = Stats.counter stats (prefix ^ ".cycles_in_mode.idle");
+    }
+  in
+  let charge n = t.pending_cycles <- t.pending_cycles + n in
+  let translate ~vaddr ~write =
+    match Tlb.lookup t.dtlb vaddr with
+    | Tlb.L1_hit e | Tlb.L2_hit e ->
+      Some
+        (Pm.paddr_of_mfn e.Tlb.mfn
+         + Int64.to_int (Int64.logand vaddr (Int64.of_int Pm.page_mask)))
+    | Tlb.Tlb_miss ->
+      (match
+         Pt.walk env.Env.mem ~cr3_mfn:ctx.Context.cr3 ~vaddr ~write
+           ~user:(ctx.Context.mode = Context.User) ~exec:false ~set_ad:false ()
+       with
+      | Error _ -> None
+      | Ok tr ->
+        Tlb.insert t.dtlb vaddr
+          { Tlb.vpn = 0L; mfn = tr.Pt.mfn; writable = tr.Pt.writable;
+            user = tr.Pt.user; nx = tr.Pt.nx };
+        (* blocking page walk *)
+        List.iter
+          (fun pa -> charge (Hierarchy.load t.hierarchy ~cycle:env.Env.cycle ~paddr:pa))
+          tr.Pt.pte_addrs;
+        Some (Pt.to_paddr tr vaddr))
+  in
+  t.seq.Seqcore.hooks <-
+    Some
+      {
+        Seqcore.h_load =
+          (fun ~vaddr ~rip ->
+            ignore rip;
+            match translate ~vaddr ~write:false with
+            | Some paddr -> charge (Hierarchy.load t.hierarchy ~cycle:env.Env.cycle ~paddr)
+            | None -> ());
+        h_store =
+          (fun ~vaddr ~rip ->
+            ignore rip;
+            match translate ~vaddr ~write:true with
+            | Some paddr -> charge (Hierarchy.store t.hierarchy ~cycle:env.Env.cycle ~paddr)
+            | None -> ());
+        h_branch =
+          (fun ~rip ~taken ~target ~conditional ->
+            if conditional then begin
+              let pred = Predictor.predict_cond t.bpred ~rip in
+              let mispredicted = pred <> taken in
+              Predictor.update_cond t.bpred ~rip ~taken ~mispredicted;
+              if mispredicted then charge 8
+            end
+            else begin
+              (* indirect/direct: BTB-checked *)
+              match Predictor.predict_target t.bpred ~rip with
+              | Some p when p = target -> ()
+              | _ ->
+                Predictor.update_target t.bpred ~rip ~target;
+                charge 8
+            end);
+        h_insn =
+          (fun ~rip ~kernel ->
+            ignore rip;
+            (* base CPI of 1 plus an i-cache charge per instruction line *)
+            charge 1;
+            if kernel then Stats.incr t.c_kernel else Stats.incr t.c_user);
+      };
+  t
+
+(** Execute one basic block and advance simulated time by its cost.
+    Returns the seqcore status. *)
+let step_block t =
+  if t.ctx.Context.tlb_generation <> t.tlb_gen_seen then begin
+    t.tlb_gen_seen <- t.ctx.Context.tlb_generation;
+    Tlb.flush t.dtlb;
+    Tlb.flush t.itlb
+  end;
+  t.pending_cycles <- 0;
+  let st = Seqcore.step_block t.seq in
+  let cost = max 1 t.pending_cycles in
+  (match st with
+  | Seqcore.Idle -> Stats.incr t.c_idle
+  | Seqcore.Executed _ | Seqcore.Interrupted -> ());
+  t.env.Env.cycle <- t.env.Env.cycle + cost;
+  Stats.add t.c_cycles cost;
+  st
+
+(** Run until idle or [max_cycles] simulated cycles pass. *)
+let run t ~max_cycles =
+  let start = t.env.Env.cycle in
+  let stop = ref false in
+  while (not !stop) && t.env.Env.cycle - start < max_cycles do
+    match step_block t with
+    | Seqcore.Idle ->
+      if not (Context.interruptible t.ctx) then stop := true
+    | Seqcore.Executed _ | Seqcore.Interrupted -> ()
+  done;
+  t.env.Env.cycle - start
+
+let insns t = Seqcore.insns t.seq
+let cycles t = Stats.value t.c_cycles

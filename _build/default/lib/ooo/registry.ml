@@ -1,0 +1,100 @@
+(** The core-model registry.
+
+    "Models can be added as plug-ins by simply registering a C++ class
+    with PTLsim and recompiling" (§2.2) — here, by registering a builder
+    function under a name. The built-in models are:
+
+    - ["ooo"]: the out-of-order superscalar core
+    - ["smt"]: the same core with multiple hardware threads
+    - ["inorder"]: the scalar in-order timed core
+    - ["seq"]: the untimed functional core at a fixed 1.0 IPC
+
+    Command lists such as "-core smt -run -stopinsns 10m" (§4.1) resolve
+    core names through this registry. *)
+
+module Env = Ptl_arch.Env
+module Context = Ptl_arch.Context
+module Seqcore = Ptl_arch.Seqcore
+
+(** A uniform driving interface over any core model. *)
+type instance = {
+  model_name : string;
+  (* Advance simulation; the instance owns env.cycle progression. *)
+  step : unit -> unit;
+  idle : unit -> bool;
+  insns : unit -> int;
+}
+
+type builder = Config.t -> Env.t -> Context.t array -> instance
+
+let registry : (string, builder) Hashtbl.t = Hashtbl.create 8
+
+let register name builder = Hashtbl.replace registry name builder
+
+let names () = Hashtbl.fold (fun k _ acc -> k :: acc) registry []
+
+exception Unknown_core of string
+
+let build name config env contexts =
+  match Hashtbl.find_opt registry name with
+  | Some b -> b config env contexts
+  | None -> raise (Unknown_core name)
+
+let () =
+  register "ooo" (fun config env contexts ->
+      let core = Ooo_core.create { config with Config.smt_threads = Array.length contexts } env contexts in
+      {
+        model_name = "ooo";
+        step =
+          (fun () ->
+            Ooo_core.step core;
+            env.Env.cycle <- env.Env.cycle + 1);
+        idle = (fun () -> Ooo_core.all_idle core);
+        insns = (fun () -> Ooo_core.insns core);
+      });
+  register "smt" (fun config env contexts ->
+      let core =
+        Ooo_core.create ~prefix:"smt"
+          { config with Config.smt_threads = Array.length contexts }
+          env contexts
+      in
+      {
+        model_name = "smt";
+        step =
+          (fun () ->
+            Ooo_core.step core;
+            env.Env.cycle <- env.Env.cycle + 1);
+        idle = (fun () -> Ooo_core.all_idle core);
+        insns = (fun () -> Ooo_core.insns core);
+      });
+  register "inorder" (fun config env contexts ->
+      if Array.length contexts <> 1 then invalid_arg "inorder: single context";
+      let core = Inorder_core.create config env contexts.(0) in
+      {
+        model_name = "inorder";
+        step = (fun () -> ignore (Inorder_core.step_block core));
+        idle =
+          (fun () ->
+            (not contexts.(0).Context.running)
+            && not (Context.interruptible contexts.(0)));
+        insns = (fun () -> Inorder_core.insns core);
+      });
+  register "seq" (fun _config env contexts ->
+      if Array.length contexts <> 1 then invalid_arg "seq: single context";
+      let core = Seqcore.create env contexts.(0) in
+      {
+        model_name = "seq";
+        step =
+          (fun () ->
+            match Seqcore.step_block core with
+            | Seqcore.Executed n ->
+              (* fixed 1.0 IPC clock for the functional model *)
+              env.Env.cycle <- env.Env.cycle + max 1 n
+            | Seqcore.Interrupted -> env.Env.cycle <- env.Env.cycle + 1
+            | Seqcore.Idle -> env.Env.cycle <- env.Env.cycle + 1);
+        idle =
+          (fun () ->
+            (not contexts.(0).Context.running)
+            && not (Context.interruptible contexts.(0)));
+        insns = (fun () -> Seqcore.insns core);
+      })

@@ -1,0 +1,1 @@
+lib/stats/statstree.ml: Array Buffer Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/stats/timelapse.ml: Array Buffer List Statstree String

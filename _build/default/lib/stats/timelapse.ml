@@ -1,0 +1,68 @@
+(** Periodic statistics snapshots and derived per-interval series.
+
+    The paper takes a snapshot every 2.2 million cycles (1000 per simulated
+    second at 2.2 GHz) and plots per-interval rates; this module implements
+    that snapshot schedule and the series arithmetic used by the Figure 2
+    (cycles per CPU mode) and Figure 3 (miss/mispredict rates) plots. *)
+
+type t = {
+  stats : Statstree.t;
+  interval : int;  (* cycles between snapshots *)
+  mutable next_cycle : int;
+  mutable snaps : Statstree.snapshot list;  (* newest first *)
+}
+
+let create stats ~interval =
+  if interval <= 0 then invalid_arg "Timelapse.create";
+  { stats; interval; next_cycle = interval; snaps = [ Statstree.snapshot stats ~cycle:0 ] }
+
+(** Call once per simulated cycle (or with the current cycle whenever
+    convenient); takes snapshots on schedule. *)
+let tick t ~cycle =
+  if cycle >= t.next_cycle then begin
+    t.snaps <- Statstree.snapshot t.stats ~cycle :: t.snaps;
+    t.next_cycle <- t.next_cycle + t.interval
+  end
+
+(** Force a final snapshot at [cycle] (end of run). *)
+let finish t ~cycle = t.snaps <- Statstree.snapshot t.stats ~cycle :: t.snaps
+
+let snapshots t = List.rev t.snaps
+
+(** Per-interval increases of the counter at [path]: element [i] is the
+    increase between snapshot [i] and snapshot [i+1]. *)
+let series t path =
+  let snaps = Array.of_list (snapshots t) in
+  List.init
+    (max 0 (Array.length snaps - 1))
+    (fun i -> Statstree.delta snaps.(i) snaps.(i + 1) path)
+
+(** Per-interval ratio of two counters, as a fraction in [0,1]:
+    [ratio_series t num den] gives delta(num)/delta(den) per interval
+    (0 where the denominator did not move). *)
+let ratio_series t num den =
+  let n = series t num and d = series t den in
+  List.map2
+    (fun n d -> if d = 0 then 0.0 else float_of_int n /. float_of_int d)
+    n d
+
+(** Number of completed intervals. *)
+let intervals t = max 0 (List.length t.snaps - 1)
+
+(** Render selected series as CSV: one row per interval, one column per
+    path (plus the interval-end cycle). Used to export Figure 2/3 data
+    for external plotting. *)
+let to_csv t ~paths =
+  let snaps = Array.of_list (snapshots t) in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("cycle," ^ String.concat "," paths ^ "\n");
+  for i = 0 to Array.length snaps - 2 do
+    Buffer.add_string buf (string_of_int snaps.(i + 1).Statstree.cycle);
+    List.iter
+      (fun p ->
+        Buffer.add_char buf ',';
+        Buffer.add_string buf (string_of_int (Statstree.delta snaps.(i) snaps.(i + 1) p)))
+      paths;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/uop/bbcache.ml: Array Hashtbl Int64 List Microcode Ptl_isa Ptl_stats Uop

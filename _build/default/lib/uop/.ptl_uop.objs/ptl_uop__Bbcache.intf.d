@@ -1,0 +1,1 @@
+lib/uop/bbcache.mli: Ptl_stats Uop

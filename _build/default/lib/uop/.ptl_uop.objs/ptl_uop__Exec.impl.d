@@ -1,0 +1,1 @@
+lib/uop/exec.ml: Float Int64 Ptl_isa Ptl_util Uop W64

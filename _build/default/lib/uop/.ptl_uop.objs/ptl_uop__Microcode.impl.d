@@ -1,0 +1,1 @@
+lib/uop/microcode.ml: Array Int64 List Ptl_isa Ptl_util Uop W64

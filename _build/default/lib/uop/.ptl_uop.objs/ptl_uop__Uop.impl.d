@@ -1,0 +1,1 @@
+lib/uop/uop.ml: Buffer Printf Ptl_isa Ptl_util W64

@@ -1,0 +1,54 @@
+(** The basic block cache: pre-decoded uop sequences keyed by virtual RIP,
+    physical frame and context bits, with self-modifying-code
+    invalidation (paper §2.1). Performance-only: it never changes the
+    architecturally visible behaviour of the machine. *)
+
+type key = { krip : int64; kmfn : int; kkernel : bool }
+
+type bb = {
+  key : key;
+  uops : Uop.t array;
+  insn_count : int;
+  byte_len : int;
+  mfns : int list;  (* every frame the block's instruction bytes touch *)
+  fallthrough_rip : int64;
+  terminated : bool;  (* ends in a branch/assist vs a size-limit cut *)
+}
+
+type t
+
+val create : ?max_insns:int -> ?max_uops:int -> Ptl_stats.Statstree.t -> t
+
+(** Translate a block at [rip] (not cached yet). [fetch] supplies
+    instruction bytes by virtual address; [mfn_of] maps a virtual address
+    to its frame. Faults on the first instruction propagate; mid-block
+    faults cut the block so the fault is taken when fetch reaches it. *)
+val build :
+  t ->
+  rip:int64 ->
+  kernel:bool ->
+  fetch:(int64 -> int) ->
+  mfn_of:(int64 -> int) ->
+  bb
+
+(** Look up, building and caching on miss. *)
+val lookup :
+  t ->
+  rip:int64 ->
+  kernel:bool ->
+  fetch:(int64 -> int) ->
+  mfn_of:(int64 -> int) ->
+  bb
+
+(** Invalidate every block decoded from a frame; returns the count. *)
+val invalidate_mfn : t -> int -> int
+
+(** Does the frame back any cached code? (cheap store-commit check) *)
+val mfn_has_code : t -> int -> bool
+
+(** A committed store hit this frame: invalidates its blocks and returns
+    true when the caller must flush its pipeline (the SMC protocol). *)
+val store_committed : t -> int -> bool
+
+val size : t -> int
+val clear : t -> unit

@@ -1,0 +1,302 @@
+(** Pure execution semantics of every uop.
+
+    This single function is shared by the sequential functional core and
+    the out-of-order core's ALUs, which is what makes PTLsim an
+    *integrated* simulator (paper §6.1): there is exactly one definition of
+    what each uop computes, so the timing model can never silently compute
+    different values than the functional model.
+
+    The executor is pure: it receives the uop and its source register
+    values plus the incoming flags, and returns the result value, outgoing
+    flags and branch resolution. Memory uops only compute their effective
+    address here; the owning core performs the actual access (after TLB
+    lookup and store-queue search). *)
+
+open Ptl_util
+module Flags = Ptl_isa.Flags
+
+(** Arithmetic faults detected at execution (divide error = x86 #DE). *)
+exception Divide_error
+
+type outcome = {
+  value : int64;  (* result for rd; effective address for Ld/St *)
+  flags : int;  (* outgoing flags word *)
+  taken : bool;  (* branch outcome *)
+  target : int64;  (* resolved next RIP for branches *)
+}
+
+let no_branch value flags = { value; flags; taken = false; target = 0L }
+
+(* x86 partial-register write semantics: byte and word results merge into
+   the old 64-bit destination; dword results zero-extend; qword results
+   replace. [old] is the previous destination value. *)
+let merge_result size ~old v =
+  match size with
+  | W64.B8 -> v
+  | W64.B4 -> W64.truncate W64.B4 v
+  | W64.B1 | W64.B2 ->
+    let m = W64.mask_of_size size in
+    Int64.logor (Int64.logand old (Int64.lognot m)) (Int64.logand v m)
+
+(* Flags produced by an add/sub style result. *)
+let arith_flags size ~result ~carry ~overflow old_flags =
+  old_flags |> Flags.set_cf carry |> Flags.set_of overflow
+  |> Flags.of_result size result
+
+let logic_flags size ~result old_flags =
+  old_flags |> Flags.set_cf false |> Flags.set_of false
+  |> Flags.of_result size result
+
+(* Apply the uop's setflags mask: only the bits in the mask change. *)
+let apply_flag_mask ~mask ~old ~computed =
+  old land lnot mask lor (computed land mask)
+
+(* 128/64 unsigned division of (hi:lo) by d. Raises on overflow or /0,
+   like the x86 #DE fault. Bit-serial restoring division. *)
+let udiv128 ~hi ~lo ~d =
+  if d = 0L then raise Divide_error;
+  if W64.ucompare hi d >= 0 then raise Divide_error (* quotient > 64 bits *);
+  let rem = ref hi and quo = ref 0L in
+  for i = 63 downto 0 do
+    (* rem = rem*2 + bit i of lo; detect carry out of bit 63 *)
+    let msb = Int64.logand !rem Int64.min_int <> 0L in
+    rem := Int64.logor (Int64.shift_left !rem 1) (Int64.logand (Int64.shift_right_logical lo i) 1L);
+    if msb || W64.ucompare !rem d >= 0 then begin
+      rem := Int64.sub !rem d;
+      quo := Int64.logor !quo (Int64.shift_left 1L i)
+    end
+  done;
+  (!quo, !rem)
+
+(* Signed 128/64 division; hi:lo is a signed 128-bit value. *)
+let sdiv128 ~hi ~lo ~d =
+  if d = 0L then raise Divide_error;
+  let neg_dividend = hi < 0L in
+  let hi, lo =
+    if neg_dividend then
+      (* negate the 128-bit value *)
+      let lo' = Int64.neg lo in
+      let hi' = Int64.lognot hi in
+      let hi' = if lo = 0L then Int64.add hi' 1L else hi' in
+      (hi', lo')
+    else (hi, lo)
+  in
+  let neg_divisor = d < 0L in
+  let d_abs = if neg_divisor then Int64.neg d else d in
+  let q, r = udiv128 ~hi ~lo ~d:d_abs in
+  let q = if neg_dividend <> neg_divisor then Int64.neg q else q in
+  let r = if neg_dividend then Int64.neg r else r in
+  (* overflow check: quotient must fit in signed 64 bits *)
+  if neg_dividend <> neg_divisor then begin
+    if q > 0L then raise Divide_error
+  end
+  else if q < 0L then raise Divide_error;
+  (q, r)
+
+let f64 bits = Int64.float_of_bits bits
+let bits64 f = Int64.bits_of_float f
+
+(* comisd flag semantics: unordered => ZF,PF,CF; a>b => none; a<b => CF;
+   a=b => ZF. OF/SF cleared. *)
+let fcmp_flags a b old_flags =
+  let fa = f64 a and fb = f64 b in
+  let zf, pf, cf =
+    if Float.is_nan fa || Float.is_nan fb then (true, true, true)
+    else if fa > fb then (false, false, false)
+    else if fa < fb then (false, false, true)
+    else (true, false, false)
+  in
+  old_flags |> Flags.set_zf zf |> Flags.set_pf pf |> Flags.set_cf cf
+  |> Flags.set_sf false |> Flags.set_of false
+
+(** Effective address of a memory uop given its sources. *)
+let effective_address (u : Uop.t) ~ra ~rb =
+  let base = if u.ra = Uop.reg_none then 0L else ra in
+  let index = if u.rb = Uop.reg_none then 0L else rb in
+  Int64.add base (Int64.add (Int64.mul index (Int64.of_int u.scale)) u.imm)
+
+(** Execute [u] with source values [ra], [rb], [rc] and incoming [flags].
+    For Ld/Ldl the [value] is the effective address (the core completes the
+    load and calls {!finish_load}); for St/Strel it is also the address
+    (store data is [rc]). Raises [Divide_error] for division faults. *)
+let execute (u : Uop.t) ~ra ~rb ~rc ~flags : outcome =
+  let size = u.size in
+  (* Second operand: rb, or the immediate when rb is absent. *)
+  let b = if u.rb = Uop.reg_none then u.imm else rb in
+  let finish_arith ?(merge_old = ra) (r, c, o) =
+    let computed = arith_flags size ~result:r ~carry:c ~overflow:o flags in
+    no_branch (merge_result size ~old:merge_old r)
+      (apply_flag_mask ~mask:u.setflags ~old:flags ~computed)
+  in
+  let finish_logic ?(merge_old = ra) r =
+    let computed = logic_flags size ~result:r flags in
+    no_branch (merge_result size ~old:merge_old r)
+      (apply_flag_mask ~mask:u.setflags ~old:flags ~computed)
+  in
+  let finish_shift ?(merge_old = ra) (r, carry, ovf) =
+    match carry with
+    | None -> no_branch (merge_result size ~old:merge_old r) flags (* count = 0 *)
+    | Some cf ->
+      let computed =
+        flags |> Flags.set_cf cf
+        |> (fun f -> match ovf with Some o -> Flags.set_of o f | None -> f)
+        |> Flags.of_result size r
+      in
+      no_branch (merge_result size ~old:merge_old r)
+        (apply_flag_mask ~mask:u.setflags ~old:flags ~computed)
+  in
+  match u.op with
+  | Uop.Nop | Uop.Fence | Uop.Assist _ -> no_branch 0L flags
+  | Uop.Mov ->
+    (* rd <- rb/imm, merged into ra (the old destination) at narrow sizes *)
+    no_branch (merge_result size ~old:ra b) flags
+  | Uop.Add -> finish_arith (W64.add_carry size ra b false)
+  | Uop.Adc -> finish_arith (W64.add_carry size ra b (Flags.cf flags))
+  | Uop.Sub -> finish_arith (W64.sub_borrow size ra b false)
+  | Uop.Sbb -> finish_arith (W64.sub_borrow size ra b (Flags.cf flags))
+  | Uop.And -> finish_logic (Int64.logand (W64.truncate size ra) (W64.truncate size b))
+  | Uop.Or -> finish_logic (Int64.logor (W64.truncate size ra) (W64.truncate size b))
+  | Uop.Xor -> finish_logic (Int64.logxor (W64.truncate size ra) (W64.truncate size b))
+  | Uop.Shl -> finish_shift (W64.shl size ra (Int64.to_int (Int64.logand b 0xFFL)))
+  | Uop.Shr -> finish_shift (W64.shr size ra (Int64.to_int (Int64.logand b 0xFFL)))
+  | Uop.Sar -> finish_shift (W64.sar size ra (Int64.to_int (Int64.logand b 0xFFL)))
+  | Uop.Rol -> finish_shift (W64.rol size ra (Int64.to_int (Int64.logand b 0xFFL)))
+  | Uop.Ror -> finish_shift (W64.ror size ra (Int64.to_int (Int64.logand b 0xFFL)))
+  | Uop.Neg ->
+    let r, c, o = W64.sub_borrow size 0L ra false in
+    finish_arith ~merge_old:ra (r, c, o)
+  | Uop.Not ->
+    (* not sets no flags on x86 *)
+    no_branch (merge_result size ~old:ra (Int64.lognot ra)) flags
+  | Uop.Mull ->
+    let a = W64.sign_extend size ra and bv = W64.sign_extend size b in
+    (* CF=OF set when the product does not fit the signed operand width *)
+    let r, hi_sig =
+      if size = W64.B8 then begin
+        let lo, hi = W64.smul128 a bv in
+        (lo, hi <> Int64.shift_right lo 63)
+      end
+      else begin
+        let full = Int64.mul a bv in
+        let r = W64.truncate size full in
+        (r, W64.sign_extend size r <> full)
+      end
+    in
+    let computed =
+      flags |> Flags.set_cf hi_sig |> Flags.set_of hi_sig |> Flags.of_result size r
+    in
+    no_branch (merge_result size ~old:ra r)
+      (apply_flag_mask ~mask:u.setflags ~old:flags ~computed)
+  | Uop.Mulhu ->
+    let a = W64.truncate size ra and bv = W64.truncate size b in
+    if size = W64.B8 then
+      let _, hi = W64.umul128 a bv in
+      no_branch hi flags
+    else
+      let full = Int64.mul a bv in
+      no_branch (Int64.shift_right_logical full (W64.bits_of_size size)) flags
+  | Uop.Mulhs ->
+    let a = W64.sign_extend size ra and bv = W64.sign_extend size b in
+    if size = W64.B8 then
+      let _, hi = W64.smul128 a bv in
+      no_branch hi flags
+    else
+      let full = Int64.mul a bv in
+      no_branch (W64.truncate size (Int64.shift_right full (W64.bits_of_size size))) flags
+  | Uop.Divqu | Uop.Remqu ->
+    (* ra = hi, rb = lo, rc = divisor; narrow sizes use plain 64-bit math *)
+    let d = W64.truncate size rc in
+    if size = W64.B8 then begin
+      let q, r = udiv128 ~hi:ra ~lo:rb ~d in
+      no_branch (if u.op = Uop.Divqu then q else r) flags
+    end
+    else begin
+      if d = 0L then raise Divide_error;
+      let dividend =
+        Int64.logor
+          (Int64.shift_left (W64.truncate size ra) (W64.bits_of_size size))
+          (W64.truncate size rb)
+      in
+      let q = Int64.unsigned_div dividend d and r = Int64.unsigned_rem dividend d in
+      if W64.ucompare q (W64.mask_of_size size) > 0 then raise Divide_error;
+      no_branch (W64.truncate size (if u.op = Uop.Divqu then q else r)) flags
+    end
+  | Uop.Divqs | Uop.Remqs ->
+    let d = W64.sign_extend size rc in
+    if size = W64.B8 then begin
+      let q, r = sdiv128 ~hi:ra ~lo:rb ~d in
+      no_branch (if u.op = Uop.Divqs then q else r) flags
+    end
+    else begin
+      if d = 0L then raise Divide_error;
+      let bits = W64.bits_of_size size in
+      let dividend =
+        Int64.logor (Int64.shift_left (W64.truncate size ra) bits) (W64.truncate size rb)
+      in
+      let dividend = W64.sign_extend (W64.size_of_bytes (2 * W64.bytes_of_size size)) dividend in
+      let q = Int64.div dividend d and r = Int64.rem dividend d in
+      let half = Int64.shift_left 1L (bits - 1) in
+      if q >= half || q < Int64.neg half then raise Divide_error;
+      no_branch (W64.truncate size (if u.op = Uop.Divqs then q else r)) flags
+    end
+  | Uop.Zext -> no_branch (W64.truncate u.mem_size ra) flags
+  | Uop.Sext -> no_branch (W64.sign_extend u.mem_size ra) flags
+  | Uop.Lea -> no_branch (effective_address u ~ra ~rb) flags
+  | Uop.Sel c ->
+    let chosen = if Flags.eval c flags then ra else rb in
+    (* merge base is the old destination = rb (the not-taken value) *)
+    no_branch (merge_result size ~old:rb chosen) flags
+  | Uop.Setc c ->
+    let v = if Flags.eval c flags then 1L else 0L in
+    no_branch (merge_result size ~old:ra v) flags
+  | Uop.Bt | Uop.Bts | Uop.Btr | Uop.Btc ->
+    let width = W64.bits_of_size size in
+    let bit = Int64.to_int (Int64.unsigned_rem b (Int64.of_int width)) in
+    let mask = Int64.shift_left 1L bit in
+    let cf = Int64.logand ra mask <> 0L in
+    let v =
+      match u.op with
+      | Uop.Bt -> ra
+      | Uop.Bts -> Int64.logor ra mask
+      | Uop.Btr -> Int64.logand ra (Int64.lognot mask)
+      | Uop.Btc -> Int64.logxor ra mask
+      | _ -> assert false
+    in
+    let computed = Flags.set_cf cf flags in
+    no_branch (merge_result size ~old:ra v)
+      (apply_flag_mask ~mask:u.setflags ~old:flags ~computed)
+  | Uop.Ld | Uop.Ldl | Uop.St | Uop.Strel ->
+    no_branch (effective_address u ~ra ~rb) flags
+  | Uop.Bru -> { value = 0L; flags; taken = true; target = u.br_target }
+  | Uop.Brc c ->
+    let taken = Flags.eval c flags in
+    { value = 0L; flags; taken; target = (if taken then u.br_target else u.next_rip) }
+  | Uop.Brnz ->
+    let taken = not (W64.is_zero size ra) in
+    { value = 0L; flags; taken; target = (if taken then u.br_target else u.next_rip) }
+  | Uop.Brz ->
+    let taken = W64.is_zero size ra in
+    { value = 0L; flags; taken; target = (if taken then u.br_target else u.next_rip) }
+  | Uop.Jmpr -> { value = 0L; flags; taken = true; target = ra }
+  | Uop.Fadd -> no_branch (bits64 (f64 ra +. f64 b)) flags
+  | Uop.Fsub -> no_branch (bits64 (f64 ra -. f64 b)) flags
+  | Uop.Fmul -> no_branch (bits64 (f64 ra *. f64 b)) flags
+  | Uop.Fdiv -> no_branch (bits64 (f64 ra /. f64 b)) flags
+  | Uop.Fmov -> no_branch b flags
+  | Uop.I2f -> no_branch (bits64 (Int64.to_float ra)) flags
+  | Uop.F2i ->
+    let f = f64 ra in
+    let v =
+      if Float.is_nan f || f >= 9.22337203685477581e18 || f <= -9.22337203685477581e18
+      then Int64.min_int (* x86 integer-indefinite *)
+      else Int64.of_float f
+    in
+    no_branch v flags
+  | Uop.Fcmp -> no_branch 0L (fcmp_flags ra rb flags)
+
+(** Extend a raw loaded value per the load's width (loads zero-extend into
+    temporaries; narrow merges are separate Mov uops). *)
+let finish_load (u : Uop.t) raw = W64.truncate u.mem_size raw
+
+(** Store data: the low [mem_size] bytes of [rc]'s value. *)
+let store_data (u : Uop.t) rc = W64.truncate u.mem_size rc

@@ -1,0 +1,1 @@
+lib/util/w64.ml: Format Int64 Printf

@@ -1,0 +1,1 @@
+lib/util/w64.mli: Format

@@ -1,0 +1,32 @@
+(** Small integer bit-manipulation helpers shared across the simulator. *)
+
+(** Floor of log2; [log2 1 = 0]. Raises on non-positive input. *)
+let log2 n =
+  if n <= 0 then invalid_arg "Bitops.log2";
+  let rec go n acc = if n = 1 then acc else go (n lsr 1) (acc + 1) in
+  go n 0
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+(** Round [n] up to the next multiple of [align] (a power of two). *)
+let align_up n align = (n + align - 1) land lnot (align - 1)
+
+let align_down n align = n land lnot (align - 1)
+
+let popcount n =
+  let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + (n land 1)) in
+  go n 0
+
+(** Extract bits [lo..lo+len-1] of [n]. *)
+let bits n ~lo ~len = (n lsr lo) land ((1 lsl len) - 1)
+
+(** Fold a 64-bit value down to [bits] bits by xor-folding; used for
+    predictor and cache index hashing. *)
+let fold64 v bits =
+  let mask = Int64.of_int ((1 lsl bits) - 1) in
+  let rec go v acc =
+    if v = 0L then acc
+    else
+      go (Int64.shift_right_logical v bits) (Int64.logxor acc (Int64.logand v mask))
+  in
+  Int64.to_int (go v 0L)

@@ -1,0 +1,49 @@
+(** Fixed-capacity circular FIFO queue with random access by age.
+
+    Pipeline structures (fetch queues, reorder buffers, load/store queues)
+    are bounded in-order queues that also need oldest-to-youngest scans;
+    this ring provides exactly that. *)
+
+type 'a t
+
+(** [create capacity] raises [Invalid_argument] when [capacity <= 0]. *)
+val create : int -> 'a t
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+(** Free slots remaining. *)
+val remaining : 'a t -> int
+
+(** Append at the tail; raises [Failure] when full. *)
+val push : 'a t -> 'a -> unit
+
+(** Remove and return the oldest element; raises [Failure] when empty. *)
+val pop : 'a t -> 'a
+
+val peek : 'a t -> 'a option
+
+(** [get t i] is the element [i] places from the oldest (0 = oldest);
+    raises [Invalid_argument] out of range. *)
+val get : 'a t -> int -> 'a
+
+val set : 'a t -> int -> 'a -> unit
+
+(** Remove the [n] youngest elements (pipeline annulment). *)
+val drop_youngest : 'a t -> int -> unit
+
+val clear : 'a t -> unit
+
+(** Oldest-to-youngest iteration. *)
+val iteri : 'a t -> (int -> 'a -> unit) -> unit
+
+val iter : 'a t -> ('a -> unit) -> unit
+val fold : 'a t -> 'b -> ('b -> 'a -> 'b) -> 'b
+
+(** First element (oldest first) satisfying the predicate, with its age
+    index. *)
+val find_first : 'a t -> ('a -> bool) -> (int * 'a) option
+
+val to_list : 'a t -> 'a list

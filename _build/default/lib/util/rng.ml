@@ -1,0 +1,56 @@
+(** Deterministic xoshiro256** pseudo-random number generator.
+
+    Everything in the simulator that needs randomness (random cache
+    replacement, workload file generation, property-test corpora) uses this
+    generator so runs are reproducible from a single seed — the paper's
+    determinism requirement ("cycle accurate and fully deterministic for
+    debugging purposes", §2.1). *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* splitmix64, used to expand the seed into the four state words. *)
+let splitmix state =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix state in
+  let s1 = splitmix state in
+  let s2 = splitmix state in
+  let s3 = splitmix state in
+  { s0; s1; s2; s3 }
+
+(** Next raw 64-bit value. *)
+let next64 t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+(** Uniform integer in [0, bound). [bound] must be positive. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.unsigned_rem (next64 t) (Int64.of_int bound))
+
+(** Uniform bool. *)
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+(** Uniform float in [0, 1). *)
+let float t =
+  Int64.to_float (Int64.shift_right_logical (next64 t) 11) /. 9007199254740992.0
+
+(** Pick a uniformly random element of a non-empty array. *)
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose: empty array";
+  arr.(int t (Array.length arr))

@@ -1,0 +1,20 @@
+(** Deterministic xoshiro256** pseudo-random number generator. Everything
+    needing randomness (replacement policies, workload generation) uses
+    this so runs reproduce exactly from a seed — the paper's determinism
+    requirement (§2.1). *)
+
+type t
+
+val create : int -> t
+val next64 : t -> int64
+
+(** Uniform in [0, bound); [bound] must be positive. *)
+val int : t -> int -> int
+
+val bool : t -> bool
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+(** Uniform element of a non-empty array. *)
+val choose : t -> 'a array -> 'a

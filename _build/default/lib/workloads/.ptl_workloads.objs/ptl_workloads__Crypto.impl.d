@@ -1,0 +1,1 @@
+lib/workloads/crypto.ml: Array Bytes Char Gasm Ptl_isa Ptl_util String

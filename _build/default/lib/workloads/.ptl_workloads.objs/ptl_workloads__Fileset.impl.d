@@ -1,0 +1,1 @@
+lib/workloads/fileset.ml: Buffer Bytes Char List Printf Ptl_util Rng String

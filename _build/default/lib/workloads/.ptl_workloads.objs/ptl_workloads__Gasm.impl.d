@@ -1,0 +1,1 @@
+lib/workloads/gasm.ml: Int64 Printf Ptl_isa Ptl_kernel Ptl_util String W64

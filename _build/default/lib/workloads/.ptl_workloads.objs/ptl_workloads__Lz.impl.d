@@ -1,0 +1,1 @@
+lib/workloads/lz.ml: Array Buffer Char Gasm Int64 List Ptl_isa String

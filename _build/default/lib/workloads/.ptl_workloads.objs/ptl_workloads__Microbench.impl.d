@@ -1,0 +1,1 @@
+lib/workloads/microbench.ml: Array Buffer Char Gasm Int64 List Ptl_arch Ptl_isa Ptl_util Rng W64

@@ -1,0 +1,1 @@
+lib/workloads/rsync_bench.ml: Bytes Fileset List Ptl_hyper Ptl_kernel Ptl_ooo Ptl_stats Rsync_progs String

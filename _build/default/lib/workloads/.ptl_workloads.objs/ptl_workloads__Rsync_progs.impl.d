@@ -1,0 +1,1 @@
+lib/workloads/rsync_progs.ml: Crypto Gasm List Lz Ptl_isa Ptl_kernel String

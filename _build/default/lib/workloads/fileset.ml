@@ -1,0 +1,93 @@
+(** Generator for the rsync benchmark's file set.
+
+    The paper uses 6186 text files, all under 300 KB, 48 MB total, "divided
+    into two roughly equal groups; the test consists of running rsync to
+    synchronize the second group with the first group" (§5). This generator
+    produces the same shape at a configurable scale: "src/NNN" is the
+    authoritative group; "dst/NNN" is the stale copy — identical, modified
+    in a few blocks, or missing entirely. Content is deterministic
+    word-salad text from the seeded RNG, so runs are reproducible. *)
+
+open Ptl_util
+
+type config = {
+  nfiles : int;
+  min_size : int;
+  max_size : int;
+  seed : int;
+  (* probabilities (out of 100) for the dst variant of each file *)
+  pct_identical : int;
+  pct_modified : int;  (* remainder = missing from dst *)
+}
+
+(** Default: a laptop-scale rendition of the paper's set (the harness
+    records the scale used in EXPERIMENTS.md). *)
+let default = {
+  nfiles = 24;
+  min_size = 8_192;
+  max_size = 49_152;
+  seed = 20070417 (* ISPASS'07 *);
+  pct_identical = 40;
+  pct_modified = 35;
+}
+
+let words =
+  [| "the"; "quick"; "brown"; "fox"; "jumps"; "over"; "lazy"; "dog"; "cycle";
+     "accurate"; "simulator"; "pipeline"; "cache"; "branch"; "predictor";
+     "physical"; "register"; "uop"; "commit"; "fetch"; "issue"; "queue";
+     "xen"; "hypervisor"; "domain"; "kernel"; "userspace"; "interrupt";
+     "translation"; "lookaside"; "buffer"; "speculative"; "x86" |]
+
+let make_text rng size =
+  let buf = Buffer.create (size + 16) in
+  while Buffer.length buf < size do
+    Buffer.add_string buf (Rng.choose rng words);
+    Buffer.add_char buf (if Rng.int rng 12 = 0 then '\n' else ' ')
+  done;
+  Buffer.sub buf 0 size
+
+(* Flip bytes in a few random 1 KiB blocks. *)
+let mutate rng text =
+  let b = Bytes.of_string text in
+  let nblocks = (Bytes.length b + 1023) / 1024 in
+  let changes = 1 + Rng.int rng (max 1 (nblocks / 2)) in
+  for _ = 1 to changes do
+    let blk = Rng.int rng nblocks in
+    let base = blk * 1024 in
+    let len = min 1024 (Bytes.length b - base) in
+    for k = 0 to min 40 (len - 1) do
+      let off = base + Rng.int rng len in
+      ignore k;
+      Bytes.set b off (Char.chr (Rng.int rng 26 + 97))
+    done
+  done;
+  Bytes.to_string b
+
+(** Generate the full file list [(name, contents); ...] for the ramfs. *)
+let generate (cfg : config) =
+  let rng = Rng.create cfg.seed in
+  let files = ref [] in
+  if cfg.max_size < cfg.min_size || cfg.min_size <= 0 then
+    invalid_arg "Fileset.generate: need 0 < min_size <= max_size";
+  for i = 0 to cfg.nfiles - 1 do
+    let size = cfg.min_size + Rng.int rng (cfg.max_size - cfg.min_size + 1) in
+    let content = make_text rng size in
+    let name = Printf.sprintf "f%03d" i in
+    files := ("src/" ^ name, content) :: !files;
+    let roll = Rng.int rng 100 in
+    if roll < cfg.pct_identical then
+      files := ("dst/" ^ name, content) :: !files
+    else if roll < cfg.pct_identical + cfg.pct_modified then
+      files := ("dst/" ^ name, mutate rng content) :: !files
+    (* else: missing from dst *)
+  done;
+  List.rev !files
+
+(** Total bytes in the src group (the "48 Mbytes" figure at this scale). *)
+let src_bytes files =
+  List.fold_left
+    (fun acc (name, c) ->
+      if String.length name >= 4 && String.sub name 0 4 = "src/" then
+        acc + String.length c
+      else acc)
+    0 files

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_bpred Test_isa Test_kernel Test_mem Test_microbench Test_ooo Test_seqcore Test_stats Test_system Test_uop Test_util Test_w64 Test_workloads

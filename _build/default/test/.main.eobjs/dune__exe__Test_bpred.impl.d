@@ -1,0 +1,1 @@
+test/test_bpred.ml: Alcotest Disasm Flags Insn Int64 Printf Ptl_bpred Ptl_isa Ptl_stats Ptl_util Regs W64

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Asm Char Decode Disasm Encode Flags Format Insn Int64 List Ptl_isa Ptl_util QCheck QCheck_alcotest Regs String W64

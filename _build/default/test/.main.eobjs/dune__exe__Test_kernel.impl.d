@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Char List Ptl_arch Ptl_isa Ptl_kernel Ptl_ooo Ptl_stats Ptl_util Ptl_workloads String

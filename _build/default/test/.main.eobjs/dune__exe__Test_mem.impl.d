@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Cache Coherence Hierarchy Int64 List Pagetable Phys_mem Ptl_mem Ptl_stats QCheck QCheck_alcotest Tlb

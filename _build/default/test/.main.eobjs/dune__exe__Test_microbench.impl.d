@@ -1,0 +1,1 @@
+test/test_microbench.ml: Alcotest Buffer Char Int64 List Printf Ptl_arch Ptl_isa Ptl_mem Ptl_ooo Ptl_util Ptl_workloads String W64

@@ -1,0 +1,1 @@
+test/test_ooo.ml: Alcotest Asm Flags Insn Int64 List Printf Ptl_arch Ptl_isa Ptl_ooo Ptl_stats Ptl_util QCheck QCheck_alcotest Regs String W64

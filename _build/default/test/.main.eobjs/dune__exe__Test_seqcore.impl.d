@@ -1,0 +1,1 @@
+test/test_seqcore.ml: Alcotest Asm Flags Insn Int64 List Printf Ptl_arch Ptl_isa Ptl_util Regs W64

@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Int64 List Printf Ptl_arch Ptl_hyper Ptl_isa Ptl_kernel Ptl_mem Ptl_ooo Ptl_stats Ptl_util Ptl_workloads W64

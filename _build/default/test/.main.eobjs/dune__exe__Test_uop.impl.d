@@ -1,0 +1,1 @@
+test/test_uop.ml: Alcotest Array Asm Bbcache Char Decode Exec Flags Insn Int64 List Microcode Ptl_isa Ptl_stats Ptl_uop Ptl_util QCheck QCheck_alcotest Regs String Test_isa Uop W64

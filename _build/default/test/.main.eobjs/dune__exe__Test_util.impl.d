@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Bitops List Ptl_util Ring Rng String Tablefmt

@@ -1,0 +1,1 @@
+test/test_w64.ml: Alcotest Int64 Ptl_util QCheck QCheck_alcotest W64

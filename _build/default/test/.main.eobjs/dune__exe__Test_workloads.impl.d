@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Char Int64 List Printf Ptl_arch Ptl_hyper Ptl_isa Ptl_mem Ptl_ooo Ptl_util Ptl_workloads QCheck QCheck_alcotest String W64

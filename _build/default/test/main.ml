@@ -1,0 +1,21 @@
+(* Aggregated alcotest runner for the whole repository. Each [Test_*]
+   module exposes [suite : unit Alcotest.test_case list] registered here
+   under its own section. *)
+
+let () =
+  Alcotest.run "optlsim"
+    [
+      ("w64", Test_w64.suite);
+      ("util", Test_util.suite);
+      ("stats", Test_stats.suite);
+      ("isa", Test_isa.suite);
+      ("mem", Test_mem.suite);
+      ("bpred", Test_bpred.suite);
+      ("uop", Test_uop.suite);
+      ("seqcore", Test_seqcore.suite);
+      ("ooo", Test_ooo.suite);
+      ("kernel", Test_kernel.suite);
+      ("workloads", Test_workloads.suite);
+      ("system", Test_system.suite);
+      ("microbench", Test_microbench.suite);
+    ]

@@ -1,0 +1,352 @@
+(* Memory subsystem tests: physical frames, page-table walking with A/D
+   bits, TLBs (including the K8 two-level + PDE-cache configuration),
+   set-associative caches, hierarchy latencies with MSHR merging, and
+   MOESI coherence invariants. *)
+
+open Ptl_mem
+module Stats = Ptl_stats.Statstree
+
+let test_phys_rw () =
+  let m = Phys_mem.create () in
+  Phys_mem.write64 m 0x1000 0x1122334455667788L;
+  Alcotest.(check int64) "read64" 0x1122334455667788L (Phys_mem.read64 m 0x1000);
+  Alcotest.(check int) "read8" 0x88 (Phys_mem.read8 m 0x1000);
+  Alcotest.(check int) "read8 high" 0x11 (Phys_mem.read8 m 0x1007);
+  Alcotest.(check int) "read16" 0x5566 (Phys_mem.read16 m 0x1002);
+  Phys_mem.write8 m 0x1003 0xAB;
+  Alcotest.(check int64) "modified" 0x11223344AB667788L (Phys_mem.read64 m 0x1000)
+
+let test_phys_cross_page () =
+  let m = Phys_mem.create () in
+  (* write straddling the 0x1FFF/0x2000 frame boundary *)
+  Phys_mem.write64 m 0x1FFC 0xCAFEBABE12345678L;
+  Alcotest.(check int64) "cross read" 0xCAFEBABE12345678L (Phys_mem.read64 m 0x1FFC);
+  Alcotest.(check int) "low frame byte" 0x78 (Phys_mem.read8 m 0x1FFC);
+  Alcotest.(check int) "high frame byte" 0xCA (Phys_mem.read8 m 0x2003)
+
+let test_phys_alloc_copy () =
+  let m = Phys_mem.create () in
+  let mfn1 = Phys_mem.alloc_page m in
+  let mfn2 = Phys_mem.alloc_page m in
+  Alcotest.(check bool) "distinct" true (mfn1 <> mfn2);
+  Phys_mem.write64 m (Phys_mem.paddr_of_mfn mfn1) 7L;
+  let snap = Phys_mem.copy m in
+  Phys_mem.write64 m (Phys_mem.paddr_of_mfn mfn1) 9L;
+  Phys_mem.restore m ~snapshot:snap;
+  Alcotest.(check int64) "restored" 7L (Phys_mem.read64 m (Phys_mem.paddr_of_mfn mfn1))
+
+(* Build a tiny address space and exercise the walker. *)
+let make_space () =
+  let m = Phys_mem.create () in
+  let cr3 = Phys_mem.alloc_page m in
+  let alloc () = Phys_mem.alloc_page m in
+  let data_mfn = Phys_mem.alloc_page m in
+  Pagetable.map m ~cr3_mfn:cr3 ~vaddr:0x400000L ~mfn:data_mfn ~writable:true
+    ~user:true ~alloc ();
+  (m, cr3, data_mfn)
+
+let test_walk_ok () =
+  let m, cr3, data_mfn = make_space () in
+  match Pagetable.walk m ~cr3_mfn:cr3 ~vaddr:0x400123L ~write:false ~user:true ~exec:false () with
+  | Ok tr ->
+    Alcotest.(check int) "mfn" data_mfn tr.Pagetable.mfn;
+    Alcotest.(check int) "four pte loads" 4 (List.length tr.Pagetable.pte_addrs);
+    Alcotest.(check int) "paddr"
+      (Phys_mem.paddr_of_mfn data_mfn + 0x123)
+      (Pagetable.to_paddr tr 0x400123L)
+  | Error _ -> Alcotest.fail "unexpected fault"
+
+let test_walk_fault () =
+  let m, cr3, _ = make_space () in
+  (match Pagetable.walk m ~cr3_mfn:cr3 ~vaddr:0x500000L ~write:false ~user:true ~exec:false () with
+  | Ok _ -> Alcotest.fail "expected not-present fault"
+  | Error f -> Alcotest.(check bool) "not present" true f.Pagetable.not_present);
+  (* write to read-only page *)
+  let alloc () = Phys_mem.alloc_page m in
+  let ro = Phys_mem.alloc_page m in
+  Pagetable.map m ~cr3_mfn:cr3 ~vaddr:0x600000L ~mfn:ro ~writable:false ~user:true ~alloc ();
+  match Pagetable.walk m ~cr3_mfn:cr3 ~vaddr:0x600000L ~write:true ~user:true ~exec:false () with
+  | Ok _ -> Alcotest.fail "expected protection fault"
+  | Error f -> Alcotest.(check bool) "protection" false f.Pagetable.not_present
+
+let test_walk_ad_bits () =
+  let m, cr3, _ = make_space () in
+  (* After a read walk, the leaf PTE has A set but not D. *)
+  (match Pagetable.walk m ~cr3_mfn:cr3 ~vaddr:0x400000L ~write:false ~user:true ~exec:false () with
+  | Ok tr ->
+    let leaf = List.nth tr.Pagetable.pte_addrs 3 in
+    let pte = Phys_mem.read64 m leaf in
+    Alcotest.(check bool) "A set" true (Int64.logand pte Pagetable.pte_a <> 0L);
+    Alcotest.(check bool) "D clear" true (Int64.logand pte Pagetable.pte_d = 0L);
+    (* After a write walk, D is set too. *)
+    (match Pagetable.walk m ~cr3_mfn:cr3 ~vaddr:0x400000L ~write:true ~user:true ~exec:false () with
+    | Ok _ ->
+      let pte = Phys_mem.read64 m leaf in
+      Alcotest.(check bool) "D set" true (Int64.logand pte Pagetable.pte_d <> 0L)
+    | Error _ -> Alcotest.fail "write walk failed")
+  | Error _ -> Alcotest.fail "read walk failed")
+
+let test_walk_noncanonical () =
+  let m, cr3, _ = make_space () in
+  match
+    Pagetable.walk m ~cr3_mfn:cr3 ~vaddr:0x8000_0000_0000L ~write:false ~user:false ~exec:false ()
+  with
+  | Ok _ -> Alcotest.fail "expected canonical fault"
+  | Error _ -> ()
+
+let test_unmap () =
+  let m, cr3, _ = make_space () in
+  Pagetable.unmap m ~cr3_mfn:cr3 ~vaddr:0x400000L;
+  Alcotest.(check (option int)) "gone" None (Pagetable.probe m ~cr3_mfn:cr3 ~vaddr:0x400000L)
+
+let tlb_entry mfn = { Tlb.vpn = 0L; mfn; writable = true; user = true; nx = false }
+
+let test_tlb_hit_miss () =
+  let tlb = Tlb.create Tlb.ptlsim_config in
+  Alcotest.(check bool) "cold miss" true (Tlb.lookup tlb 0x400000L = Tlb.Tlb_miss);
+  Tlb.insert tlb 0x400000L (tlb_entry 42);
+  (match Tlb.lookup tlb 0x400FFFL with
+  | Tlb.L1_hit e -> Alcotest.(check int) "mfn" 42 e.Tlb.mfn
+  | _ -> Alcotest.fail "expected L1 hit");
+  (* a different page still misses *)
+  Alcotest.(check bool) "other page" true (Tlb.lookup tlb 0x401000L = Tlb.Tlb_miss)
+
+let test_tlb_capacity_eviction () =
+  let tlb = Tlb.create Tlb.ptlsim_config in
+  (* fill all 32 entries plus one more *)
+  for i = 0 to 32 do
+    Tlb.insert tlb (Int64.of_int (i * 4096)) (tlb_entry i)
+  done;
+  (* the first entry must be evicted under LRU *)
+  Alcotest.(check bool) "evicted" true (Tlb.lookup tlb 0L = Tlb.Tlb_miss);
+  Alcotest.(check bool) "newest present" true (Tlb.lookup tlb (Int64.of_int (32 * 4096)) <> Tlb.Tlb_miss)
+
+let test_tlb_two_level () =
+  let tlb = Tlb.create Tlb.k8_config in
+  for i = 0 to 63 do
+    Tlb.insert tlb (Int64.of_int (i * 4096)) (tlb_entry i)
+  done;
+  (* Entry 0 fell out of the 32-entry L1 but must hit in the 1024-entry L2. *)
+  (match Tlb.lookup tlb 0L with
+  | Tlb.L2_hit e -> Alcotest.(check int) "mfn" 0 e.Tlb.mfn
+  | Tlb.L1_hit _ -> Alcotest.fail "expected L2, not L1"
+  | Tlb.Tlb_miss -> Alcotest.fail "expected L2 hit");
+  (* After promotion it now hits in L1. *)
+  match Tlb.lookup tlb 0L with
+  | Tlb.L1_hit _ -> ()
+  | _ -> Alcotest.fail "expected L1 after promotion"
+
+let test_tlb_pde_cache () =
+  let tlb = Tlb.create Tlb.k8_config in
+  Alcotest.(check int) "cold walk = 4 loads" 4 (Tlb.walk_loads tlb 0x400000L);
+  Tlb.insert tlb 0x400000L (tlb_entry 1);
+  (* Same 2 MB region: PDE cache covers the upper levels. *)
+  Alcotest.(check int) "warm walk = 1 load" 1 (Tlb.walk_loads tlb 0x401000L);
+  let no_pde = Tlb.create Tlb.ptlsim_config in
+  Tlb.insert no_pde 0x400000L (tlb_entry 1);
+  Alcotest.(check int) "ptlsim config always 4" 4 (Tlb.walk_loads no_pde 0x401000L)
+
+let test_tlb_flush () =
+  let tlb = Tlb.create Tlb.k8_config in
+  Tlb.insert tlb 0x400000L (tlb_entry 1);
+  Tlb.flush_page tlb 0x400000L;
+  (* flush_page clears L1 and L2 *)
+  Alcotest.(check bool) "page flushed" true (Tlb.lookup tlb 0x400000L = Tlb.Tlb_miss);
+  Tlb.insert tlb 0x400000L (tlb_entry 1);
+  Tlb.flush tlb;
+  Alcotest.(check bool) "all flushed" true (Tlb.lookup tlb 0x400000L = Tlb.Tlb_miss)
+
+let small_cache =
+  {
+    Cache.name = "t";
+    size_bytes = 1024;
+    line_size = 64;
+    ways = 2;
+    latency = 3;
+    banks = 8;
+    replacement = Cache.Lru;
+  }
+
+let test_cache_hit_miss () =
+  let stats = Stats.create () in
+  let c = Cache.create stats small_cache in
+  (match Cache.access c 0x1000 ~write:false with
+  | Cache.Miss { writeback = None } -> ()
+  | _ -> Alcotest.fail "expected clean miss");
+  (match Cache.access c 0x1008 ~write:false with
+  | Cache.Hit -> ()
+  | _ -> Alcotest.fail "same line should hit");
+  Alcotest.(check int) "hits" 1 (Cache.hits c);
+  Alcotest.(check int) "misses" 1 (Cache.misses c)
+
+let test_cache_eviction_writeback () =
+  let stats = Stats.create () in
+  let c = Cache.create stats small_cache in
+  (* 1024B/64B/2way = 8 sets; addresses mapping to set 0 differ by 512. *)
+  ignore (Cache.access c 0x0 ~write:true);
+  ignore (Cache.access c 0x200 ~write:false);
+  (* Third distinct line in set 0 evicts the LRU (the dirty 0x0 line). *)
+  (match Cache.access c 0x400 ~write:false with
+  | Cache.Miss { writeback = Some victim } -> Alcotest.(check int) "victim" 0x0 victim
+  | _ -> Alcotest.fail "expected dirty writeback");
+  Alcotest.(check bool) "evicted line gone" false (Cache.probe c 0x0)
+
+let test_cache_lru_order () =
+  let stats = Stats.create () in
+  let c = Cache.create stats small_cache in
+  ignore (Cache.access c 0x0 ~write:false);
+  ignore (Cache.access c 0x200 ~write:false);
+  (* touch 0x0 so 0x200 is now LRU *)
+  ignore (Cache.access c 0x0 ~write:false);
+  ignore (Cache.access c 0x400 ~write:false);
+  Alcotest.(check bool) "recently used kept" true (Cache.probe c 0x0);
+  Alcotest.(check bool) "lru evicted" false (Cache.probe c 0x200)
+
+let test_cache_banking () =
+  let stats = Stats.create () in
+  let c = Cache.create stats small_cache in
+  Alcotest.(check int) "bank 0" 0 (Cache.bank_of c 0x1000);
+  Alcotest.(check int) "bank 1" 1 (Cache.bank_of c 0x1008);
+  Alcotest.(check int) "wraps" 0 (Cache.bank_of c 0x1040)
+
+let test_cache_occupancy_bound () =
+  let stats = Stats.create () in
+  let c = Cache.create stats small_cache in
+  for i = 0 to 999 do
+    ignore (Cache.access c (i * 64) ~write:(i mod 3 = 0))
+  done;
+  Alcotest.(check bool) "occupancy within capacity" true (Cache.occupancy c <= 16)
+
+let test_hierarchy_latencies () =
+  let stats = Stats.create () in
+  let h = Hierarchy.create stats Hierarchy.k8_ptlsim in
+  (* Cold load: L1 latency + L2 latency + memory. *)
+  let lat1 = Hierarchy.load h ~cycle:0 ~paddr:0x10000 in
+  Alcotest.(check int) "cold" (3 + 10 + 112) lat1;
+  (* Warm hit. *)
+  let lat2 = Hierarchy.load h ~cycle:200 ~paddr:0x10000 in
+  Alcotest.(check int) "hit" 3 lat2;
+  (* L2 hit after L1 eviction is cheaper than memory: evict by filling. *)
+  Alcotest.(check bool) "store latency positive" true (Hierarchy.store h ~cycle:300 ~paddr:0x20000 > 0)
+
+let test_hierarchy_mshr_merge () =
+  let stats = Stats.create () in
+  let h = Hierarchy.create stats Hierarchy.k8_ptlsim in
+  let lat1 = Hierarchy.load h ~cycle:0 ~paddr:0x30000 in
+  (* Before the first access to another word of the same missing line
+     completes, the second access merges into the MSHR: the cache array
+     itself already has the line allocated, so it scores a hit; what
+     matters is the merge path exists for *misses* to in-flight lines.
+     Simulate by invalidating L1 between the two accesses. *)
+  ignore (Cache.invalidate (Hierarchy.l1d h) 0x30000);
+  let lat2 = Hierarchy.load h ~cycle:5 ~paddr:0x30008 in
+  Alcotest.(check bool) "merged shorter" true (lat2 < lat1);
+  Alcotest.(check int) "merge = remaining" (lat1 - 5) lat2;
+  Alcotest.(check int) "merge counted" 1 (Stats.get stats "mem.mshr_merges")
+
+let test_hierarchy_prefetch () =
+  let stats = Stats.create () in
+  let h = Hierarchy.create stats Hierarchy.k8_silicon in
+  ignore (Hierarchy.load h ~cycle:0 ~paddr:0x40000);
+  (* The next line was prefetched into L2 (K8-style): the demand miss pays
+     L1+L2 latency instead of going to memory. *)
+  let lat = Hierarchy.load h ~cycle:500 ~paddr:0x40040 in
+  Alcotest.(check int) "prefetched line close by" (3 + 10) lat;
+  Alcotest.(check bool) "prefetch counted" true (Stats.get stats "mem.prefetches" >= 1);
+  (* without prefetch the same access pays full memory latency *)
+  let h2 = Hierarchy.create ~prefix:"m2" stats Hierarchy.k8_ptlsim in
+  ignore (Hierarchy.load h2 ~cycle:0 ~paddr:0x40000);
+  Alcotest.(check int) "no prefetch goes to memory" (3 + 10 + 112)
+    (Hierarchy.load h2 ~cycle:500 ~paddr:0x40040)
+
+let test_hierarchy_ifetch_and_invalidate () =
+  let stats = Stats.create () in
+  let h = Hierarchy.create stats Hierarchy.k8_ptlsim in
+  let lat1 = Hierarchy.ifetch h ~cycle:0 ~paddr:0x50000 in
+  Alcotest.(check bool) "cold ifetch slow" true (lat1 > 100);
+  let lat2 = Hierarchy.ifetch h ~cycle:200 ~paddr:0x50000 in
+  Alcotest.(check int) "warm ifetch" 3 lat2;
+  Hierarchy.invalidate_line h 0x50000;
+  let lat3 = Hierarchy.ifetch h ~cycle:400 ~paddr:0x50000 in
+  Alcotest.(check bool) "invalidated refetches" true (lat3 > 3)
+
+let test_coherence_moesi () =
+  let stats = Stats.create () in
+  let d =
+    Coherence.create stats
+      ~mode:(Coherence.Moesi { transfer_latency = 20; invalidate_latency = 10 })
+      ~ncores:2 ~line_size:64
+  in
+  (* Core 0 reads: exclusive. *)
+  Alcotest.(check int) "first read free" 0
+    (Coherence.miss_penalty d ~core:0 ~paddr:0x1000 ~write:false);
+  Alcotest.(check bool) "E state" true (Coherence.state d ~core:0 ~paddr:0x1000 = Coherence.E);
+  (* Core 0 writes (hit upgrade from E is free). *)
+  Alcotest.(check int) "E->M free" 0 (Coherence.write_hit_penalty d ~core:0 ~paddr:0x1000);
+  Alcotest.(check bool) "M state" true (Coherence.state d ~core:0 ~paddr:0x1000 = Coherence.M);
+  (* Core 1 reads: cache-to-cache transfer; core 0 drops to O. *)
+  Alcotest.(check int) "dirty transfer" 20
+    (Coherence.miss_penalty d ~core:1 ~paddr:0x1000 ~write:false);
+  Alcotest.(check bool) "owner O" true (Coherence.state d ~core:0 ~paddr:0x1000 = Coherence.O);
+  Alcotest.(check bool) "reader S" true (Coherence.state d ~core:1 ~paddr:0x1000 = Coherence.S);
+  (* Core 1 writes: invalidate + transfer. *)
+  Alcotest.(check bool) "rfo penalty" true
+    (Coherence.miss_penalty d ~core:1 ~paddr:0x1000 ~write:true >= 10);
+  Alcotest.(check bool) "old owner I" true (Coherence.state d ~core:0 ~paddr:0x1000 = Coherence.I);
+  Alcotest.(check bool) "writer M" true (Coherence.state d ~core:1 ~paddr:0x1000 = Coherence.M);
+  Alcotest.(check bool) "invariants" true (Coherence.check_invariants d)
+
+let test_coherence_instant () =
+  let stats = Stats.create () in
+  let d = Coherence.create stats ~mode:Coherence.Instant ~ncores:4 ~line_size:64 in
+  Alcotest.(check int) "always free" 0
+    (Coherence.miss_penalty d ~core:0 ~paddr:0x1000 ~write:true);
+  Alcotest.(check int) "write hit free" 0 (Coherence.write_hit_penalty d ~core:3 ~paddr:0x1000)
+
+let prop_coherence_invariants =
+  QCheck.Test.make ~name:"MOESI invariants hold under random traffic" ~count:300
+    QCheck.(list (triple (int_bound 3) (int_bound 15) bool))
+    (fun ops ->
+      let stats = Stats.create () in
+      let d =
+        Coherence.create stats
+          ~mode:(Coherence.Moesi { transfer_latency = 20; invalidate_latency = 10 })
+          ~ncores:4 ~line_size:64
+      in
+      List.iter
+        (fun (core, lineno, write) ->
+          let paddr = lineno * 64 in
+          if Coherence.state d ~core ~paddr = Coherence.I then
+            ignore (Coherence.miss_penalty d ~core ~paddr ~write)
+          else if write then ignore (Coherence.write_hit_penalty d ~core ~paddr))
+        ops;
+      Coherence.check_invariants d)
+
+let suite =
+  [
+    Alcotest.test_case "phys rw" `Quick test_phys_rw;
+    Alcotest.test_case "phys cross page" `Quick test_phys_cross_page;
+    Alcotest.test_case "phys alloc/copy/restore" `Quick test_phys_alloc_copy;
+    Alcotest.test_case "walk ok" `Quick test_walk_ok;
+    Alcotest.test_case "walk faults" `Quick test_walk_fault;
+    Alcotest.test_case "walk A/D bits" `Quick test_walk_ad_bits;
+    Alcotest.test_case "walk non-canonical" `Quick test_walk_noncanonical;
+    Alcotest.test_case "unmap" `Quick test_unmap;
+    Alcotest.test_case "tlb hit/miss" `Quick test_tlb_hit_miss;
+    Alcotest.test_case "tlb eviction" `Quick test_tlb_capacity_eviction;
+    Alcotest.test_case "tlb two-level" `Quick test_tlb_two_level;
+    Alcotest.test_case "tlb pde cache" `Quick test_tlb_pde_cache;
+    Alcotest.test_case "tlb flush" `Quick test_tlb_flush;
+    Alcotest.test_case "cache hit/miss" `Quick test_cache_hit_miss;
+    Alcotest.test_case "cache eviction + writeback" `Quick test_cache_eviction_writeback;
+    Alcotest.test_case "cache lru order" `Quick test_cache_lru_order;
+    Alcotest.test_case "cache banking" `Quick test_cache_banking;
+    Alcotest.test_case "cache occupancy bound" `Quick test_cache_occupancy_bound;
+    Alcotest.test_case "hierarchy latencies" `Quick test_hierarchy_latencies;
+    Alcotest.test_case "hierarchy mshr merge" `Quick test_hierarchy_mshr_merge;
+    Alcotest.test_case "hierarchy prefetch" `Quick test_hierarchy_prefetch;
+    Alcotest.test_case "hierarchy ifetch + invalidate" `Quick test_hierarchy_ifetch_and_invalidate;
+    Alcotest.test_case "coherence moesi" `Quick test_coherence_moesi;
+    Alcotest.test_case "coherence instant" `Quick test_coherence_instant;
+    QCheck_alcotest.to_alcotest prop_coherence_invariants;
+  ]

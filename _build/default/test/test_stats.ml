@@ -1,0 +1,92 @@
+(* Tests for the PTLstats-style statistics tree, snapshots and time-lapse
+   series (the machinery behind the paper's Figures 2 and 3). *)
+
+module S = Ptl_stats.Statstree
+module T = Ptl_stats.Timelapse
+
+let test_counter_basics () =
+  let t = S.create () in
+  let c = S.counter t "ooo.commit.insns" in
+  S.incr c;
+  S.add c 9;
+  Alcotest.(check int) "value" 10 (S.value c);
+  Alcotest.(check int) "get by path" 10 (S.get t "ooo.commit.insns");
+  Alcotest.(check int) "missing" 0 (S.get t "no.such.counter")
+
+let test_counter_shared () =
+  let t = S.create () in
+  let a = S.counter t "shared" in
+  let b = S.counter t "shared" in
+  S.incr a;
+  S.incr b;
+  Alcotest.(check int) "one underlying counter" 2 (S.value a)
+
+let test_counter_growth () =
+  let t = S.create () in
+  (* force the internal array to grow past its initial 64 slots *)
+  for i = 0 to 199 do
+    S.incr (S.counter t (Printf.sprintf "c%d" i))
+  done;
+  Alcotest.(check int) "all registered" 200 (List.length (S.paths t));
+  Alcotest.(check int) "c150" 1 (S.get t "c150")
+
+let test_snapshot_delta () =
+  let t = S.create () in
+  let c = S.counter t "x" in
+  S.add c 5;
+  let s1 = S.snapshot t ~cycle:100 in
+  S.add c 7;
+  let s2 = S.snapshot t ~cycle:200 in
+  Alcotest.(check int) "delta" 7 (S.delta s1 s2 "x");
+  Alcotest.(check int) "late counter counts from zero" 0 (S.delta s1 s2 "y")
+
+let test_timelapse_series () =
+  let t = S.create () in
+  let cyc = S.counter t "cycles" in
+  let ev = S.counter t "events" in
+  let tl = T.create t ~interval:100 in
+  for cycle = 1 to 1000 do
+    S.incr cyc;
+    if cycle mod 2 = 0 then S.incr ev;
+    T.tick tl ~cycle
+  done;
+  Alcotest.(check int) "intervals" 10 (T.intervals tl);
+  let series = T.series tl "events" in
+  List.iter (fun d -> Alcotest.(check int) "50 per interval" 50 d) series;
+  let ratios = T.ratio_series tl "events" "cycles" in
+  List.iter (fun r -> Alcotest.(check (float 0.001)) "ratio" 0.5 r) ratios
+
+let test_timelapse_finish () =
+  let t = S.create () in
+  let c = S.counter t "n" in
+  let tl = T.create t ~interval:1000 in
+  S.add c 3;
+  T.finish tl ~cycle:500;
+  Alcotest.(check (list int)) "partial interval captured" [ 3 ] (T.series tl "n")
+
+let test_timelapse_csv () =
+  let t = S.create () in
+  let a = S.counter t "a" in
+  let b = S.counter t "b" in
+  let tl = T.create t ~interval:10 in
+  for cycle = 1 to 30 do
+    S.incr a;
+    if cycle mod 2 = 0 then S.incr b;
+    T.tick tl ~cycle
+  done;
+  let csv = T.to_csv tl ~paths:[ "a"; "b" ] in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + 3 rows" 4 (List.length lines);
+  Alcotest.(check string) "header" "cycle,a,b" (List.hd lines);
+  Alcotest.(check string) "first interval" "10,10,5" (List.nth lines 1)
+
+let suite =
+  [
+    Alcotest.test_case "counter basics" `Quick test_counter_basics;
+    Alcotest.test_case "shared path" `Quick test_counter_shared;
+    Alcotest.test_case "array growth" `Quick test_counter_growth;
+    Alcotest.test_case "snapshot delta" `Quick test_snapshot_delta;
+    Alcotest.test_case "timelapse series" `Quick test_timelapse_series;
+    Alcotest.test_case "timelapse finish" `Quick test_timelapse_finish;
+    Alcotest.test_case "timelapse csv" `Quick test_timelapse_csv;
+  ]

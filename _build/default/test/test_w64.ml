@@ -1,0 +1,134 @@
+(* Unit and property tests for 64-bit word arithmetic (Ptl_util.W64).
+   Flag semantics here underpin every ALU result in the simulator, so the
+   oracle cases are chosen from the x86 manuals' edge cases. *)
+
+open Ptl_util
+
+let check_add size a b cin expect_r expect_c expect_o () =
+  let r, c, o = W64.add_carry size a b cin in
+  Alcotest.(check int64) "result" expect_r r;
+  Alcotest.(check bool) "carry" expect_c c;
+  Alcotest.(check bool) "overflow" expect_o o
+
+let check_sub size a b bin expect_r expect_c expect_o () =
+  let r, c, o = W64.sub_borrow size a b bin in
+  Alcotest.(check int64) "result" expect_r r;
+  Alcotest.(check bool) "borrow" expect_c c;
+  Alcotest.(check bool) "overflow" expect_o o
+
+let test_truncate () =
+  Alcotest.(check int64) "b1" 0xEFL (W64.truncate W64.B1 0xBEEFL);
+  Alcotest.(check int64) "b2" 0xBEEFL (W64.truncate W64.B2 0xDEADBEEFL);
+  Alcotest.(check int64) "b4" 0xDEADBEEFL (W64.truncate W64.B4 0x1DEADBEEFL);
+  Alcotest.(check int64) "b8" (-1L) (W64.truncate W64.B8 (-1L))
+
+let test_sign_extend () =
+  Alcotest.(check int64) "b1 neg" (-1L) (W64.sign_extend W64.B1 0xFFL);
+  Alcotest.(check int64) "b1 pos" 0x7FL (W64.sign_extend W64.B1 0x7FL);
+  Alcotest.(check int64) "b2" (-2L) (W64.sign_extend W64.B2 0xFFFEL);
+  Alcotest.(check int64) "b4" (-0x80000000L) (W64.sign_extend W64.B4 0x80000000L)
+
+let test_parity () =
+  Alcotest.(check bool) "0 even" true (W64.parity 0L);
+  Alcotest.(check bool) "1 odd" false (W64.parity 1L);
+  Alcotest.(check bool) "3 even" true (W64.parity 3L);
+  Alcotest.(check bool) "7 odd" false (W64.parity 7L);
+  (* only the low byte counts *)
+  Alcotest.(check bool) "0x100 even" true (W64.parity 0x100L)
+
+let test_umul128 () =
+  let lo, hi = W64.umul128 0xFFFFFFFFFFFFFFFFL 0xFFFFFFFFFFFFFFFFL in
+  (* (2^64-1)^2 = 2^128 - 2^65 + 1 *)
+  Alcotest.(check int64) "lo" 1L lo;
+  Alcotest.(check int64) "hi" 0xFFFFFFFFFFFFFFFEL hi;
+  let lo, hi = W64.umul128 0x123456789ABCDEFL 0x10L in
+  Alcotest.(check int64) "lo shift" 0x123456789ABCDEF0L lo;
+  Alcotest.(check int64) "hi shift" 0L hi
+
+let test_smul128 () =
+  let lo, hi = W64.smul128 (-1L) (-1L) in
+  Alcotest.(check int64) "lo" 1L lo;
+  Alcotest.(check int64) "hi" 0L hi;
+  let lo, hi = W64.smul128 (-2L) 3L in
+  Alcotest.(check int64) "lo" (-6L) lo;
+  Alcotest.(check int64) "hi" (-1L) hi
+
+let test_shifts () =
+  let r, c, o = W64.shl W64.B1 0x80L 1 in
+  Alcotest.(check int64) "shl result" 0L r;
+  Alcotest.(check (option bool)) "shl carry" (Some true) c;
+  Alcotest.(check (option bool)) "shl ovf" (Some true) o;
+  let r, c, _ = W64.shr W64.B4 0x80000000L 31 in
+  Alcotest.(check int64) "shr" 1L r;
+  Alcotest.(check (option bool)) "shr carry" (Some false) c;
+  let r, _, _ = W64.sar W64.B4 0x80000000L 31 in
+  Alcotest.(check int64) "sar" 0xFFFFFFFFL r;
+  let r, _, _ = W64.rol W64.B1 0x81L 1 in
+  Alcotest.(check int64) "rol" 0x03L r;
+  let r, _, _ = W64.ror W64.B1 0x01L 1 in
+  Alcotest.(check int64) "ror" 0x80L r;
+  (* count masking: 32-bit ops mask the count to 5 bits *)
+  let r, c, o = W64.shl W64.B4 1L 32 in
+  Alcotest.(check int64) "masked count" 1L r;
+  Alcotest.(check (option bool)) "masked carry" None c;
+  Alcotest.(check (option bool)) "masked ovf" None o
+
+(* Property: add_carry agrees with a 3-way reference using arbitrary
+   precision via Int64 on small sizes. *)
+let prop_add_b2 =
+  QCheck.Test.make ~name:"add_carry B2 matches reference" ~count:2000
+    QCheck.(triple (int_bound 0xFFFF) (int_bound 0xFFFF) bool)
+    (fun (a, b, cin) ->
+      let r, c, _ = W64.add_carry W64.B2 (Int64.of_int a) (Int64.of_int b) cin in
+      let full = a + b + if cin then 1 else 0 in
+      Int64.to_int r = full land 0xFFFF && c = (full > 0xFFFF))
+
+let prop_sub_b2 =
+  QCheck.Test.make ~name:"sub_borrow B2 matches reference" ~count:2000
+    QCheck.(triple (int_bound 0xFFFF) (int_bound 0xFFFF) bool)
+    (fun (a, b, cin) ->
+      let r, c, _ = W64.sub_borrow W64.B2 (Int64.of_int a) (Int64.of_int b) cin in
+      let full = a - b - (if cin then 1 else 0) in
+      Int64.to_int r = full land 0xFFFF && c = (full < 0))
+
+let prop_mul128 =
+  QCheck.Test.make ~name:"umul128 via 32-bit decomposition" ~count:2000
+    QCheck.(pair int64 int64)
+    (fun (a, b) ->
+      let lo, _hi = W64.umul128 a b in
+      (* low word must match plain 64-bit multiply *)
+      lo = Int64.mul a b)
+
+let prop_add_sub_inverse =
+  QCheck.Test.make ~name:"x + y - y = x at every size" ~count:2000
+    QCheck.(triple int64 int64 (oneofl [ W64.B1; W64.B2; W64.B4; W64.B8 ]))
+    (fun (x, y, size) ->
+      let s, _, _ = W64.add_carry size x y false in
+      let d, _, _ = W64.sub_borrow size s y false in
+      d = W64.truncate size x)
+
+let suite =
+  [
+    Alcotest.test_case "truncate" `Quick test_truncate;
+    Alcotest.test_case "sign_extend" `Quick test_sign_extend;
+    Alcotest.test_case "parity" `Quick test_parity;
+    Alcotest.test_case "umul128" `Quick test_umul128;
+    Alcotest.test_case "smul128" `Quick test_smul128;
+    Alcotest.test_case "shifts" `Quick test_shifts;
+    Alcotest.test_case "add: carry out b8" `Quick
+      (check_add W64.B8 (-1L) 1L false 0L true false);
+    Alcotest.test_case "add: signed overflow" `Quick
+      (check_add W64.B1 0x7FL 1L false 0x80L false true);
+    Alcotest.test_case "add: carry in chain" `Quick
+      (check_add W64.B8 (-1L) 0L true 0L true false);
+    Alcotest.test_case "sub: borrow" `Quick
+      (check_sub W64.B4 0L 1L false 0xFFFFFFFFL true false);
+    Alcotest.test_case "sub: overflow" `Quick
+      (check_sub W64.B1 0x80L 1L false 0x7FL false true);
+    Alcotest.test_case "sub: borrow in equal" `Quick
+      (check_sub W64.B8 5L 5L true 0xFFFFFFFFFFFFFFFFL true false);
+    QCheck_alcotest.to_alcotest prop_add_b2;
+    QCheck_alcotest.to_alcotest prop_sub_b2;
+    QCheck_alcotest.to_alcotest prop_mul128;
+    QCheck_alcotest.to_alcotest prop_add_sub_inverse;
+  ]
