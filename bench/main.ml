@@ -33,6 +33,7 @@ module Insn = Ptl_isa.Insn
 module Flags = Ptl_isa.Flags
 module Coherence = Ptl_mem.Coherence
 module Tlb = Ptl_mem.Tlb
+module Trace = Ptl_trace.Trace
 
 let scale =
   match Sys.getenv_opt "OPTLSIM_SCALE" with
@@ -259,6 +260,61 @@ let exp_speed () =
       | Some [ est ] -> Printf.printf "bechamel: %s = %.0f ns/cycle\n%!" name est
       | _ -> ())
     results
+
+(* ---------------------------------------------------------------- *)
+(* Trace overhead: the disabled event-trace path must cost nothing   *)
+(* ---------------------------------------------------------------- *)
+
+let exp_trace_overhead () =
+  banner "Trace overhead: disabled-path cost of the lib/trace instrumentation";
+  Printf.printf
+    "every pipeline stage is instrumented behind a single [!Trace.on] branch;\n\
+     with tracing off that branch must disappear into measurement noise.\n%!";
+  let measured_cycles = 300_000 in
+  let run_once () =
+    let m = hot_loop_machine () in
+    let core = Ooo.create Config.k8_ptlsim m.Machine.env [| m.Machine.ctx |] in
+    for _ = 1 to 30_000 do
+      Ooo.step core;
+      m.Machine.env.Env.cycle <- m.Machine.env.Env.cycle + 1
+    done;
+    let t0 = Sys.time () in
+    for _ = 1 to measured_cycles do
+      Ooo.step core;
+      m.Machine.env.Env.cycle <- m.Machine.env.Env.cycle + 1
+    done;
+    Sys.time () -. t0
+  in
+  (* several tracing-off runs establish the noise floor (the two fastest
+     of four, so one scheduling hiccup cannot fail the assertion) *)
+  let off = List.init 4 (fun _ -> run_once ()) in
+  List.iteri
+    (fun i t ->
+      Printf.printf "tracing off, run %d: %.3f s (%.0f cycles/s)\n%!" i t
+        (float_of_int measured_cycles /. t))
+    off;
+  let sorted = List.sort compare off in
+  let best, second =
+    match sorted with a :: b :: _ -> (a, b) | _ -> assert false
+  in
+  let spread = 100.0 *. (second -. best) /. best in
+  (* one run with capture live: ring armed, every event recorded *)
+  Trace.configure ~capacity:(1 lsl 16) ();
+  let on = run_once () in
+  let captured = Trace.captured () in
+  Trace.disable ();
+  Printf.printf "tracing on:          %.3f s (%d events captured)\n" on captured;
+  Printf.printf "off-path spread (two fastest off runs): %.2f%%\n" spread;
+  Printf.printf "tracing-on delta vs fastest off run:    %+.1f%%\n%!"
+    (100.0 *. (on -. best) /. best);
+  if spread >= 2.0 then begin
+    Printf.printf
+      "FAIL: tracing-off runs differ by %.2f%% (>= 2%%); the disabled path is \
+       not free\n%!"
+      spread;
+    exit 1
+  end;
+  Printf.printf "PASS: disabled trace path is within noise (< 2%%)\n%!"
 
 (* ---------------------------------------------------------------- *)
 (* Run-to-run variance (paper: <1% across perfctr re-runs)           *)
@@ -568,6 +624,7 @@ let experiments =
     ("fig2", exp_fig2);
     ("fig3", exp_fig3);
     ("speed", exp_speed);
+    ("trace-overhead", exp_trace_overhead);
     ("variance", exp_variance);
     ("ablate-bbcache", exp_ablate_bbcache);
     ("ablate-hoist", exp_ablate_hoist);

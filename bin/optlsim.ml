@@ -8,6 +8,169 @@
 
 open Ptlsim
 open Cmdliner
+module Trace = Ptl_trace.Trace
+
+(* ---------- pipeline event tracing (--trace family) ---------- *)
+
+type trace_opts = {
+  t_on : bool;
+  t_start : int option;  (* begin capture at this cycle *)
+  t_stop : int option;  (* end of the capture window *)
+  t_rip : string;  (* restrict to one instruction address, "" = all *)
+  t_filter : string;  (* comma-separated event classes, "" = all *)
+  t_buf : int;  (* ring capacity in events *)
+  t_trigger : string;  (* immediate | cycle:N | mispredict *)
+  t_out : string list;  (* sink specs: [format:]path *)
+  t_timeline : int;  (* per-uop timeline rows to print, 0 = off *)
+}
+
+let trace_requested o = o.t_on || o.t_out <> [] || o.t_timeline > 0
+
+(* A sink spec is [format:]path; the format defaults from the extension
+   (.json -> chrome, .csv -> csv, else text). path "-" is stdout. *)
+let parse_sink spec =
+  match String.index_opt spec ':' with
+  | Some i ->
+    let f = String.sub spec 0 i in
+    let p = String.sub spec (i + 1) (String.length spec - i - 1) in
+    (match f with
+    | "text" | "chrome" | "csv" -> (f, p)
+    | _ -> failwith ("unknown trace sink format in " ^ spec))
+  | None ->
+    let f =
+      if Filename.check_suffix spec ".json" then "chrome"
+      else if Filename.check_suffix spec ".csv" then "csv"
+      else "text"
+    in
+    (f, spec)
+
+let setup_trace o =
+  if trace_requested o then begin
+    (* reject bad sink specs before burning cycles on the simulation *)
+    List.iter (fun s -> ignore (parse_sink s)) o.t_out;
+    let trigger =
+      match String.lowercase_ascii o.t_trigger with
+      | "" | "immediate" -> None
+      | "mispredict" -> Some Trace.On_mispredict
+      | s when String.length s > 6 && String.sub s 0 6 = "cycle:" ->
+        Some
+          (Trace.At_cycle
+             (int_of_string (String.sub s 6 (String.length s - 6))))
+      | other -> failwith ("unknown --trace-trigger: " ^ other)
+    in
+    Trace.configure ~capacity:o.t_buf ?start_cycle:o.t_start
+      ?stop_cycle:o.t_stop
+      ?rip:(if o.t_rip = "" then None else Some (Int64.of_string o.t_rip))
+      ~classes:(Trace.parse_classes o.t_filter)
+      ?trigger ()
+  end
+
+let write_sink spec =
+  let format, path = parse_sink spec in
+  let oc = if path = "-" then stdout else open_out path in
+  (match format with
+  | "text" -> Trace.dump_text oc
+  | "chrome" -> Trace.dump_chrome oc
+  | _ -> Trace.dump_csv oc);
+  if path <> "-" then close_out oc else flush oc;
+  Printf.printf "trace: wrote %s sink to %s\n" format path
+
+let finish_trace o stats =
+  if !Trace.on then begin
+    Printf.printf "trace: %d events in window (%d captured, %d lost to wraparound)\n"
+      (Trace.length ()) (Trace.captured ()) (Trace.overwritten ());
+    List.iter write_sink o.t_out;
+    (* Cross-check: every committed x86 instruction emits exactly one
+       tagged commit event, so with an unwrapped, unfiltered window the
+       trace must agree with the counter tree. A restricted capture
+       (window, trigger, rip or class filter) can never match, so skip. *)
+    let unrestricted =
+      o.t_start = None && o.t_stop = None && o.t_rip = "" && o.t_filter = ""
+      && (match String.lowercase_ascii o.t_trigger with
+         | "" | "immediate" -> true
+         | _ -> false)
+    in
+    let counter = Statstree.get stats "ooo.commit.insns" in
+    let commits = Trace.commits ~tag:"ooo" () in
+    if counter > 0 && unrestricted then
+      Printf.printf "trace: ooo commit events=%d vs ooo.commit.insns=%d%s\n"
+        commits counter
+        (if commits = counter then " (match)"
+         else if Trace.overwritten () > 0 then " (window wrapped)"
+         else " (MISMATCH)");
+    if o.t_timeline > 0 then begin
+      Printf.printf "trace: per-uop timelines (first %d):\n" o.t_timeline;
+      Trace.render_timeline ~limit:o.t_timeline stdout
+    end;
+    Trace.disable ()
+  end
+
+let trace_term =
+  let flag_on =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Enable pipeline event tracing.")
+  in
+  let start =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trace-start" ] ~docv:"CYCLE"
+          ~doc:"Start capturing at the given cycle (PTLsim -startlog).")
+  in
+  let stop =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trace-stop" ] ~docv:"CYCLE" ~doc:"Stop capturing at the given cycle.")
+  in
+  let rip =
+    Arg.(
+      value & opt string ""
+      & info [ "trace-rip" ] ~docv:"RIP"
+          ~doc:"Only capture events for this instruction address (e.g. 0x401000).")
+  in
+  let filter =
+    Arg.(
+      value & opt string ""
+      & info [ "trace-filter" ] ~docv:"CLASSES"
+          ~doc:
+            "Comma-separated event classes to capture: pipe, commit, cache, \
+             tlb, bb, bpred. Default: all.")
+  in
+  let buf =
+    Arg.(
+      value
+      & opt int (1 lsl 20)
+      & info [ "trace-buf" ] ~docv:"EVENTS"
+          ~doc:"Ring buffer capacity; older events are overwritten when full.")
+  in
+  let trigger =
+    Arg.(
+      value & opt string ""
+      & info [ "trace-trigger" ] ~docv:"WHEN"
+          ~doc:"When capture begins: immediate (default), cycle:N, or mispredict.")
+  in
+  let out =
+    Arg.(
+      value & opt_all string []
+      & info [ "trace-out" ] ~docv:"[FMT:]PATH"
+          ~doc:
+            "Write the captured window to a sink: text:PATH, chrome:PATH \
+             (Perfetto-loadable JSON), or csv:PATH. Repeatable; format \
+             defaults from the extension; PATH - is stdout.")
+  in
+  let timeline =
+    Arg.(
+      value
+      & opt int 0 ~vopt:40
+      & info [ "trace-timeline" ] ~docv:"ROWS"
+          ~doc:"Print per-uop stage-by-stage timelines for up to ROWS uops.")
+  in
+  let mk t_on t_start t_stop t_rip t_filter t_buf t_trigger t_out t_timeline =
+    { t_on; t_start; t_stop; t_rip; t_filter; t_buf; t_trigger; t_out; t_timeline }
+  in
+  Term.(
+    const mk $ flag_on $ start $ stop $ rip $ filter $ buf $ trigger $ out
+    $ timeline)
 
 let machine_of_name = function
   | "k8" | "k8-ptlsim" -> Config.k8_ptlsim
@@ -41,7 +204,8 @@ let print_summary d k =
     (String.concat " "
        (List.map (fun (m, c) -> Printf.sprintf "%d@%d" m c) (Domain.markers d)))
 
-let run_rsync core machine files commands max_mcycles =
+let run_rsync trace_opts core machine files commands max_mcycles =
+  setup_trace trace_opts;
   let fileset = { Fileset.default with Fileset.nfiles = files } in
   let d, k =
     Ptlmon.launch
@@ -56,14 +220,16 @@ let run_rsync core machine files commands max_mcycles =
   Domain.submit d commands;
   ignore (Domain.run ~max_cycles:(max_mcycles * 1_000_000) d);
   Printf.printf "synchronized correctly: %b\n" (Rsync_bench.verify_sync k);
-  print_summary d (Some k)
+  print_summary d (Some k);
+  finish_trace trace_opts d.Domain.env.Env.stats
 
-let run_compute core machine commands max_mcycles =
+let run_compute trace_opts core machine commands max_mcycles iters =
+  setup_trace trace_opts;
   let g = Gasm.create () in
   Gasm.jmp g "main";
   Gasm.label g "main";
   Gasm.li g Gasm.rbp Abi.user_heap_base;
-  Gasm.lii g Gasm.rcx 500_000;
+  Gasm.lii g Gasm.rcx iters;
   Gasm.label g "top";
   Gasm.ld g Gasm.rax ~base:Gasm.rbp ();
   Gasm.addi g Gasm.rax 1;
@@ -82,7 +248,8 @@ let run_compute core machine commands max_mcycles =
   let d = Domain.create ~kernel:k ~core ~config:(machine_of_name machine) env ctx in
   Domain.submit d commands;
   ignore (Domain.run ~max_cycles:(max_mcycles * 1_000_000) d);
-  print_summary d (Some k)
+  print_summary d (Some k);
+  finish_trace trace_opts env.Env.stats
 
 let core_arg =
   Arg.(value & opt string "ooo" & info [ "core" ] ~doc:"Core model (ooo, smt, inorder, seq).")
@@ -102,13 +269,23 @@ let commands_arg =
 let max_mcycles_arg =
   Arg.(value & opt int 8000 & info [ "max-mcycles" ] ~doc:"Cycle budget, in millions.")
 
+let iters_arg =
+  Arg.(
+    value
+    & opt int 500_000
+    & info [ "iters" ] ~doc:"Compute workload loop iterations.")
+
 let rsync_cmd =
   Cmd.v (Cmd.info "rsync" ~doc:"Run the paper's rsync-over-ssh benchmark")
-    Term.(const run_rsync $ core_arg $ machine_arg $ files_arg $ commands_arg $ max_mcycles_arg)
+    Term.(
+      const run_rsync $ trace_term $ core_arg $ machine_arg $ files_arg
+      $ commands_arg $ max_mcycles_arg)
 
 let compute_cmd =
   Cmd.v (Cmd.info "compute" ~doc:"Run a synthetic compute workload")
-    Term.(const run_compute $ core_arg $ machine_arg $ commands_arg $ max_mcycles_arg)
+    Term.(
+      const run_compute $ trace_term $ core_arg $ machine_arg $ commands_arg
+      $ max_mcycles_arg $ iters_arg)
 
 let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc:"List registered core models")

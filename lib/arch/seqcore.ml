@@ -16,6 +16,7 @@
 open Ptl_util
 module Uop = Ptl_uop.Uop
 module Stats = Ptl_stats.Statstree
+module Trace = Ptl_trace.Trace
 module Pm = Ptl_mem.Phys_mem
 
 (** Optional per-event callbacks, used by timing monitors layered on the
@@ -31,6 +32,7 @@ type hooks = {
 type t = {
   env : Env.t;
   ctx : Context.t;
+  prefix : string;  (* stats / trace namespace, e.g. "seq", "native" *)
   bbcache : Ptl_uop.Bbcache.t;
   mutable hooks : hooks option;
   c_insns : Stats.counter;
@@ -49,6 +51,7 @@ let create ?(prefix = "seq") ?max_bb_insns env ctx =
   {
     env;
     ctx;
+    prefix;
     bbcache = Ptl_uop.Bbcache.create ?max_insns:max_bb_insns env.Env.stats;
     hooks = None;
     c_insns = c "insns";
@@ -107,6 +110,9 @@ let commit_macro t ms =
     (List.rev ms.store_writes);
   t.ctx.Context.insns_committed <- t.ctx.Context.insns_committed + 1;
   Stats.incr t.c_insns;
+  if !Trace.on then
+    Trace.emit ~uuid:t.ctx.Context.insns_committed ~rip:t.ctx.Context.rip
+      ~tag:t.prefix Trace.Commit;
   match t.hooks with
   | Some h -> h.h_insn ~rip:t.ctx.Context.rip ~kernel:(Context.is_kernel t.ctx)
   | None -> ()
@@ -207,6 +213,7 @@ let mfn_fn t ~at_rip vaddr = Vmem.code_mfn t.env.Env.vmem t.ctx ~at_rip vaddr
     boundaries; blocks are bounded (16 instructions), so delivery latency
     is bounded and deterministic. *)
 let step_block t : status =
+  if !Trace.on then Trace.set_cycle t.env.Env.cycle;
   let ctx = t.ctx in
   if not ctx.Context.running then
     if Assists.try_deliver_irq t.env ctx then begin

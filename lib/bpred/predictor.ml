@@ -125,19 +125,31 @@ let bump arr i taken =
 (** Predict the direction of the conditional branch at [rip]. *)
 let predict_cond t ~rip =
   Stats.incr t.s_predicts;
-  match t.config.direction with
-  | Always_taken -> true
-  | Saturating _ | Bimodal _ -> counter_taken t.counters.(rip_index t rip)
-  | Gshare _ -> counter_taken t.counters.(gshare_index t rip)
-  | Hybrid { chooser_bits; _ } ->
-    let ci = rip_index t rip land ((1 lsl chooser_bits) - 1) in
-    if counter_taken t.chooser.(ci) then counter_taken t.counters.(gshare_index t rip)
-    else counter_taken t.bimodal_tbl.(rip_index t rip)
+  let taken =
+    match t.config.direction with
+    | Always_taken -> true
+    | Saturating _ | Bimodal _ -> counter_taken t.counters.(rip_index t rip)
+    | Gshare _ -> counter_taken t.counters.(gshare_index t rip)
+    | Hybrid { chooser_bits; _ } ->
+      let ci = rip_index t rip land ((1 lsl chooser_bits) - 1) in
+      if counter_taken t.chooser.(ci) then
+        counter_taken t.counters.(gshare_index t rip)
+      else counter_taken t.bimodal_tbl.(rip_index t rip)
+  in
+  if !Ptl_trace.Trace.on then
+    Ptl_trace.Trace.emit ~rip
+      ~tag:(if taken then "taken" else "nt")
+      Ptl_trace.Trace.Bpred_predict;
+  taken
 
 (** Train at commit. [mispredicted] is accounted by the caller's pipeline;
     here it only feeds the misprediction counter. *)
 let update_cond t ~rip ~taken ~mispredicted =
   if mispredicted then Stats.incr t.s_mispredicts;
+  if !Ptl_trace.Trace.on then
+    Ptl_trace.Trace.emit ~rip
+      ~tag:(if mispredicted then "misp" else "ok")
+      Ptl_trace.Trace.Bpred_update;
   (match t.config.direction with
   | Always_taken -> ()
   | Saturating _ | Bimodal _ -> bump t.counters (rip_index t rip) taken

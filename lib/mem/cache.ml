@@ -141,11 +141,17 @@ let access t paddr ~write =
   match find 0 with
   | Some w ->
     Ptl_stats.Statstree.incr t.hits;
+    if !Ptl_trace.Trace.on then
+      Ptl_trace.Trace.emit ~info:(Int64.of_int paddr) ~tag:t.config.name
+        Ptl_trace.Trace.Cache_hit;
     if t.config.replacement = Lru then ways.(w).stamp <- t.tick;
     if write then ways.(w).dirty <- true;
     Hit
   | None ->
     Ptl_stats.Statstree.incr t.misses;
+    if !Ptl_trace.Trace.on then
+      Ptl_trace.Trace.emit ~info:(Int64.of_int paddr) ~tag:t.config.name
+        Ptl_trace.Trace.Cache_miss;
     let w = pick_victim t s in
     let victim = ways.(w) in
     let writeback =

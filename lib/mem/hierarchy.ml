@@ -113,6 +113,9 @@ let prefetch t paddr =
     let next = Cache.line_addr t.l1d paddr + t.config.l1d.line_size in
     if not (Cache.probe t.l2 next) then begin
       Stats.incr t.prefetches;
+      if !Ptl_trace.Trace.on then
+        Ptl_trace.Trace.emit ~info:(Int64.of_int next) ~tag:"next-line"
+          Ptl_trace.Trace.Prefetch;
       (* The K8 prefetcher fills into L2; L1D still takes the (cheap)
          miss but the line is close by. *)
       Cache.fill t.l2 next
@@ -130,6 +133,9 @@ let data_access t ~cycle ~paddr ~write =
     | Some ready when ready > cycle ->
       (* Merge with the outstanding miss. *)
       Stats.incr t.mshr_merges;
+      if !Ptl_trace.Trace.on then
+        Ptl_trace.Trace.emit ~info:(Int64.of_int paddr) ~tag:"mshr-merge"
+          Ptl_trace.Trace.Cache_miss;
       ready - cycle
     | _ ->
       let extra =

@@ -105,6 +105,7 @@ let k8_config =
   { l1_entries = 32; l1_ways = 32; l2 = Some (1024, 4); pde_entries = 24 }
 
 type t = {
+  name : string;  (* trace tag, e.g. "dtlb" *)
   l1 : level;
   l2 : level option;
   (* PDE cache: maps the upper 27 VPN bits to the level-1 table, cutting a
@@ -112,8 +113,9 @@ type t = {
   pde : level option;
 }
 
-let create config =
+let create ?(name = "tlb") config =
   {
+    name;
     l1 = make_level ~entries:config.l1_entries ~ways:config.l1_ways;
     l2 =
       Option.map (fun (entries, ways) -> make_level ~entries ~ways) config.l2;
@@ -130,18 +132,29 @@ type hit = L1_hit of entry | L2_hit of entry | Tlb_miss
 
 let lookup t vaddr =
   let vpn = vpn_of_vaddr vaddr in
-  match level_lookup t.l1 vpn with
-  | Some e -> L1_hit e
-  | None ->
-    (match t.l2 with
-    | None -> Tlb_miss
-    | Some l2 ->
-      (match level_lookup l2 vpn with
-      | Some e ->
-        (* Promote into L1. *)
-        level_insert t.l1 vpn e;
-        L2_hit e
-      | None -> Tlb_miss))
+  let hit =
+    match level_lookup t.l1 vpn with
+    | Some e -> L1_hit e
+    | None ->
+      (match t.l2 with
+      | None -> Tlb_miss
+      | Some l2 ->
+        (match level_lookup l2 vpn with
+        | Some e ->
+          (* Promote into L1. *)
+          level_insert t.l1 vpn e;
+          L2_hit e
+        | None -> Tlb_miss))
+  in
+  (if !Ptl_trace.Trace.on then
+     match hit with
+     | L1_hit _ ->
+       Ptl_trace.Trace.emit ~info:vaddr ~slot:1 ~tag:t.name Ptl_trace.Trace.Tlb_hit
+     | L2_hit _ ->
+       Ptl_trace.Trace.emit ~info:vaddr ~slot:2 ~tag:t.name Ptl_trace.Trace.Tlb_hit
+     | Tlb_miss ->
+       Ptl_trace.Trace.emit ~info:vaddr ~tag:t.name Ptl_trace.Trace.Tlb_miss);
+  hit
 
 (** Install a translation after a walk fills it. *)
 let insert t vaddr entry =

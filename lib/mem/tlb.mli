@@ -25,7 +25,8 @@ val k8_config : config
 
 type t
 
-val create : config -> t
+(** [name] tags this TLB's trace events (e.g. "dtlb", "itlb"). *)
+val create : ?name:string -> config -> t
 
 type hit = L1_hit of entry | L2_hit of entry | Tlb_miss
 

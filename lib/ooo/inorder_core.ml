@@ -18,6 +18,7 @@ module Pm = Ptl_mem.Phys_mem
 module Pt = Ptl_mem.Pagetable
 module Predictor = Ptl_bpred.Predictor
 module Stats = Ptl_stats.Statstree
+module Trace = Ptl_trace.Trace
 
 type t = {
   env : Env.t;
@@ -44,8 +45,8 @@ let create ?(prefix = "inorder") (config : Config.t) env ctx =
       seq = Seqcore.create ~prefix env ctx;
       hierarchy =
         Hierarchy.create ~prefix:(prefix ^ ".mem") stats config.Config.hierarchy;
-      dtlb = Tlb.create config.Config.dtlb;
-      itlb = Tlb.create config.Config.itlb;
+      dtlb = Tlb.create ~name:(prefix ^ ".dtlb") config.Config.dtlb;
+      itlb = Tlb.create ~name:(prefix ^ ".itlb") config.Config.itlb;
       bpred = Predictor.create ~prefix:(prefix ^ ".bpred") stats config.Config.bpred;
       pending_cycles = 0;
       tlb_gen_seen = ctx.Context.tlb_generation;
@@ -99,7 +100,13 @@ let create ?(prefix = "inorder") (config : Config.t) env ctx =
               let pred = Predictor.predict_cond t.bpred ~rip in
               let mispredicted = pred <> taken in
               Predictor.update_cond t.bpred ~rip ~taken ~mispredicted;
-              if mispredicted then charge 8
+              if mispredicted then begin
+                if !Trace.on then
+                  Trace.emit ~rip ~info:target
+                    ~tag:(if taken then "taken" else "nt")
+                    Trace.Mispredict;
+                charge 8
+              end
             end
             else begin
               (* indirect/direct: BTB-checked *)
@@ -107,6 +114,8 @@ let create ?(prefix = "inorder") (config : Config.t) env ctx =
               | Some p when p = target -> ()
               | _ ->
                 Predictor.update_target t.bpred ~rip ~target;
+                if !Trace.on then
+                  Trace.emit ~rip ~info:target ~tag:"btb" Trace.Mispredict;
                 charge 8
             end);
         h_insn =
@@ -121,6 +130,7 @@ let create ?(prefix = "inorder") (config : Config.t) env ctx =
 (** Execute one basic block and advance simulated time by its cost.
     Returns the seqcore status. *)
 let step_block t =
+  if !Trace.on then Trace.set_cycle t.env.Env.cycle;
   if t.ctx.Context.tlb_generation <> t.tlb_gen_seen then begin
     t.tlb_gen_seen <- t.ctx.Context.tlb_generation;
     Tlb.flush t.dtlb;

@@ -32,6 +32,7 @@ module Tlb = Ptl_mem.Tlb
 module Hierarchy = Ptl_mem.Hierarchy
 module Predictor = Ptl_bpred.Predictor
 module Stats = Ptl_stats.Statstree
+module Trace = Ptl_trace.Trace
 
 type rat_entry = Arch | Phys of int
 
@@ -49,6 +50,7 @@ type redirect =
 type rob_entry = {
   uop : Uop.t;
   seq : int;
+  uuid : int;  (* fetch-order id for the event trace *)
   thread : int;
   bb_rip : int64;  (* start of the basic block this uop was fetched from *)
   bb_index : int;  (* index within that block *)
@@ -91,6 +93,7 @@ type rob_entry = {
 (* A uop sitting in the fetch queue with its prediction. *)
 type fetched = {
   f_uop : Uop.t;
+  f_uuid : int;  (* fetch-order id for the event trace *)
   f_bb_rip : int64;
   f_bb_index : int;
   f_cycle : int;  (* fetch cycle, for frontend depth *)
@@ -124,6 +127,7 @@ type t = {
   config : Config.t;
   env : Env.t;
   core_id : int;
+  prefix : string;  (* stats / trace namespace, e.g. "ooo" *)
   threads : thread_state array;
   prf : Physreg.t;
   iqs : iq_slot option array array;  (* per cluster, collapsing queue *)
@@ -134,6 +138,7 @@ type t = {
   bpred : Predictor.t;
   interlock : Interlock.t;
   mutable seq_counter : int;
+  mutable uuid_counter : int;  (* fetch-order trace ids *)
   mutable fetch_round : int;  (* SMT round-robin pointer *)
   (* per-cycle bank occupancy for L1D bank-conflict modeling *)
   mutable banks_cycle : int;
@@ -192,6 +197,7 @@ let create ?(core_id = 0) ?(prefix = "ooo") ?interlock ?bbcache (config : Config
     config;
     env;
     core_id;
+    prefix;
     threads = Array.mapi thread contexts;
     prf = Physreg.create config.Config.phys_regs;
     iqs =
@@ -199,12 +205,13 @@ let create ?(core_id = 0) ?(prefix = "ooo") ?interlock ?bbcache (config : Config
         (List.map (fun cl -> Array.make cl.Config.iq_size None) config.Config.clusters);
     bbcache = (match bbcache with Some b -> b | None -> Bbcache.create stats);
     hierarchy = Hierarchy.create ~prefix:(prefix ^ ".mem") stats config.Config.hierarchy;
-    dtlb = Tlb.create config.Config.dtlb;
-    itlb = Tlb.create config.Config.itlb;
+    dtlb = Tlb.create ~name:(prefix ^ ".dtlb") config.Config.dtlb;
+    itlb = Tlb.create ~name:(prefix ^ ".itlb") config.Config.itlb;
     bpred = Predictor.create ~prefix:(prefix ^ ".bpred") stats config.Config.bpred;
     interlock =
       (match interlock with Some i -> i | None -> Interlock.create stats);
     seq_counter = 0;
+    uuid_counter = 0;
     fetch_round = 0;
     banks_cycle = -1;
     banks_used = [];
@@ -234,6 +241,16 @@ let create ?(core_id = 0) ?(prefix = "ooo") ?interlock ?bbcache (config : Config
   }
 
 let now t = t.env.Env.cycle
+
+(* Trace helpers. Every call site guards with [if !Trace.on then ...] so
+   the disabled path costs one branch and allocates nothing; these run
+   only when tracing is armed. *)
+let trace_uop t (e : rob_entry) kind =
+  Trace.emit ~core:t.core_id ~thread:e.thread ~uuid:e.uuid ~rip:e.uop.Uop.rip kind
+
+let trace_replay t (e : rob_entry) reason =
+  Trace.emit ~core:t.core_id ~thread:e.thread ~uuid:e.uuid ~rip:e.uop.Uop.rip
+    ~info:e.vaddr ~tag:reason Trace.Replay
 
 (* ---------- RAT / physreg plumbing ---------- *)
 
@@ -332,6 +349,7 @@ let annul_youngest t th n =
   for k = 0 to n - 1 do
     let idx = Ring.length th.rob - 1 - k in
     let e = Ring.get th.rob idx in
+    if !Trace.on then trace_uop t e Trace.Annul;
     (match e.old_rd with Some (r, prev) -> th.rat.(r) <- prev | None -> ());
     (match e.old_flags with Some prev -> th.rat.(Uop.reg_flags) <- prev | None -> ());
     (match e.uop.Uop.op with
@@ -401,6 +419,8 @@ let flush_fetch th =
    redirect penalty. *)
 let flush_thread t th ~rip =
   Stats.incr t.c_flushes;
+  if !Trace.on then
+    Trace.emit ~core:t.core_id ~thread:th.tid ~rip ~tag:t.prefix Trace.Flush;
   annul_youngest t th (Ring.length th.rob);
   reset_rat t th;
   flush_fetch th;
@@ -472,9 +492,14 @@ let push_fault_uop t th fault =
     { Uop.default with Uop.op = Uop.Nop; som = true; eom = true;
       rip = th.fetch_rip; next_rip = th.fetch_rip }
   in
+  t.uuid_counter <- t.uuid_counter + 1;
+  if !Trace.on then
+    Trace.emit ~core:t.core_id ~thread:th.tid ~uuid:t.uuid_counter
+      ~rip:th.fetch_rip ~tag:"fault" Trace.Fetch;
   Ring.push th.fetchq
     {
       f_uop = u;
+      f_uuid = t.uuid_counter;
       f_bb_rip = th.fetch_rip;
       f_bb_index = 0;
       f_cycle = now t;
@@ -577,9 +602,15 @@ let fetch_thread t th =
           in
           if line_ok then begin
             let pred_taken, pred_target, ras_ck = predict_branch t u in
+            t.uuid_counter <- t.uuid_counter + 1;
+            if !Trace.on then
+              Trace.emit ~core:t.core_id ~thread:th.tid ~uuid:t.uuid_counter
+                ~rip:u.Uop.rip ~slot:th.fetch_bb_index ~info:pred_target
+                Trace.Fetch;
             Ring.push th.fetchq
               {
                 f_uop = u;
+                f_uuid = t.uuid_counter;
                 f_bb_rip = bb.Bbcache.key.Bbcache.krip;
                 f_bb_index = th.fetch_bb_index;
                 f_cycle = now t;
@@ -672,6 +703,7 @@ let rename_thread t th =
               {
                 uop = u;
                 seq = t.seq_counter;
+                uuid = f.f_uuid;
                 thread = th.tid;
                 bb_rip = f.f_bb_rip;
                 bb_index = f.f_bb_index;
@@ -709,6 +741,14 @@ let rename_thread t th =
               }
             in
             Ring.push th.rob entry;
+            if !Trace.on then begin
+              Trace.emit ~core:t.core_id ~thread:th.tid ~uuid:entry.uuid
+                ~rip:u.Uop.rip
+                ~slot:(Ring.length th.rob - 1)
+                Trace.Rename;
+              Trace.emit ~core:t.core_id ~thread:th.tid ~uuid:entry.uuid
+                ~rip:u.Uop.rip ~slot:cluster Trace.Dispatch
+            end;
             if is_mem then Ring.push th.lsq entry;
             if not is_assist then begin
               let inserted = iq_insert t cluster entry in
@@ -830,6 +870,12 @@ let store_queue_search t th (load : rob_entry) =
 let thread_of t e = t.threads.(e.thread)
 
 let redirect_fetch t th ~where =
+  if !Trace.on then begin
+    let target =
+      match where with To_rip rip -> rip | Into_block { ib_rip; _ } -> ib_rip
+    in
+    Trace.emit ~core:t.core_id ~thread:th.tid ~rip:target Trace.Redirect
+  end;
   flush_fetch th;
   th.fetch_enabled <- true;
   th.redirect <- Some (now t + t.config.Config.redirect_penalty, where)
@@ -846,6 +892,11 @@ let resolve_branch t th (e : rob_entry) (out : Exec.outcome) =
   in
   if wrong then begin
     e.mispredicted <- true;
+    if !Trace.on then
+      Trace.emit ~core:t.core_id ~thread:e.thread ~uuid:e.uuid
+        ~rip:e.uop.Uop.rip ~info:out.Exec.target
+        ~tag:(if out.Exec.taken then "taken" else "nt")
+        Trace.Mispredict;
     annul_after t th e;
     let where =
       if out.Exec.taken then To_rip out.Exec.target
@@ -926,6 +977,7 @@ let execute_load t th (e : rob_entry) (out : Exec.outcome) =
     in
     if older_locked_pending then begin
       Stats.incr t.c_replays;
+      if !Trace.on then trace_replay t e "fence";
       e.replays <- e.replays + 1;
       e.retry_cycle <- now t + 2
     end
@@ -937,6 +989,7 @@ let execute_load t th (e : rob_entry) (out : Exec.outcome) =
       else begin
         (* replay until the owner releases *)
         Stats.incr t.c_replays;
+        if !Trace.on then trace_replay t e "lock-acquire";
         e.replays <- e.replays + 1;
         e.retry_cycle <- now t + 4;
         e.addr_valid <- false
@@ -949,6 +1002,7 @@ let execute_load t th (e : rob_entry) (out : Exec.outcome) =
     then begin
       (* another thread interlocked this address: replay until release *)
       Stats.incr t.c_replays;
+      if !Trace.on then trace_replay t e "locked-other";
       e.replays <- e.replays + 1;
       e.retry_cycle <- now t + 4
     end
@@ -958,8 +1012,9 @@ let execute_load t th (e : rob_entry) (out : Exec.outcome) =
          otherwise hold the lock while blocked behind the older
          iteration's unresolved store — a self-deadlock. The lock is only
          kept across a *successful* read (deadlock prevention, §2.2). *)
-      let replay_release delay =
+      let replay_release ?(reason = "") delay =
         Stats.incr t.c_replays;
+        if !Trace.on then trace_replay t e reason;
         e.replays <- e.replays + 1;
         e.retry_cycle <- now t + delay;
         if e.locked_acquired then begin
@@ -971,18 +1026,21 @@ let execute_load t th (e : rob_entry) (out : Exec.outcome) =
       match store_queue_search t th e with
       | Sq_unknown_addr when not t.config.Config.load_hoisting ->
         (* K8: no load hoisting — wait for older store addresses *)
-        replay_release 2
-      | Sq_partial -> replay_release 2
+        replay_release ~reason:"sq-unknown" 2
+      | Sq_partial -> replay_release ~reason:"sq-partial" 2
       | Sq_forward v ->
         e.result <- v;
         e.rflags <- out.Exec.flags;
         e.writeback_cycle <- now t + tlb_lat + 2 (* forwarding latency *);
         e.state <- Issued;
+        if !Trace.on then
+          Trace.emit ~core:t.core_id ~thread:e.thread ~uuid:e.uuid
+            ~rip:u.Uop.rip ~info:e.vaddr ~tag:"sq" Trace.Forward;
         iq_remove t e
       | Sq_none | Sq_unknown_addr -> (
         if bank_conflict t paddr then begin
           Stats.incr t.c_bank_conflicts;
-          replay_release 1
+          replay_release ~reason:"bank" 1
         end
         else
           match read_guest_data t th ~vaddr ~paddr ~size:u.Uop.mem_size ~at_rip with
@@ -1010,12 +1068,14 @@ let execute_store t th (e : rob_entry) (out : Exec.outcome) ~rc =
       && Interlock.locked_by_other t.interlock ~core:t.core_id ~thread:th.tid ~paddr
     then begin
       Stats.incr t.c_replays;
+      if !Trace.on then trace_replay t e "locked-other";
       e.replays <- e.replays + 1;
       e.retry_cycle <- now t + 4
     end
     else if bank_conflict t paddr then begin
       Stats.incr t.c_bank_conflicts;
       Stats.incr t.c_replays;
+      if !Trace.on then trace_replay t e "bank";
       e.replays <- e.replays + 1;
       e.retry_cycle <- now t + 4
     end
@@ -1033,6 +1093,9 @@ let execute_store t th (e : rob_entry) (out : Exec.outcome) ~rc =
 let execute_entry t (e : rob_entry) =
   let th = thread_of t e in
   let u = e.uop in
+  if !Trace.on then
+    Trace.emit ~core:t.core_id ~thread:e.thread ~uuid:e.uuid ~rip:u.Uop.rip
+      ~slot:e.exec_cluster Trace.Issue;
   let ra = src_value t th (e.src_a, u.Uop.ra) in
   let rb = src_value t th (e.src_b, u.Uop.rb) in
   let rc = src_value t th (e.src_c, u.Uop.rc) in
@@ -1124,7 +1187,8 @@ let writeback t =
             if e.dest_flags >= 0 then
               Physreg.write t.prf e.dest_flags ~value:0L ~flags:e.rflags
                 ~cycle:e.writeback_cycle ~cluster:e.exec_cluster;
-            e.state <- Done
+            e.state <- Done;
+            if !Trace.on then trace_uop t e Trace.Writeback
           end))
     t.threads
 
@@ -1195,6 +1259,9 @@ let train_branch t (e : rob_entry) =
 (* Deliver a fault precisely: nothing of the faulting instruction commits. *)
 let commit_fault t th (f : Fault.t) =
   Stats.incr t.c_faults;
+  if !Trace.on then
+    Trace.emit ~core:t.core_id ~thread:th.tid ~rip:f.Fault.at_rip ~tag:"fault"
+      Trace.Flush;
   annul_youngest t th (Ring.length th.rob);
   reset_rat t th;
   flush_fetch th;
@@ -1249,6 +1316,7 @@ let commit_thread t th =
          for i = 0 to last do
            let e = Ring.get th.rob i in
            Stats.incr t.c_uops;
+           if !Trace.on then trace_uop t e Trace.Commit_uop;
            (match e.uop.Uop.op with
            | Uop.Ldl | Uop.Strel ->
              Interlock.trace t.interlock "%d: commit %s seq=%d th=%d acq=%b" (now t)
@@ -1304,6 +1372,9 @@ let commit_thread t th =
         in
         pop_lsq ();
         Stats.incr t.c_insns;
+        if !Trace.on then
+          Trace.emit ~core:t.core_id ~thread:th.tid ~uuid:last_e.uuid
+            ~rip:last_e.uop.Uop.rip ~slot:nuops ~tag:t.prefix Trace.Commit;
         ctx.Context.insns_committed <- ctx.Context.insns_committed + 1;
         if t.config.Config.count_uop_triads then
           Stats.add t.c_triads ((nuops + 2) / 3);
@@ -1349,6 +1420,7 @@ let thread_idle th =
 
 (** Advance the core by one cycle (the driver owns env.cycle). *)
 let step t =
+  if !Trace.on then Trace.set_cycle (now t);
   Stats.incr t.c_cycles;
   count_mode_cycles t;
   Array.iter (fun th -> commit_thread t th) t.threads;

@@ -1,0 +1,150 @@
+(** Cycle-accurate pipeline event trace (the paper's §2.3 event-log ring
+    buffer).
+
+    Emit sites across the simulator record typed events into a bounded
+    ring buffer that overwrites its oldest entries, so the most recent
+    window of pipeline activity can always be reconstructed cycle by
+    cycle. The module is a process-global: the disabled path at each emit
+    site is exactly one branch on {!on}, with no allocation.
+
+    Usage at an emit site:
+    {[ if !Trace.on then Trace.emit ~core ~uuid ~rip Trace.Issue ]} *)
+
+type kind =
+  | Fetch
+  | Rename
+  | Dispatch
+  | Issue
+  | Forward
+  | Writeback
+  | Replay
+  | Annul
+  | Redirect
+  | Flush
+  | Mispredict
+  | Commit      (** one committed x86 instruction *)
+  | Commit_uop  (** one committed uop of that instruction *)
+  | Cache_hit
+  | Cache_miss
+  | Prefetch
+  | Tlb_hit
+  | Tlb_miss
+  | Bb_hit
+  | Bb_miss
+  | Bpred_predict
+  | Bpred_update
+
+val kind_name : kind -> string
+
+(** Coarse event classes, the unit of [-trace-filter] selection:
+    [Pipe] fetch..mispredict, [Retire] commit events, [Mem] caches,
+    [Tlb], [Bb] basic-block cache, [Bpred] predictor. *)
+type cls = Pipe | Retire | Mem | Tlb | Bb | Bpred
+
+val class_of : kind -> cls
+val class_name : cls -> string
+val all_classes : cls list
+
+(** Parse a comma-separated class list, e.g. ["pipe,commit,tlb"]. The
+    empty string selects every class; unknown names raise
+    [Invalid_argument]. *)
+val parse_classes : string -> cls list
+
+type event = {
+  ev_cycle : int;
+  ev_kind : kind;
+  ev_core : int;
+  ev_thread : int;
+  ev_uuid : int;    (** fetch-order uop id; -1 when not uop-scoped *)
+  ev_rip : int64;
+  ev_slot : int;    (** ROB index / cluster / level; kind-specific *)
+  ev_info : int64;  (** kind-specific payload (address, target, ...) *)
+  ev_tag : string;  (** short detail: structure name, replay reason *)
+}
+
+(** When capture actually begins. *)
+type trigger =
+  | Immediate
+  | At_cycle of int   (** begin logging at a given simulated cycle *)
+  | On_mispredict     (** begin at the first mispredicted branch *)
+
+(** The one-branch gate: true iff tracing is configured. Emit sites MUST
+    guard with [if !Trace.on] so the disabled path never allocates. *)
+val on : bool ref
+
+(** Arm the trace with a fresh ring of [capacity] events (default 2^20).
+    [start_cycle] is sugar for [~trigger:(At_cycle n)] (an explicit
+    [trigger] wins); [stop_cycle] closes the capture window; [rip]
+    restricts capture to events carrying that exact RIP; [classes]
+    restricts by event class. *)
+val configure :
+  ?capacity:int ->
+  ?start_cycle:int ->
+  ?stop_cycle:int ->
+  ?rip:int64 ->
+  ?classes:cls list ->
+  ?trigger:trigger ->
+  unit ->
+  unit
+
+val disable : unit -> unit
+
+(** Drop captured events but keep the configuration armed (re-arms the
+    trigger). *)
+val clear : unit -> unit
+
+(** Cores store the simulated cycle here once per step so leaf emitters
+    (caches, TLBs, the predictor) need not thread it through. *)
+val set_cycle : int -> unit
+
+val now : unit -> int
+
+(** Record one event; a no-op unless {!on} (but call sites should guard
+    themselves for zero disabled-path cost). Defaults: [core=0]
+    [thread=0] [uuid=-1] [rip=0L] [slot=-1] [info=0L] [tag=""]. *)
+val emit :
+  ?core:int ->
+  ?thread:int ->
+  ?uuid:int ->
+  ?rip:int64 ->
+  ?slot:int ->
+  ?info:int64 ->
+  ?tag:string ->
+  kind ->
+  unit
+
+(** Oldest-to-youngest snapshot of the captured window. *)
+val events : unit -> event list
+
+(** Events accepted into the ring over the whole run (including ones
+    since lost to wraparound). *)
+val captured : unit -> int
+
+(** Accepted events lost to ring wraparound. *)
+val overwritten : unit -> int
+
+(** Events currently in the window. *)
+val length : unit -> int
+
+val count : (event -> bool) -> int
+
+(** Committed x86 instructions in the window, optionally restricted to
+    one core model's commit [tag] (e.g. ["ooo"]). *)
+val commits : ?tag:string -> unit -> int
+
+(** Human-readable event log, oldest first. *)
+val dump_text : out_channel -> unit
+
+(** CSV: one row per event. *)
+val dump_csv : out_channel -> unit
+
+(** Chrome trace-event JSON (Perfetto / chrome://tracing): one process
+    per core, one track per pipeline stage, one 1-cycle complete event
+    per trace event, with metadata naming the tracks. *)
+val dump_chrome : out_channel -> unit
+
+(** Render per-uop timelines, one row per uop in fetch (uuid) order, one
+    column per stage holding the cycle the uop reached it, with notes for
+    mispredicts, annuls and replays. [rip] restricts to one instruction
+    address; at most [limit] rows (default 1000) are printed. *)
+val render_timeline : ?rip:int64 -> ?limit:int -> out_channel -> unit

@@ -125,9 +125,11 @@ let lookup t ~rip ~kernel ~fetch ~mfn_of =
   match Hashtbl.find_opt t.blocks key with
   | Some bb ->
     Stats.incr t.hits;
+    if !Ptl_trace.Trace.on then Ptl_trace.Trace.emit ~rip Ptl_trace.Trace.Bb_hit;
     bb
   | None ->
     Stats.incr t.misses;
+    if !Ptl_trace.Trace.on then Ptl_trace.Trace.emit ~rip Ptl_trace.Trace.Bb_miss;
     build t ~rip ~kernel ~fetch ~mfn_of
 
 (** Invalidate every block decoded from [mfn]; returns how many died. *)
@@ -158,6 +160,9 @@ let store_committed t mfn =
   if mfn_has_code t mfn then begin
     ignore (invalidate_mfn t mfn);
     Stats.incr t.smc_flushes;
+    if !Ptl_trace.Trace.on then
+      Ptl_trace.Trace.emit ~info:(Int64.of_int mfn) ~tag:"smc"
+        Ptl_trace.Trace.Flush;
     true
   end
   else false

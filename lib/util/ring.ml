@@ -28,6 +28,23 @@ let push t v =
   t.slots.(idx) <- Some v;
   t.count <- t.count + 1
 
+(** Append at the tail; when full, overwrite (drop) the oldest element.
+    This is the bounded-event-log discipline of the paper's §2.3 ring
+    buffer: the window always holds the most recent [capacity] entries.
+    Returns [true] when an old element was overwritten. *)
+let push_overwrite t v =
+  let cap = Array.length t.slots in
+  if t.count = cap then begin
+    t.slots.(t.head) <- Some v;
+    t.head <- (t.head + 1) mod cap;
+    true
+  end
+  else begin
+    t.slots.((t.head + t.count) mod cap) <- Some v;
+    t.count <- t.count + 1;
+    false
+  end
+
 (** Remove and return the oldest element. Raises [Failure] when empty. *)
 let pop t =
   if is_empty t then failwith "Ring.pop: empty";

@@ -20,6 +20,11 @@ val remaining : 'a t -> int
 (** Append at the tail; raises [Failure] when full. *)
 val push : 'a t -> 'a -> unit
 
+(** Append at the tail; when full, overwrites the oldest element instead
+    of failing (event-log semantics). Returns [true] iff an element was
+    overwritten. *)
+val push_overwrite : 'a t -> 'a -> bool
+
 (** Remove and return the oldest element; raises [Failure] when empty. *)
 val pop : 'a t -> 'a
 

@@ -7,6 +7,7 @@ let () =
     [
       ("w64", Test_w64.suite);
       ("util", Test_util.suite);
+      ("trace", Test_trace.suite);
       ("stats", Test_stats.suite);
       ("isa", Test_isa.suite);
       ("mem", Test_mem.suite);

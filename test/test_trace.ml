@@ -1,0 +1,353 @@
+(* Trace subsystem tests: ring wraparound/overwrite semantics, the trace
+   filters (class / RIP / cycle window), trigger modes, sink sanity, and an
+   end-to-end OOO run checking that the captured window reconstructs
+   exactly what the counter tree says happened — commit events equal to
+   ooo.commit.insns, and a mispredicted branch visible with its annulled
+   wrong-path uops. *)
+
+open Ptl_util
+open Ptl_isa
+module Trace = Ptl_trace.Trace
+module Machine = Ptl_arch.Machine
+module Ooo = Ptl_ooo.Ooo_core
+module Config = Ptl_ooo.Config
+module Stats = Ptl_stats.Statstree
+
+(* Every test must leave the global trace disarmed, or later suites would
+   capture events into a stale configuration. *)
+let with_trace f =
+  Fun.protect ~finally:(fun () -> Trace.disable ()) f
+
+(* ---------- ring overwrite semantics ---------- *)
+
+let test_ring_push_overwrite () =
+  let r = Ring.create 4 in
+  for i = 1 to 4 do
+    Alcotest.(check bool)
+      (Printf.sprintf "no overwrite at %d" i)
+      false
+      (Ring.push_overwrite r i)
+  done;
+  Alcotest.(check bool) "full" true (Ring.is_full r);
+  (* pushing into a full ring drops the oldest *)
+  Alcotest.(check bool) "overwrites" true (Ring.push_overwrite r 5);
+  Alcotest.(check (list int)) "oldest dropped" [ 2; 3; 4; 5 ] (Ring.to_list r);
+  Alcotest.(check bool) "overwrites again" true (Ring.push_overwrite r 6);
+  Alcotest.(check (list int)) "window slides" [ 3; 4; 5; 6 ] (Ring.to_list r);
+  Alcotest.(check int) "length stays at capacity" 4 (Ring.length r)
+
+let test_ring_overwrite_wraparound_many () =
+  let cap = 7 in
+  let r = Ring.create cap in
+  for i = 1 to 1000 do
+    ignore (Ring.push_overwrite r i)
+  done;
+  (* the window is always the [cap] most recent values, in order *)
+  Alcotest.(check (list int))
+    "last cap survive"
+    [ 994; 995; 996; 997; 998; 999; 1000 ]
+    (Ring.to_list r);
+  (* pop interoperates with overwrite: oldest first *)
+  Alcotest.(check int) "pop oldest" 994 (Ring.pop r);
+  ignore (Ring.push_overwrite r 1001);
+  Alcotest.(check int) "refill after pop" cap (Ring.length r)
+
+let test_ring_overwrite_mixed_ops () =
+  let r = Ring.create 3 in
+  ignore (Ring.push_overwrite r 1);
+  ignore (Ring.push_overwrite r 2);
+  Alcotest.(check int) "pop" 1 (Ring.pop r);
+  ignore (Ring.push_overwrite r 3);
+  ignore (Ring.push_overwrite r 4);
+  (* now full with [2;3;4]; overwrite rotates through a non-zero head *)
+  Alcotest.(check bool) "overwrite rotated" true (Ring.push_overwrite r 5);
+  Alcotest.(check (list int)) "rotated window" [ 3; 4; 5 ] (Ring.to_list r);
+  Alcotest.(check int) "get oldest" 3 (Ring.get r 0);
+  Alcotest.(check int) "get youngest" 5 (Ring.get r 2)
+
+(* ---------- trace capture, filters, trigger ---------- *)
+
+let test_trace_capture_and_wrap () =
+  with_trace (fun () ->
+      Trace.configure ~capacity:8 ();
+      Alcotest.(check bool) "armed" true !Trace.on;
+      for c = 1 to 20 do
+        Trace.set_cycle c;
+        Trace.emit ~uuid:c Trace.Issue
+      done;
+      Alcotest.(check int) "window holds capacity" 8 (Trace.length ());
+      Alcotest.(check int) "captured counts all" 20 (Trace.captured ());
+      Alcotest.(check int) "overwritten counts lost" 12 (Trace.overwritten ());
+      let evs = Trace.events () in
+      Alcotest.(check int) "oldest surviving cycle" 13
+        (List.hd evs).Trace.ev_cycle;
+      Alcotest.(check int) "youngest cycle" 20
+        (List.nth evs 7).Trace.ev_cycle)
+
+let test_trace_class_filter () =
+  with_trace (fun () ->
+      Trace.configure ~classes:[ Trace.Retire; Trace.Tlb ] ();
+      Trace.set_cycle 1;
+      Trace.emit Trace.Issue;  (* pipe: filtered out *)
+      Trace.emit Trace.Cache_miss;  (* mem: filtered out *)
+      Trace.emit Trace.Commit;
+      Trace.emit Trace.Tlb_miss;
+      Trace.emit Trace.Commit_uop;
+      Alcotest.(check int) "only selected classes" 3 (Trace.length ());
+      Alcotest.(check bool) "no pipe events" true
+        (List.for_all
+           (fun e -> Trace.class_of e.Trace.ev_kind <> Trace.Pipe)
+           (Trace.events ())))
+
+let test_trace_parse_classes () =
+  Alcotest.(check int) "all by default" (List.length Trace.all_classes)
+    (List.length (Trace.parse_classes ""));
+  Alcotest.(check bool) "pipe,commit" true
+    (Trace.parse_classes "pipe,commit" = [ Trace.Pipe; Trace.Retire ]);
+  Alcotest.(check bool) "rejects junk" true
+    (try
+       ignore (Trace.parse_classes "pipe,bogus");
+       false
+     with Invalid_argument _ -> true)
+
+let test_trace_rip_filter () =
+  with_trace (fun () ->
+      Trace.configure ~rip:0x400100L ();
+      Trace.set_cycle 1;
+      Trace.emit ~rip:0x400100L Trace.Issue;
+      Trace.emit ~rip:0x400108L Trace.Issue;
+      Trace.emit ~rip:0x400100L Trace.Commit;
+      Alcotest.(check int) "only matching rip" 2 (Trace.length ()))
+
+let test_trace_cycle_window () =
+  with_trace (fun () ->
+      Trace.configure ~start_cycle:10 ~stop_cycle:20 ();
+      for c = 1 to 30 do
+        Trace.set_cycle c;
+        Trace.emit Trace.Issue
+      done;
+      (* cycles 10..20 inclusive *)
+      Alcotest.(check int) "window 10..20" 11 (Trace.length ());
+      let evs = Trace.events () in
+      Alcotest.(check int) "first at start" 10 (List.hd evs).Trace.ev_cycle)
+
+let test_trace_trigger_mispredict () =
+  with_trace (fun () ->
+      Trace.configure ~trigger:Trace.On_mispredict ();
+      Trace.set_cycle 1;
+      Trace.emit Trace.Issue;
+      Trace.emit Trace.Commit;
+      Alcotest.(check int) "nothing before trigger" 0 (Trace.length ());
+      Trace.set_cycle 2;
+      Trace.emit Trace.Mispredict;  (* fires the trigger AND is recorded *)
+      Trace.emit Trace.Annul;
+      Trace.set_cycle 3;
+      Trace.emit Trace.Fetch;
+      Alcotest.(check int) "mispredict onward" 3 (Trace.length ());
+      Alcotest.(check bool) "first recorded is the mispredict" true
+        ((List.hd (Trace.events ())).Trace.ev_kind = Trace.Mispredict))
+
+let test_trace_disabled_emits_nothing () =
+  with_trace (fun () ->
+      Trace.configure ();
+      Trace.disable ();
+      Trace.emit Trace.Issue;
+      Alcotest.(check int) "no capture when off" 0 (Trace.length ()))
+
+let test_trace_clear_rearms_trigger () =
+  with_trace (fun () ->
+      Trace.configure ~trigger:Trace.On_mispredict ();
+      Trace.set_cycle 1;
+      Trace.emit Trace.Mispredict;
+      Trace.emit Trace.Issue;
+      Alcotest.(check int) "captured" 2 (Trace.length ());
+      Trace.clear ();
+      Alcotest.(check int) "cleared" 0 (Trace.length ());
+      Trace.emit Trace.Issue;
+      Alcotest.(check int) "trigger re-armed" 0 (Trace.length ()))
+
+(* ---------- sinks ---------- *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "trace_test" ".out" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_trace_chrome_sink () =
+  with_trace (fun () ->
+      Trace.configure ();
+      Trace.set_cycle 5;
+      Trace.emit ~core:1 ~uuid:7 ~rip:0x400000L ~tag:"ooo" Trace.Commit;
+      Trace.emit ~core:1 Trace.Cache_miss;
+      with_temp_file (fun path ->
+          let oc = open_out path in
+          Trace.dump_chrome oc;
+          close_out oc;
+          let s = read_file path in
+          Alcotest.(check bool) "has traceEvents" true
+            (contains ~sub:"\"traceEvents\"" s);
+          Alcotest.(check bool) "has commit event" true
+            (contains ~sub:"\"commit:ooo\"" s);
+          Alcotest.(check bool) "has metadata names" true
+            (contains ~sub:"thread_name" s);
+          (* structural sanity: braces and brackets balance *)
+          let bal open_c close_c =
+            String.fold_left
+              (fun acc c ->
+                if c = open_c then acc + 1
+                else if c = close_c then acc - 1
+                else acc)
+              0 s
+          in
+          Alcotest.(check int) "braces balance" 0 (bal '{' '}');
+          Alcotest.(check int) "brackets balance" 0 (bal '[' ']')))
+
+let test_trace_csv_sink () =
+  with_trace (fun () ->
+      Trace.configure ();
+      Trace.set_cycle 9;
+      Trace.emit ~uuid:3 ~rip:0x1234L Trace.Issue;
+      with_temp_file (fun path ->
+          let oc = open_out path in
+          Trace.dump_csv oc;
+          close_out oc;
+          let s = read_file path in
+          Alcotest.(check bool) "header" true
+            (contains ~sub:"cycle,kind,core" s);
+          Alcotest.(check bool) "row" true (contains ~sub:"9,issue,0,0,3" s)))
+
+(* ---------- end to end on the OOO core ---------- *)
+
+let reg = Regs.gpr_of_name
+
+let build ?(base = 0x40_0000L) items =
+  let a = Asm.create ~base () in
+  List.iter
+    (fun it ->
+      match it with `I insn -> Asm.ins a insn | `L l -> Asm.label a l | `J f -> f a)
+    items;
+  Asm.assemble a
+
+let i x = `I x
+
+(* The mispredict-heavy LCG program from the OOO tests: data-dependent
+   branches guarantee real mispredictions to reconstruct. *)
+let lcg_program =
+  [ i (Insn.Mov (W64.B8, Insn.Reg (reg "rax"), Insn.Imm 0L));
+    i (Insn.Mov (W64.B8, Insn.Reg (reg "rbx"), Insn.Imm 12345L));
+    i (Insn.Mov (W64.B8, Insn.Reg (reg "rcx"), Insn.Imm 200L));
+    `L "loop";
+    i (Insn.Movabs (reg "rdx", 1103515245L));
+    i (Insn.Imul2 (W64.B8, reg "rbx", Insn.Reg (reg "rdx")));
+    i (Insn.Alu (Insn.Add, W64.B8, Insn.Reg (reg "rbx"), Insn.Imm 12345L));
+    i (Insn.Bittest (Insn.Bt, W64.B8, Insn.Reg (reg "rbx"), Insn.Bimm 4));
+    `J (fun a -> Asm.jcc a Flags.AE "skip");
+    i (Insn.Alu (Insn.Add, W64.B8, Insn.Reg (reg "rax"), Insn.Imm 1L));
+    `L "skip";
+    i (Insn.Unary (Insn.Dec, W64.B8, Insn.Reg (reg "rcx")));
+    `J (fun a -> Asm.jcc a Flags.NE "loop");
+    i Insn.Hlt ]
+
+let test_trace_ooo_end_to_end () =
+  with_trace (fun () ->
+      Trace.configure ~capacity:(1 lsl 18) ();
+      let img = build lcg_program in
+      let m = Machine.create img in
+      let core = Ooo.create Config.tiny m.Machine.env [| m.Machine.ctx |] in
+      ignore (Ooo.run core ~max_cycles:2_000_000);
+      let stats = m.Machine.env.Ptl_arch.Env.stats in
+      Alcotest.(check int) "nothing lost" 0 (Trace.overwritten ());
+      (* every committed x86 instruction appears exactly once *)
+      Alcotest.(check int) "commit events match counter"
+        (Stats.get stats "ooo.commit.insns")
+        (Trace.commits ~tag:"ooo" ());
+      (* the counter tree says mispredicts happened; the trace must show
+         them, each with annulled wrong-path work and a fetch redirect *)
+      let mispredicts =
+        Trace.count (fun e -> e.Trace.ev_kind = Trace.Mispredict)
+      in
+      Alcotest.(check bool) "mispredicts captured" true (mispredicts > 0);
+      (* Mispredict events fire at branch *resolution*; the counter counts
+         at *commit*. A resolved-mispredicted branch can itself be annulled
+         by an older mispredict and never commit, so the trace sees at
+         least as many as the counter. *)
+      Alcotest.(check bool) "trace sees every counted mispredict" true
+        (mispredicts >= Stats.get stats "ooo.commit.mispredicts");
+      Alcotest.(check bool) "annuls captured" true
+        (Trace.count (fun e -> e.Trace.ev_kind = Trace.Annul) > 0);
+      Alcotest.(check bool) "redirects captured" true
+        (Trace.count (fun e -> e.Trace.ev_kind = Trace.Redirect) > 0);
+      (* a mispredicted branch's wrong-path uop is annulled after the
+         branch's own event, then the correct path is refetched *)
+      let evs = Array.of_list (Trace.events ()) in
+      let misp_idx = ref (-1) in
+      Array.iteri
+        (fun idx e ->
+          if !misp_idx < 0 && e.Trace.ev_kind = Trace.Mispredict then
+            misp_idx := idx)
+        evs;
+      let rest = Array.sub evs !misp_idx (Array.length evs - !misp_idx) in
+      let find kind =
+        Array.exists (fun e -> e.Trace.ev_kind = kind) rest
+      in
+      Alcotest.(check bool) "annul follows mispredict" true (find Trace.Annul);
+      Alcotest.(check bool) "refetch follows mispredict" true (find Trace.Fetch);
+      (* timeline renderer agrees: some lane shows the mispredict marker *)
+      with_temp_file (fun path ->
+          let oc = open_out path in
+          Trace.render_timeline ~limit:100000 oc;
+          close_out oc;
+          let s = read_file path in
+          Alcotest.(check bool) "timeline shows mispredict" true
+            (contains ~sub:"mispredict" s);
+          Alcotest.(check bool) "timeline shows annul" true
+            (contains ~sub:"annul@" s)))
+
+let test_trace_zero_cost_shape () =
+  (* With tracing off, emit is never even called (call sites check
+     [!Trace.on]); this guards the invariant that disable really stops
+     capture even if someone calls emit directly. *)
+  with_trace (fun () ->
+      Trace.configure ~capacity:16 ();  (* fresh, empty ring *)
+      Trace.disable ();
+      let img = build lcg_program in
+      let m = Machine.create img in
+      let core = Ooo.create Config.tiny m.Machine.env [| m.Machine.ctx |] in
+      ignore (Ooo.run core ~max_cycles:2_000_000);
+      Alcotest.(check int) "no events captured" 0 (Trace.length ()))
+
+let suite =
+  [
+    Alcotest.test_case "ring push_overwrite basics" `Quick test_ring_push_overwrite;
+    Alcotest.test_case "ring overwrite wraparound" `Quick
+      test_ring_overwrite_wraparound_many;
+    Alcotest.test_case "ring overwrite mixed ops" `Quick test_ring_overwrite_mixed_ops;
+    Alcotest.test_case "trace capture and wrap" `Quick test_trace_capture_and_wrap;
+    Alcotest.test_case "trace class filter" `Quick test_trace_class_filter;
+    Alcotest.test_case "trace parse classes" `Quick test_trace_parse_classes;
+    Alcotest.test_case "trace rip filter" `Quick test_trace_rip_filter;
+    Alcotest.test_case "trace cycle window" `Quick test_trace_cycle_window;
+    Alcotest.test_case "trace mispredict trigger" `Quick test_trace_trigger_mispredict;
+    Alcotest.test_case "trace disabled captures nothing" `Quick
+      test_trace_disabled_emits_nothing;
+    Alcotest.test_case "trace clear re-arms trigger" `Quick
+      test_trace_clear_rearms_trigger;
+    Alcotest.test_case "trace chrome sink" `Quick test_trace_chrome_sink;
+    Alcotest.test_case "trace csv sink" `Quick test_trace_csv_sink;
+    Alcotest.test_case "trace ooo end to end" `Quick test_trace_ooo_end_to_end;
+    Alcotest.test_case "trace off captures nothing end to end" `Quick
+      test_trace_zero_cost_shape;
+  ]
