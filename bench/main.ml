@@ -566,8 +566,41 @@ let exp_cosim () =
   (match Cosim.validate ~config:Config.k8_ptlsim ~check_every:500 ~max_insns:20_000 img with
   | Cosim.Agree n ->
     Printf.printf "out-of-order core vs functional reference: AGREE over %d instructions\n%!" n
-  | Cosim.Diverged { after_insns; diffs } ->
+  | Cosim.Diverged { after_insns; diffs; _ } ->
     Printf.printf "DIVERGED after %d insns:\n  %s\n%!" after_insns (String.concat "\n  " diffs))
+
+let exp_fuzz () =
+  banner "Differential fuzzing throughput (random cosim, §2.3)";
+  let module Fuzz = Ptl_fuzz.Harness in
+  List.iter
+    (fun core ->
+      let t0 = Unix.gettimeofday () in
+      let s = Fuzz.run ~core ~seed:42 ~iters:200 () in
+      let dt = Unix.gettimeofday () -. t0 in
+      Printf.printf
+        "%-8s %d programs, %d instructions, %d divergences  (%.1f progs/s, \
+         %.0f insns/s)\n%!"
+        core s.Fuzz.s_iters s.Fuzz.s_gen_insns
+        (List.length s.Fuzz.s_divergences)
+        (float_of_int s.Fuzz.s_iters /. dt)
+        (float_of_int s.Fuzz.s_gen_insns /. dt))
+    [ "ooo"; "inorder"; "smt" ];
+  (* cost of catching + shrinking a planted bug *)
+  let t0 = Unix.gettimeofday () in
+  let s =
+    Fuzz.run ~core:"ooo" ~inject:(Fuzz.flags_bug ~after:2) ~check_every:1
+      ~seed:7 ~iters:20 ()
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  let shrunk =
+    List.fold_left (fun a d -> a + d.Fuzz.d_insns) 0 s.Fuzz.s_divergences
+  in
+  Printf.printf
+    "injected bug: %d/%d caught, mean shrunk size %.1f insns, %.2f s/case\n%!"
+    (List.length s.Fuzz.s_divergences)
+    s.Fuzz.s_iters
+    (float_of_int shrunk /. float_of_int (max 1 (List.length s.Fuzz.s_divergences)))
+    (dt /. float_of_int (max 1 (List.length s.Fuzz.s_divergences)))
 
 let exp_sampling () =
   banner "Statistical sampled simulation (§2.3: spans of sim within native runs)";
@@ -634,6 +667,7 @@ let experiments =
     ("coherence", exp_coherence);
     ("cosim", exp_cosim);
     ("sampling", exp_sampling);
+    ("fuzz", exp_fuzz);
   ]
 
 let () =

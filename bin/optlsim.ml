@@ -251,6 +251,59 @@ let run_compute trace_opts core machine commands max_mcycles iters =
   print_summary d (Some k);
   finish_trace trace_opts env.Env.stats
 
+(* ---------- differential fuzzing (optlsim fuzz) ---------- *)
+
+let run_fuzz trace_opts core machine seed iters len classes report_dir inject =
+  let o = trace_opts in
+  match
+    Fuzz.check_flags ~iters ~len ~classes ~core ~inject ~trace_start:o.t_start
+      ~trace_stop:o.t_stop ~trace_rip:o.t_rip ~trace_trigger:o.t_trigger
+      ~trace_out:o.t_out ~trace_timeline:o.t_timeline ()
+  with
+  | Error msg ->
+    prerr_endline ("optlsim fuzz: " ^ msg);
+    exit 1
+  | Ok () ->
+    let classes = Fuzzgen.parse_classes classes in
+    let config = machine_of_name machine in
+    let inject_fn = Option.map (fun n -> Fuzz.flags_bug ~after:n) inject in
+    let replay_extra =
+      match inject with
+      | Some n -> Printf.sprintf " --fuzz-inject %d" n
+      | None -> ""
+    in
+    (* An injected bug corrupts state between checkpoints, where later
+       writes can mask it; per-instruction checkpoints pin it reliably. *)
+    let check_every =
+      if inject = None then Fuzz.default_check_every else 1
+    in
+    let trace_capacity = if o.t_buf = 1 lsl 20 then 4096 else o.t_buf in
+    let progress iter divs =
+      if (iter + 1) mod 100 = 0 then
+        Printf.printf "fuzz: %d/%d iterations, %d divergences\n%!" (iter + 1)
+          iters divs
+    in
+    let s =
+      Fuzz.run ~config ~core ?inject:inject_fn ~classes ~len ~check_every
+        ~trace_capacity ~trace_classes:(Trace.parse_classes o.t_filter)
+        ~replay_extra ~progress ~seed ~iters ()
+    in
+    Printf.printf
+      "fuzz: seed %d, %d iterations, %d instructions generated, core %s vs \
+       seq\n"
+      s.Fuzz.s_seed s.Fuzz.s_iters s.Fuzz.s_gen_insns s.Fuzz.s_core;
+    (match s.Fuzz.s_divergences with
+    | [] -> Printf.printf "fuzz: no divergences\n"
+    | ds ->
+      Printf.printf "fuzz: %d divergence(s)\n" (List.length ds);
+      (match report_dir with
+      | Some dir ->
+        List.iter
+          (fun f -> Printf.printf "fuzz: wrote %s\n" f)
+          (Fuzz.write_reports ~dir s)
+      | None -> List.iter (fun d -> print_string d.Fuzz.d_report) ds);
+      exit 2)
+
 let core_arg =
   Arg.(value & opt string "ooo" & info [ "core" ] ~doc:"Core model (ooo, smt, inorder, seq).")
 
@@ -274,6 +327,80 @@ let iters_arg =
     value
     & opt int 500_000
     & info [ "iters" ] ~doc:"Compute workload loop iterations.")
+
+let fuzz_machine_arg =
+  Arg.(
+    value & opt string "tiny"
+    & info [ "machine" ] ~doc:"Machine config (k8, k8-silicon, tiny).")
+
+let fuzz_seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "fuzz-seed" ] ~docv:"SEED"
+        ~doc:"Master PRNG seed; one seed fully determines the run.")
+
+let fuzz_iters_arg =
+  Arg.(
+    value & opt int 500
+    & info [ "fuzz-iters" ] ~docv:"N" ~doc:"Random programs to generate and co-simulate.")
+
+let fuzz_len_arg =
+  Arg.(
+    value & opt int 40
+    & info [ "fuzz-len" ] ~docv:"SLOTS"
+        ~doc:"Instruction bundles (slots) per generated program.")
+
+let fuzz_classes_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "fuzz-classes" ] ~docv:"CLASSES"
+        ~doc:
+          "Comma-separated instruction classes to draw from: alu, mem, \
+           branch, string, lock, muldiv, fp, stack, misc. Default: all.")
+
+let fuzz_report_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fuzz-report-dir" ] ~docv:"DIR"
+        ~doc:
+          "Write one divergence report file per finding under DIR (created \
+           if absent) instead of printing reports to stdout.")
+
+let fuzz_inject_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuzz-inject" ] ~docv:"N"
+        ~doc:
+          "Self-test: plant a mutated-flags-write bug in the model core \
+           once N instructions have committed; the harness must catch, \
+           shrink and report it (exit 2).")
+
+let fuzz_cmd =
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random programs co-simulated on a timed \
+          core vs the sequential reference, with delta-debugged shrinking \
+          and trace-backed divergence reports. Exits 2 when divergences \
+          are found."
+       ~man:
+         [ `S Manpage.s_description;
+           `P
+             "Generates seedable random x86lite-64 programs (weighted over \
+              the decoder's supported opcode space), runs each on the \
+              chosen timed core and on the sequential reference core from \
+              identical initial state, and compares committed \
+              register/flag/memory state at instruction-count checkpoints. \
+              On divergence, the failing sequence is minimized with delta \
+              debugging and re-run with the pipeline event trace armed; \
+              the report carries the shrunk program, both architectural \
+              states and the trace window leading up to the mismatch." ])
+    Term.(
+      const run_fuzz $ trace_term $ core_arg $ fuzz_machine_arg
+      $ fuzz_seed_arg $ fuzz_iters_arg $ fuzz_len_arg $ fuzz_classes_arg
+      $ fuzz_report_dir_arg $ fuzz_inject_arg)
 
 let rsync_cmd =
   Cmd.v (Cmd.info "rsync" ~doc:"Run the paper's rsync-over-ssh benchmark")
@@ -300,4 +427,4 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "optlsim" ~doc:"Cycle-accurate full-system x86-64-style simulator")
-          [ rsync_cmd; compute_cmd; stats_cmd ]))
+          [ rsync_cmd; compute_cmd; fuzz_cmd; stats_cmd ]))

@@ -35,7 +35,7 @@ let () =
   print_endline "validating the out-of-order core against the functional reference...";
   (match Cosim.validate ~config:Config.k8_ptlsim ~check_every:1000 ~max_insns:30_000 image with
   | Cosim.Agree n -> Printf.printf "AGREE across %d instructions.\n" n
-  | Cosim.Diverged { after_insns; diffs } ->
+  | Cosim.Diverged { after_insns; diffs; _ } ->
     Printf.printf "diverged after %d instructions:\n  %s\n" after_insns
       (String.concat "\n  " diffs);
     (* the paper's binary-search isolation *)

@@ -1,0 +1,480 @@
+(** Deterministic random program generator for differential fuzzing.
+
+    Generates x86lite-64 instruction sequences weighted over the decoder's
+    supported opcode space — flags-heavy ALU chains, unaligned loads and
+    stores, forward branches and bounded loops, REP string ops, LOCK'd
+    read-modify-writes, x87/SSE scalar FP — under invariants that make
+    every program safe to run bare on both the functional reference and
+    the timed cores:
+
+    - [r15] is pinned to the scratch heap base and [rsp] to a private
+      stack at the top of the heap; generated code never writes either,
+      so every memory access stays inside the mapped heap.
+    - Inter-slot control flow only branches {e forward}, and loops/REP
+      counts are bounded, so every program terminates at [hlt].
+    - Divide setup bundles pin dividend and divisor so no #DE is raised,
+      and 8-bit multiply/divide (unimplemented microcode) is excluded.
+    - [rdtsc]/[rdpmc] are excluded: their results depend on the timing
+      model, so the cores would diverge legitimately.
+    - [syscall]/[int]/[iret] are excluded: the bare machine has no
+      handlers.
+
+    A program is an array of {e slots}, each a short self-contained
+    instruction bundle labelled by its original slot id. Branch targets
+    name slot ids, not addresses, so delta-debugging can drop slots and
+    relink the survivors (a removed branch target resolves to the next
+    surviving slot, or the exit). *)
+
+module Rng = Ptl_util.Rng
+module W64 = Ptl_util.W64
+module Insn = Ptl_isa.Insn
+module Regs = Ptl_isa.Regs
+module Flags = Ptl_isa.Flags
+module Asm = Ptl_isa.Asm
+module Encode = Ptl_isa.Encode
+module Decode = Ptl_isa.Decode
+module Disasm = Ptl_isa.Disasm
+module Machine = Ptl_arch.Machine
+
+(* ---------- instruction classes ---------- *)
+
+type cls = Alu | Mem | Branch | Strings | Lock | Muldiv | Fp | Stack | Misc
+
+let all_classes = [ Alu; Mem; Branch; Strings; Lock; Muldiv; Fp; Stack; Misc ]
+
+let cls_name = function
+  | Alu -> "alu" | Mem -> "mem" | Branch -> "branch" | Strings -> "string"
+  | Lock -> "lock" | Muldiv -> "muldiv" | Fp -> "fp" | Stack -> "stack"
+  | Misc -> "misc"
+
+let cls_of_name = function
+  | "alu" -> Alu | "mem" -> Mem | "branch" -> Branch | "string" -> Strings
+  | "lock" -> Lock | "muldiv" -> Muldiv | "fp" -> Fp | "stack" -> Stack
+  | "misc" -> Misc
+  | other ->
+    invalid_arg
+      (Printf.sprintf
+         "unknown instruction class %S (expected %s)" other
+         (String.concat ", " (List.map cls_name all_classes)))
+
+(** Parse a comma-separated class list, e.g. ["alu,mem,branch"]. The empty
+    string selects every class; unknown names raise [Invalid_argument]. *)
+let parse_classes spec =
+  if spec = "" then all_classes
+  else
+    String.split_on_char ',' spec
+    |> List.filter (fun s -> s <> "")
+    |> List.map (fun s -> cls_of_name (String.lowercase_ascii (String.trim s)))
+
+(* Generation is weighted toward the flags-heavy integer core of the ISA,
+   where microarchitectural bugs (renaming, forwarding, partial-flag
+   merges) are most likely to hide. *)
+let weight = function
+  | Alu -> 4 | Mem -> 4 | Branch -> 2 | Strings -> 1 | Lock -> 1
+  | Muldiv -> 1 | Fp -> 1 | Stack -> 1 | Misc -> 1
+
+(* ---------- program representation ---------- *)
+
+type slot =
+  | Straight of Insn.t list
+  | Fwd of Flags.cond option * int  (* forward branch to slot id *)
+  | Loop of { ctr : Regs.gpr; iters : int; body : Insn.t list }
+  | CallLeaf of int  (* call leaf function k *)
+
+type program = {
+  slots : (int * slot) array;  (* (original slot id, bundle) *)
+  leaves : Insn.t list array;  (* leaf function bodies ([ret] appended) *)
+}
+
+let code_base = 0x40_0000L
+let scratch_base = Machine.heap_base
+
+(** Bytes of scratch memory the generated programs read and write (and
+    the harness compares); the stack lives above this window. *)
+let scratch_bytes = 16 * 1024
+
+(* Private stack near the top of the default 256 KiB heap, clear of the
+   compared scratch window. Push depth is tiny (balanced pushes plus one
+   call frame), so 4 KiB of headroom below the mapping top is plenty. *)
+let stack_top = Int64.add scratch_base 0x3_F000L
+
+(* ---------- operand generators ---------- *)
+
+(* Registers the generator may write: everything but rsp and the pinned
+   scratch-base register r15. *)
+let reg_pool = [| 0; 1; 2; 3; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14 |]
+
+(* Divide bundles load rax/rdx explicitly, so the divisor register must
+   be neither. *)
+let div_reg_pool = [| 1; 3; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14 |]
+
+let reg rng = reg_pool.(Rng.int rng (Array.length reg_pool))
+let xmm rng = Rng.int rng Regs.num_xmms
+let any_size rng = Rng.choose rng [| W64.B1; W64.B2; W64.B4; W64.B8 |]
+let wide_size rng = Rng.choose rng [| W64.B2; W64.B4; W64.B8 |]
+let any_cond rng = Flags.cond_of_code (Rng.int rng 16)
+
+(* Immediates mix boundary values with uniform noise; everything fits a
+   sign-extended imm32 so any operand size encodes. *)
+let interesting_imms =
+  [| 0L; 1L; -1L; 2L; -2L; 0x7FL; 0x80L; 0xFFL; 0x100L; 0x7FFFL; 0x8000L;
+     0xFFFFL; 0x7FFFFFFFL; -0x80000000L; 42L |]
+
+let imm rng =
+  if Rng.bool rng then Rng.choose rng interesting_imms
+  else Int64.of_int32 (Int64.to_int32 (Rng.next64 rng))
+
+(* A scratch-memory operand, deliberately unaligned, together with the
+   setup instructions it needs (an index-register load). All reachable
+   addresses stay within [scratch_base, scratch_base + scratch_bytes). *)
+let mem_operand rng =
+  if Rng.int rng 3 = 0 then begin
+    let idx = reg rng in
+    let scale = Rng.choose rng [| 1; 2; 4; 8 |] in
+    let v = Rng.int rng 64 in
+    let disp = Int64.of_int (Rng.int rng (scratch_bytes - 64 - (64 * 8))) in
+    ( [ Insn.Movabs (idx, Int64.of_int v) ],
+      Insn.mem ~base:Regs.r15 ~index:idx ~scale ~disp () )
+  end
+  else ([], Insn.mem_bd Regs.r15 (Int64.of_int (Rng.int rng (scratch_bytes - 64))))
+
+let src_reg_or_imm rng =
+  if Rng.bool rng then Insn.RM (Insn.Reg (reg rng)) else Insn.Imm (imm rng)
+
+let alu_op rng =
+  Rng.choose rng
+    [| Insn.Add; Insn.Or; Insn.Adc; Insn.Sbb; Insn.And; Insn.Sub; Insn.Xor;
+       Insn.Cmp |]
+
+(* A single register-only ALU-ish instruction (also the loop-body and
+   leaf-function building block). [avoid] excludes a destination. *)
+let reg_alu_insn ?avoid rng =
+  let rec dst () =
+    let d = reg rng in
+    match avoid with Some a when a = d -> dst () | _ -> d
+  in
+  let d = dst () in
+  match Rng.int rng 4 with
+  | 0 -> Insn.Alu (alu_op rng, any_size rng, Insn.Reg d, src_reg_or_imm rng)
+  | 1 -> Insn.Test (any_size rng, Insn.Reg d, src_reg_or_imm rng)
+  | 2 -> Insn.Unary
+           (Rng.choose rng [| Insn.Not; Insn.Neg; Insn.Inc; Insn.Dec |],
+            any_size rng, Insn.Reg d)
+  | _ -> Insn.Mov (any_size rng, Insn.Reg d, src_reg_or_imm rng)
+
+(* ---------- per-class slot generators ---------- *)
+
+let gen_alu rng =
+  let insn =
+    match Rng.int rng 9 with
+    | 0 | 1 -> Insn.Alu (alu_op rng, any_size rng, Insn.Reg (reg rng), src_reg_or_imm rng)
+    | 2 -> Insn.Test (any_size rng, Insn.Reg (reg rng), src_reg_or_imm rng)
+    | 3 ->
+      Insn.Unary
+        (Rng.choose rng [| Insn.Not; Insn.Neg; Insn.Inc; Insn.Dec |],
+         any_size rng, Insn.Reg (reg rng))
+    | 4 ->
+      let count = if Rng.bool rng then Insn.ImmC (Rng.int rng 67) else Insn.Cl in
+      Insn.Shift
+        (Rng.choose rng [| Insn.Shl; Insn.Shr; Insn.Sar; Insn.Rol; Insn.Ror |],
+         any_size rng, Insn.Reg (reg rng), count)
+    | 5 -> Insn.Setcc (any_cond rng, Insn.Reg (reg rng))
+    | 6 -> Insn.Cmovcc (any_cond rng, wide_size rng, reg rng, Insn.Reg (reg rng))
+    | 7 -> Insn.Imul2 (wide_size rng, reg rng, Insn.Reg (reg rng))
+    | _ ->
+      let dsize, ssize =
+        Rng.choose rng
+          [| (W64.B2, W64.B1); (W64.B4, W64.B1); (W64.B4, W64.B2);
+             (W64.B8, W64.B1); (W64.B8, W64.B2); (W64.B8, W64.B4) |]
+      in
+      if Rng.bool rng then Insn.Movzx (dsize, ssize, reg rng, Insn.Reg (reg rng))
+      else Insn.Movsx (dsize, ssize, reg rng, Insn.Reg (reg rng))
+  in
+  Straight [ insn ]
+
+let gen_mem rng =
+  let setup, m = mem_operand rng in
+  let insn =
+    match Rng.int rng 11 with
+    | 0 -> Insn.Mov (any_size rng, Insn.Mem m, src_reg_or_imm rng)
+    | 1 -> Insn.Mov (any_size rng, Insn.Reg (reg rng), Insn.RM (Insn.Mem m))
+    | 2 -> Insn.Alu (alu_op rng, any_size rng, Insn.Mem m, src_reg_or_imm rng)
+    | 3 ->
+      Insn.Alu (alu_op rng, any_size rng, Insn.Reg (reg rng), Insn.RM (Insn.Mem m))
+    | 4 ->
+      let dsize, ssize =
+        Rng.choose rng
+          [| (W64.B2, W64.B1); (W64.B4, W64.B2); (W64.B8, W64.B1);
+             (W64.B8, W64.B4) |]
+      in
+      if Rng.bool rng then Insn.Movzx (dsize, ssize, reg rng, Insn.Mem m)
+      else Insn.Movsx (dsize, ssize, reg rng, Insn.Mem m)
+    | 5 -> Insn.Lea (reg rng, m)
+    | 6 -> Insn.Xchg (any_size rng, Insn.Mem m, reg rng)
+    | 7 -> Insn.Xadd (any_size rng, Insn.Mem m, reg rng)
+    | 8 -> Insn.Cmpxchg (any_size rng, Insn.Mem m, reg rng)
+    | 9 ->
+      let size = wide_size rng in
+      Insn.Bittest
+        (Rng.choose rng [| Insn.Bt; Insn.Bts; Insn.Btr; Insn.Btc |],
+         size, Insn.Mem m, Insn.Bimm (Rng.int rng (8 * W64.bytes_of_size size)))
+    | _ ->
+      Insn.Unary
+        (Rng.choose rng [| Insn.Not; Insn.Neg; Insn.Inc; Insn.Dec |],
+         any_size rng, Insn.Mem m)
+  in
+  Straight (setup @ [ insn ])
+
+let gen_branch rng ~id ~len ~nleaves =
+  match Rng.int rng 4 with
+  | 0 | 1 ->
+    let cond = if Rng.int rng 3 = 0 then None else Some (any_cond rng) in
+    let target = min len (id + 1 + Rng.int rng 4) in
+    Fwd (cond, target)
+  | 2 ->
+    let ctr = reg rng in
+    let iters = 1 + Rng.int rng 6 in
+    let body =
+      List.init (1 + Rng.int rng 2) (fun _ -> reg_alu_insn ~avoid:ctr rng)
+    in
+    Loop { ctr; iters; body }
+  | _ -> CallLeaf (Rng.int rng nleaves)
+
+let gen_strings rng =
+  let size = any_size rng in
+  let rep = Rng.bool rng in
+  let o1 = Int64.add scratch_base (Int64.of_int (Rng.int rng 8192)) in
+  let o2 = Int64.add scratch_base (Int64.of_int (8192 + Rng.int rng 4096)) in
+  let count = Int64.of_int (1 + Rng.int rng 17) in
+  let op, needs_rsi, needs_rdi =
+    match Rng.int rng 3 with
+    | 0 -> (Insn.Movs (size, rep), true, true)
+    | 1 -> (Insn.Stos (size, rep), false, true)
+    | _ -> (Insn.Lods (size, rep), true, false)
+  in
+  let setup =
+    (if needs_rsi then [ Insn.Movabs (Regs.rsi, o1) ] else [])
+    @ (if needs_rdi then [ Insn.Movabs (Regs.rdi, o2) ] else [])
+    @ if rep then [ Insn.Movabs (Regs.rcx, count) ] else []
+  in
+  Straight (setup @ [ op ])
+
+let gen_lock rng =
+  let setup, m = mem_operand rng in
+  let insn =
+    match Rng.int rng 6 with
+    | 0 ->
+      let op =
+        Rng.choose rng
+          [| Insn.Add; Insn.Or; Insn.Adc; Insn.Sbb; Insn.And; Insn.Sub;
+             Insn.Xor |]
+      in
+      Insn.Alu (op, any_size rng, Insn.Mem m, src_reg_or_imm rng)
+    | 1 ->
+      Insn.Unary
+        (Rng.choose rng [| Insn.Not; Insn.Neg; Insn.Inc; Insn.Dec |],
+         any_size rng, Insn.Mem m)
+    | 2 -> Insn.Xchg (any_size rng, Insn.Mem m, reg rng)
+    | 3 -> Insn.Xadd (any_size rng, Insn.Mem m, reg rng)
+    | 4 -> Insn.Cmpxchg (any_size rng, Insn.Mem m, reg rng)
+    | _ ->
+      let size = wide_size rng in
+      Insn.Bittest
+        (Rng.choose rng [| Insn.Bts; Insn.Btr; Insn.Btc |],
+         size, Insn.Mem m, Insn.Bimm (Rng.int rng (8 * W64.bytes_of_size size)))
+  in
+  Straight (setup @ [ Insn.Locked insn ])
+
+(* Divides are emitted with a setup bundle pinning dividend and divisor:
+   rdx:rax = small positive, divisor in 1..13, so quotients fit at every
+   operand size and #DE can never be raised. 8-bit forms are excluded
+   (unimplemented microcode). *)
+let gen_muldiv rng =
+  let size = wide_size rng in
+  match Rng.int rng 4 with
+  | 0 -> Straight [ Insn.Muldiv (Insn.Mul, size, Insn.Reg (reg rng)) ]
+  | 1 -> Straight [ Insn.Muldiv (Insn.Imul1, size, Insn.Reg (reg rng)) ]
+  | _ ->
+    let op = if Rng.bool rng then Insn.Div else Insn.Idiv in
+    let dividend = Int64.of_int (Rng.int rng 1000) in
+    let divisor = Int64.of_int (1 + Rng.int rng 13) in
+    if Rng.bool rng then
+      let dr = div_reg_pool.(Rng.int rng (Array.length div_reg_pool)) in
+      Straight
+        [ Insn.Movabs (Regs.rax, dividend); Insn.Movabs (Regs.rdx, 0L);
+          Insn.Movabs (dr, divisor); Insn.Muldiv (op, size, Insn.Reg dr) ]
+    else
+      let setup, m = mem_operand rng in
+      Straight
+        (setup
+        @ [ Insn.Movabs (Regs.rax, dividend); Insn.Movabs (Regs.rdx, 0L);
+            Insn.Mov (size, Insn.Mem m, Insn.Imm divisor);
+            Insn.Muldiv (op, size, Insn.Mem m) ])
+
+let gen_fp rng =
+  let setup, m = mem_operand rng in
+  let insn =
+    match Rng.int rng 10 with
+    | 0 -> Insn.Fld m
+    | 1 -> Insn.Fst m
+    | 2 -> Insn.Fp (Rng.choose rng [| Insn.Fadd; Insn.Fsub; Insn.Fmul; Insn.Fdiv |], m)
+    | 3 -> Insn.SseLoad (xmm rng, m)
+    | 4 -> Insn.SseStore (m, xmm rng)
+    | 5 -> Insn.SseMov (xmm rng, xmm rng)
+    | 6 ->
+      Insn.Sse
+        (Rng.choose rng [| Insn.Addsd; Insn.Subsd; Insn.Mulsd; Insn.Divsd |],
+         xmm rng, xmm rng)
+    | 7 -> Insn.Cvtsi2sd (xmm rng, reg rng)
+    | 8 -> Insn.Cvtsd2si (reg rng, xmm rng)
+    | _ -> Insn.Comisd (xmm rng, xmm rng)
+  in
+  Straight (setup @ [ insn ])
+
+(* Stack slots keep pushes and pops balanced so rsp is invariant across
+   slot boundaries (loops and leaf calls rely on that). *)
+let gen_stack rng =
+  match Rng.int rng 5 with
+  | 0 -> Straight [ Insn.Push (src_reg_or_imm rng); Insn.Pop (Insn.Reg (reg rng)) ]
+  | 1 ->
+    let setup, m = mem_operand rng in
+    Straight (setup @ [ Insn.Push (Insn.RM (Insn.Mem m)); Insn.Pop (Insn.Reg (reg rng)) ])
+  | 2 ->
+    let setup, m = mem_operand rng in
+    Straight
+      (setup @ [ Insn.Push (Insn.RM (Insn.Reg (reg rng))); Insn.Pop (Insn.Mem m) ])
+  | 3 ->
+    Straight
+      [ Insn.Push (src_reg_or_imm rng); Insn.Push (src_reg_or_imm rng);
+        Insn.Pop (Insn.Reg (reg rng)); Insn.Pop (Insn.Reg (reg rng)) ]
+  | _ -> Straight [ Insn.Pushf; Insn.Popf ]
+
+let gen_misc rng =
+  match Rng.int rng 5 with
+  | 0 -> Straight [ Insn.Nop ]
+  | 1 -> Straight [ Insn.Pause ]
+  | 2 -> Straight [ Insn.Movabs (reg rng, Rng.next64 rng) ]
+  | 3 -> Straight [ Insn.Cpuid ]
+  | _ -> Straight [ Insn.Xchg (any_size rng, Insn.Reg (reg rng), reg rng) ]
+
+let gen_slot rng cls ~id ~len ~nleaves =
+  match cls with
+  | Alu -> gen_alu rng
+  | Mem -> gen_mem rng
+  | Branch -> gen_branch rng ~id ~len ~nleaves
+  | Strings -> gen_strings rng
+  | Lock -> gen_lock rng
+  | Muldiv -> gen_muldiv rng
+  | Fp -> gen_fp rng
+  | Stack -> gen_stack rng
+  | Misc -> gen_misc rng
+
+let pick_class rng classes =
+  let total = List.fold_left (fun a c -> a + weight c) 0 classes in
+  let k = Rng.int rng total in
+  let rec go k = function
+    | [] -> assert false
+    | [ c ] -> c
+    | c :: rest -> if k < weight c then c else go (k - weight c) rest
+  in
+  go k classes
+
+(** Generate a [len]-slot program drawing from [classes], consuming
+    randomness only from [rng] (so one seed fully determines the
+    program). *)
+let generate rng ~classes ~len =
+  if classes = [] then invalid_arg "Fuzzgen.generate: empty class list";
+  let nleaves = 2 in
+  let leaves =
+    Array.init nleaves (fun _ ->
+        List.init (1 + Rng.int rng 2) (fun _ -> reg_alu_insn rng))
+  in
+  let slots =
+    Array.init len (fun i ->
+        (i, gen_slot rng (pick_class rng classes) ~id:i ~len ~nleaves))
+  in
+  { slots; leaves }
+
+(* ---------- assembly ---------- *)
+
+(** Static instructions in a slot as placed in the program (loop and call
+    overheads included). *)
+let slot_insns = function
+  | Straight insns -> List.length insns
+  | Fwd _ -> 1
+  | Loop { body; _ } -> List.length body + 3  (* mov ctr + dec + jcc *)
+  | CallLeaf _ -> 1
+
+(** Assemble a program to a flat image at {!code_base}. Branch targets
+    relink to the next surviving slot (or the exit), so any sub-array of
+    slots assembles to a valid terminating program — the property
+    delta-debugging relies on. *)
+let build (p : program) =
+  let a = Asm.create ~base:code_base () in
+  let ids = Array.map fst p.slots in
+  let label_of_target j =
+    let rec go k =
+      if k >= Array.length ids then "Lend"
+      else if ids.(k) >= j then "L" ^ string_of_int ids.(k)
+      else go (k + 1)
+    in
+    go 0
+  in
+  Asm.ins a (Insn.Movabs (Regs.r15, scratch_base));
+  Asm.ins a (Insn.Movabs (Regs.rsp, stack_top));
+  let used_leaves = ref [] in
+  Array.iter
+    (fun (id, slot) ->
+      Asm.label a ("L" ^ string_of_int id);
+      match slot with
+      | Straight insns -> Asm.inss a insns
+      | Fwd (None, j) -> Asm.jmp a (label_of_target j)
+      | Fwd (Some c, j) -> Asm.jcc a c (label_of_target j)
+      | Loop { ctr; iters; body } ->
+        Asm.ins a (Insn.Mov (W64.B8, Insn.Reg ctr, Insn.Imm (Int64.of_int iters)));
+        Asm.label a (Printf.sprintf "L%dtop" id);
+        Asm.inss a body;
+        Asm.ins a (Insn.Unary (Insn.Dec, W64.B8, Insn.Reg ctr));
+        Asm.jcc a Flags.NE (Printf.sprintf "L%dtop" id)
+      | CallLeaf k ->
+        if not (List.mem k !used_leaves) then used_leaves := k :: !used_leaves;
+        Asm.call a ("F" ^ string_of_int k))
+    p.slots;
+  Asm.label a "Lend";
+  Asm.ins a Insn.Hlt;
+  List.iter
+    (fun k ->
+      Asm.label a ("F" ^ string_of_int k);
+      Asm.inss a p.leaves.(k);
+      Asm.ins a Insn.Ret)
+    (List.sort compare !used_leaves);
+  Asm.assemble a
+
+(** Keep only the slots passing [keep] (by position), preserving original
+    ids — the shrinking projection. *)
+let with_slots p slots = { p with slots }
+
+(* ---------- listing ---------- *)
+
+(** Disassemble an assembled image back into addressed text lines by
+    linear decode walk (the image is pure code, so the walk is total for
+    any program the generator can produce). *)
+let listing img =
+  let code = img.Asm.code in
+  let base = img.Asm.img_base in
+  let fetch va = Char.code code.[Int64.to_int (Int64.sub va base)] in
+  let limit = Int64.add base (Int64.of_int (String.length code)) in
+  let rec go rip acc =
+    if rip >= limit then List.rev acc
+    else
+      match Decode.decode ~fetch ~rip with
+      | insn, len ->
+        let line = Printf.sprintf "%#Lx: %s" rip (Disasm.to_string insn) in
+        go (Int64.add rip (Int64.of_int len)) (line :: acc)
+      | exception Decode.Invalid_opcode _ ->
+        List.rev (Printf.sprintf "%#Lx: (bad)" rip :: acc)
+  in
+  go base []
+
+(** Static instruction count of a program (prologue and [hlt] included). *)
+let insn_count p = List.length (listing (build p))

@@ -1,0 +1,290 @@
+(** Differential fuzzing harness: generated programs run on a timed core
+    and the sequential reference, divergences are shrunk and reported.
+
+    Each iteration derives a per-iteration seed from the master seed,
+    generates a program ({!Fuzzgen}), and co-simulates it
+    ({!Ptl_hyper.Cosim}) on identical initial state, comparing committed
+    register/flag/memory state at instruction-count checkpoints. On
+    divergence the failing slot sequence is minimized with delta
+    debugging ({!Shrink}), the minimal case is re-run with {!Ptl_trace}
+    armed and per-instruction checkpoints, and a self-contained text
+    report is emitted: the shrunk program, both architectural states at
+    the first divergent instruction, the trace window leading up to it,
+    and a replay command line.
+
+    Everything is deterministic: two runs with the same seed and flags
+    produce byte-identical reports. *)
+
+module Rng = Ptl_util.Rng
+module Context = Ptl_arch.Context
+module Config = Ptl_ooo.Config
+module Registry = Ptl_ooo.Registry
+module Trace = Ptl_trace.Trace
+module Cosim = Ptl_hyper.Cosim
+module Flags = Ptl_isa.Flags
+
+(* The scratch window every generated memory access lands in; compared
+   quadword by quadword at each checkpoint. The private stack above it is
+   not compared directly, but any stack corruption surfaces through the
+   registers popped from it. *)
+let mem_ranges = [ (Fuzzgen.scratch_base, Fuzzgen.scratch_bytes) ]
+
+(* Step budget per model run: generated programs commit a few thousand
+   instructions at most, so a model needing this many cycles is wedged. *)
+let step_budget = 2_000_000
+
+(** Deliberately planted core bug for harness self-tests and
+    [--fuzz-inject]: once [after] instructions have committed, the model
+    core's flags writes are mutated (CF forced set) after every step.
+    The factory shape matches {!Cosim.validate}'s [inject]. *)
+let flags_bug ~after () : Context.t -> unit =
+ fun ctx ->
+  if ctx.Context.insns_committed >= after then
+    ctx.Context.flags <- ctx.Context.flags lor Flags.cf_mask
+
+type divergence = {
+  d_iter : int;  (** iteration that found it *)
+  d_iter_seed : int;  (** per-iteration generator seed *)
+  d_orig_insns : int;  (** static size before shrinking *)
+  d_insns : int;  (** static size after shrinking *)
+  d_after : int;  (** first divergent committed-instruction count *)
+  d_listing : string list;  (** shrunk program disassembly *)
+  d_diffs : string list;  (** architectural diffs, reference vs model *)
+  d_trace : string list;  (** trace window leading up to the mismatch *)
+  d_report : string;  (** the full rendered report *)
+}
+
+type summary = {
+  s_seed : int;
+  s_core : string;
+  s_iters : int;
+  s_gen_insns : int;  (** total static instructions generated *)
+  s_divergences : divergence list;  (** in iteration order *)
+}
+
+let default_len = 40
+let default_check_every = 32
+
+let render_report ~seed ~core ~len ~classes ~replay_extra d =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "=== optlsim fuzz divergence ===\n";
+  pf "master seed     : %d\n" seed;
+  pf "iteration       : %d\n" d.d_iter;
+  pf "iteration seed  : %d\n" d.d_iter_seed;
+  pf "core            : %s (vs seq reference)\n" core;
+  pf "original program: %d instructions\n" d.d_orig_insns;
+  pf "shrunk program  : %d instructions\n" d.d_insns;
+  pf "first divergence: after %d committed instructions\n" d.d_after;
+  pf "\n-- shrunk program --\n";
+  List.iter (fun l -> pf "%s\n" l) d.d_listing;
+  pf "\n-- architectural diffs (reference vs %s) --\n" core;
+  List.iter (fun l -> pf "%s\n" l) d.d_diffs;
+  if d.d_trace <> [] then begin
+    pf "\n-- trace window (last %d events before the mismatch) --\n"
+      (List.length d.d_trace);
+    List.iter (fun l -> pf "%s\n" l) d.d_trace
+  end;
+  let classes_flag =
+    if classes = Fuzzgen.all_classes then ""
+    else
+      Printf.sprintf " --fuzz-classes %s"
+        (String.concat "," (List.map Fuzzgen.cls_name classes))
+  in
+  pf "\nreplay: optlsim fuzz --fuzz-seed %d --fuzz-iters %d --fuzz-len %d --core %s%s%s\n"
+    seed (d.d_iter + 1) len core classes_flag replay_extra;
+  Buffer.contents buf
+
+(** Run [iters] fuzzing iterations against [core]. [progress] is called
+    after every iteration with (iteration, divergences-so-far).
+    [replay_extra] is appended verbatim to the replay command line in
+    reports (the CLI passes its [--fuzz-inject] flag through it). *)
+let run ?(config = Config.tiny) ?(core = "ooo") ?inject
+    ?(classes = Fuzzgen.all_classes) ?(len = default_len)
+    ?(check_every = default_check_every) ?(trace_capacity = 4096)
+    ?(trace_classes = Trace.all_classes) ?(trace_lines = 64)
+    ?(replay_extra = "") ?(progress = fun _ _ -> ()) ~seed ~iters () =
+  let master = Rng.create seed in
+  let gen_insns = ref 0 in
+  let divs = ref [] in
+  for iter = 0 to iters - 1 do
+    let iter_seed =
+      Int64.to_int (Int64.logand (Rng.next64 master) 0x3FFF_FFFF_FFFF_FFFFL)
+    in
+    let rng = Rng.create iter_seed in
+    let prog = Fuzzgen.generate rng ~classes ~len in
+    let orig_insns = Fuzzgen.insn_count prog in
+    gen_insns := !gen_insns + orig_insns;
+    (* Commit bound: static size times the worst dynamic expansion (loop
+       iterations, REP counts), plus slack. *)
+    let max_insns = (orig_insns * 64) + 256 in
+    let check slots =
+      let img = Fuzzgen.build (Fuzzgen.with_slots prog slots) in
+      Cosim.validate ~config ~core ?inject ~budget:step_budget ~mem_ranges
+        ~check_every ~max_insns img
+    in
+    let diverged slots =
+      match check slots with Cosim.Agree _ -> false | Cosim.Diverged _ -> true
+    in
+    (match check prog.Fuzzgen.slots with
+    | Cosim.Agree _ -> ()
+    | Cosim.Diverged _ ->
+      let slots = Shrink.minimize ~test:diverged prog.Fuzzgen.slots in
+      (* Polish: if ddmin got down to one slot, prefer the smallest single
+         original slot that still reproduces. *)
+      let slots =
+        if Array.length slots <> 1 then slots
+        else begin
+          let w (_, s) = Fuzzgen.slot_insns s in
+          let singles =
+            List.stable_sort
+              (fun a b -> compare (w a) (w b))
+              (Array.to_list prog.Fuzzgen.slots)
+          in
+          match
+            List.find_opt
+              (fun s -> w s < w slots.(0) && diverged [| s |])
+              singles
+          with
+          | Some s -> [| s |]
+          | None -> slots
+        end
+      in
+      let shrunk = Fuzzgen.with_slots prog slots in
+      let img = Fuzzgen.build shrunk in
+      (* Precise replay of the minimal case: per-instruction checkpoints
+         with the trace subsystem armed, so the report pins the first
+         divergent instruction and carries the pipeline window. *)
+      Trace.configure ~capacity:trace_capacity ~classes:trace_classes ();
+      let final =
+        Cosim.validate ~config ~core ?inject ~budget:step_budget ~mem_ranges
+          ~trace_lines ~check_every:1 ~max_insns img
+      in
+      Trace.disable ();
+      let after, diffs, trace =
+        match final with
+        | Cosim.Diverged { after_insns; diffs; trace } ->
+          (after_insns, diffs, trace)
+        | Cosim.Agree n ->
+          (n, [ "divergence did not reproduce at per-instruction checkpoints" ], [])
+      in
+      let d =
+        {
+          d_iter = iter;
+          d_iter_seed = iter_seed;
+          d_orig_insns = orig_insns;
+          d_insns = Fuzzgen.insn_count shrunk;
+          d_after = after;
+          d_listing = Fuzzgen.listing img;
+          d_diffs = diffs;
+          d_trace = trace;
+          d_report = "";
+        }
+      in
+      let d =
+        { d with d_report = render_report ~seed ~core ~len ~classes ~replay_extra d }
+      in
+      divs := d :: !divs);
+    progress iter (List.length !divs)
+  done;
+  {
+    s_seed = seed;
+    s_core = core;
+    s_iters = iters;
+    s_gen_insns = !gen_insns;
+    s_divergences = List.rev !divs;
+  }
+
+(** Write one report file per divergence under [dir] (created if absent),
+    named [div-seed<S>-iter<N>.txt]. Returns the paths written. *)
+let write_reports ~dir summary =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.map
+    (fun d ->
+      let file =
+        Filename.concat dir
+          (Printf.sprintf "div-seed%d-iter%04d.txt" summary.s_seed d.d_iter)
+      in
+      let oc = open_out file in
+      output_string oc d.d_report;
+      close_out oc;
+      file)
+    summary.s_divergences
+
+(** Validate an [optlsim fuzz] invocation before any simulation runs.
+    Fuzz mode owns the trace subsystem (it arms capture around the
+    divergence replay and embeds the window in the report), so only
+    [--trace-buf] and [--trace-filter] are honoured; the other
+    [--trace-*] flags contradict it and are rejected with an
+    explanation. Returns the first problem as [Error msg]. *)
+let check_flags ~iters ~len ~classes ~core ~inject ~trace_start ~trace_stop
+    ~trace_rip ~trace_trigger ~trace_out ~trace_timeline () =
+  let ( let* ) r f = match r with Error _ as e -> e | Ok () -> f () in
+  let* () =
+    if iters < 1 then Error "--fuzz-iters must be at least 1" else Ok ()
+  in
+  let* () = if len < 1 then Error "--fuzz-len must be at least 1" else Ok () in
+  let* () =
+    match Fuzzgen.parse_classes classes with
+    | _ -> Ok ()
+    | exception Invalid_argument msg -> Error ("--fuzz-classes: " ^ msg)
+  in
+  let* () =
+    if core = "seq" then
+      Error
+        "--core seq: the sequential core is the fuzzing reference; pick a \
+         timed core (ooo, inorder, smt)"
+    else if not (List.mem core (Registry.names ())) then
+      Error
+        (Printf.sprintf "--core %s: unknown core model (have: %s)" core
+           (String.concat ", " (List.sort compare (Registry.names ()))))
+    else Ok ()
+  in
+  let* () =
+    match inject with
+    | Some n when n < 1 -> Error "--fuzz-inject must be at least 1"
+    | _ -> Ok ()
+  in
+  let reject flag msg = Error (flag ^ " contradicts fuzz mode: " ^ msg) in
+  let* () =
+    match trace_start with
+    | Some _ ->
+      reject "--trace-start"
+        "divergence replays re-simulate from cycle 0; the window is armed \
+         automatically"
+    | None -> Ok ()
+  in
+  let* () =
+    match trace_stop with
+    | Some _ ->
+      reject "--trace-stop"
+        "the capture window must extend to the mismatch; it cannot be cut \
+         off at a fixed cycle"
+    | None -> Ok ()
+  in
+  let* () =
+    if trace_rip <> "" then
+      reject "--trace-rip"
+        "the divergence window must show every instruction, not a single \
+         address"
+    else Ok ()
+  in
+  let* () =
+    match String.lowercase_ascii trace_trigger with
+    | "" | "immediate" -> Ok ()
+    | _ ->
+      reject "--trace-trigger"
+        "divergence replays capture from the start of the shrunk program"
+  in
+  let* () =
+    if trace_out <> [] then
+      reject "--trace-out"
+        "reports embed the trace window; use --fuzz-report-dir to write \
+         them to files"
+    else Ok ()
+  in
+  if trace_timeline > 0 then
+    reject "--trace-timeline"
+      "reports embed the trace window as event lines; timelines apply to \
+       rsync/compute runs"
+  else Ok ()

@@ -1,0 +1,33 @@
+(** Delta-debugging minimization (greedy ddmin) over an array of program
+    elements.
+
+    [minimize ~test arr] returns a (not necessarily unique) locally
+    minimal sub-array of [arr] on which [test] still returns [true],
+    assuming [test arr = true]. Chunks of decreasing size are removed
+    while the failure keeps reproducing; candidates are tried in a fixed
+    order, so the result is deterministic for a deterministic [test]. *)
+
+let remove arr lo len =
+  Array.append (Array.sub arr 0 lo)
+    (Array.sub arr (lo + len) (Array.length arr - lo - len))
+
+let minimize ~test arr =
+  let rec go arr chunk =
+    let n = Array.length arr in
+    if n <= 1 || chunk < 1 then arr
+    else begin
+      let rec try_from i =
+        if i >= n then None
+        else begin
+          let len = min chunk (n - i) in
+          let cand = remove arr i len in
+          if Array.length cand > 0 && test cand then Some cand
+          else try_from (i + chunk)
+        end
+      in
+      match try_from 0 with
+      | Some cand -> go cand (max 1 (min chunk (Array.length cand / 2)))
+      | None -> if chunk = 1 then arr else go arr (chunk / 2)
+    end
+  in
+  go arr (max 1 (Array.length arr / 2))

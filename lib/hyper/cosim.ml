@@ -8,17 +8,33 @@
     Here the functional core plays the reference processor: the same
     image runs on both engines, comparing architectural state every
     [check_every] committed instructions, and [bisect] narrows the first
-    divergent instruction when one exists. *)
+    divergent instruction when one exists.
+
+    The model side is resolved through {!Ptl_ooo.Registry}, so any timed
+    core ("ooo", "smt", "inorder") can be validated with the same driver.
+    When the {!Ptl_trace} subsystem is armed, a divergence carries the
+    trace window leading up to the mismatch; [inject] lets test harnesses
+    plant a deliberate microarchitectural bug (e.g. a mutated flags write)
+    to prove the validation catches it. *)
 
 module Machine = Ptl_arch.Machine
 module Context = Ptl_arch.Context
 module Seqcore = Ptl_arch.Seqcore
-module Ooo = Ptl_ooo.Ooo_core
 module Config = Ptl_ooo.Config
+module Registry = Ptl_ooo.Registry
+module Trace = Ptl_trace.Trace
 
 type result =
   | Agree of int  (* instructions compared *)
-  | Diverged of { after_insns : int; diffs : string list }
+  | Diverged of {
+      after_insns : int;
+      diffs : string list;
+      (* trace window leading up to the mismatch; [] when tracing is off *)
+      trace : string list;
+    }
+
+(* How a model run ended. *)
+type stop = Reached | Idle | Out_of_budget
 
 (* Run [image] on the functional core for exactly [n] committed
    instructions (single-instruction blocks for exact stepping). *)
@@ -36,38 +52,98 @@ let run_reference image ~n =
   go ();
   m
 
-(* Run [image] on the OOO core for at least [n] committed instructions. *)
-let run_model ?(config = Config.tiny) image ~n =
+(** Run [image] on the timed core [core] (a {!Registry} name) for at least
+    [n] committed instructions. [inject], called after every step with the
+    VCPU context, lets a harness corrupt state mid-run to emulate a core
+    bug. [budget] bounds the number of steps so a wedged model is reported
+    instead of hanging the validator. *)
+let run_model ?(config = Config.tiny) ?(core = "ooo") ?inject
+    ?(budget = 50_000_000) image ~n =
   let m = Machine.create image in
-  let core = Ooo.create config m.Machine.env [| m.Machine.ctx |] in
-  let budget = ref 50_000_000 in
-  while
-    m.Machine.ctx.Context.insns_committed < n
-    && (not (Ooo.all_idle core))
-    && !budget > 0
-  do
-    Ooo.step core;
-    m.Machine.env.Ptl_arch.Env.cycle <- m.Machine.env.Ptl_arch.Env.cycle + 1;
-    decr budget
+  let instance = Registry.build core config m.Machine.env [| m.Machine.ctx |] in
+  let budget = ref budget in
+  let stop = ref None in
+  while !stop = None do
+    if m.Machine.ctx.Context.insns_committed >= n then stop := Some Reached
+    else if instance.Registry.idle () then stop := Some Idle
+    else if !budget <= 0 then stop := Some Out_of_budget
+    else begin
+      instance.Registry.step ();
+      (match inject with Some f -> f m.Machine.ctx | None -> ());
+      decr budget
+    end
   done;
-  m
+  (m, match !stop with Some s -> s | None -> assert false)
+
+(* Compare guest memory over [ranges] (vaddr, bytes) word by word,
+   reporting the first few differing quadwords. *)
+let diff_mem ?(limit = 8) ranges ref_m model_m =
+  let out = ref [] in
+  let count = ref 0 in
+  List.iter
+    (fun (vaddr, bytes) ->
+      let words = bytes / 8 in
+      for i = 0 to words - 1 do
+        if !count < limit then begin
+          let va = Int64.add vaddr (Int64.of_int (i * 8)) in
+          let a = Machine.read_mem ref_m ~vaddr:va ~size:Ptl_util.W64.B8 in
+          let b = Machine.read_mem model_m ~vaddr:va ~size:Ptl_util.W64.B8 in
+          if a <> b then begin
+            incr count;
+            out := Printf.sprintf "mem[%#Lx]: %#Lx vs %#Lx" va a b :: !out
+          end
+        end
+      done)
+    ranges;
+  List.rev !out
+
+(* Full architectural comparison: registers/flags/rip plus any memory
+   ranges the caller knows the program writes. *)
+let diff_machines ?(mem_ranges = []) ref_m model_m =
+  Context.diff ref_m.Machine.ctx model_m.Machine.ctx
+  @ diff_mem mem_ranges ref_m model_m
+
+(* Snapshot the tail of the armed trace window as text lines. *)
+let trace_window lines =
+  if !Trace.on then List.map Trace.event_to_string (Trace.recent lines)
+  else []
 
 (** Compare the model against the reference every [check_every]
     instructions, up to [max_insns]. The model may overrun a checkpoint by
     a few commits within one cycle, so the reference is aligned to the
-    model's actual committed count before comparing. *)
-let validate ?config ?(check_every = 50) ~max_insns image =
+    model's actual committed count before comparing. [inject] is a factory
+    returning a fresh corruption callback per model run (each checkpoint
+    re-simulates from the initial state). When tracing is armed the ring
+    is cleared before each model run, so a [Diverged] result carries the
+    model-side window leading up to the mismatch. *)
+let validate ?config ?(core = "ooo") ?inject ?budget ?(mem_ranges = [])
+    ?(trace_lines = 64) ?(check_every = 50) ~max_insns image =
   let rec go n =
     if n > max_insns then Agree max_insns
     else begin
-      let model_m = run_model ?config image ~n in
+      if !Trace.on then Trace.clear ();
+      let inject = match inject with Some f -> Some (f ()) | None -> None in
+      let model_m, stop = run_model ?config ~core ?inject ?budget image ~n in
+      let window = trace_window trace_lines in
       let actual = model_m.Machine.ctx.Context.insns_committed in
-      let ref_m = run_reference image ~n:actual in
-      let diffs = Context.diff ref_m.Machine.ctx model_m.Machine.ctx in
-      if diffs <> [] then Diverged { after_insns = actual; diffs }
-      else if actual < n (* program finished early: fully compared *)
-      then Agree actual
-      else go (n + check_every)
+      if stop = Out_of_budget then
+        Diverged
+          {
+            after_insns = actual;
+            diffs =
+              [ Printf.sprintf
+                  "model wedged: step budget exhausted after %d committed insns"
+                  actual ];
+            trace = window;
+          }
+      else begin
+        let ref_m = run_reference image ~n:actual in
+        let diffs = diff_machines ~mem_ranges ref_m model_m in
+        if diffs <> [] then Diverged { after_insns = actual; diffs; trace = window }
+        else if actual < n (* program finished early: fully compared *)
+        then Agree actual
+        else go (n + check_every)
+      end
     end
   in
   go check_every
@@ -75,15 +151,17 @@ let validate ?config ?(check_every = 50) ~max_insns image =
 (** Binary-search the first divergent instruction between [lo] (known
     agreeing) and [hi] (known diverged) — the paper's isolation
     technique. *)
-let bisect ?config image ~lo ~hi =
+let bisect ?config ?(core = "ooo") ?inject ?budget ?(mem_ranges = []) image
+    ~lo ~hi =
   let rec go lo hi =
     if hi - lo <= 1 then hi
     else begin
       let mid = (lo + hi) / 2 in
-      let model_m = run_model ?config image ~n:mid in
+      let inject = match inject with Some f -> Some (f ()) | None -> None in
+      let model_m, _ = run_model ?config ~core ?inject ?budget image ~n:mid in
       let actual = model_m.Machine.ctx.Context.insns_committed in
       let ref_m = run_reference image ~n:actual in
-      if Context.diff ref_m.Machine.ctx model_m.Machine.ctx = [] then go mid hi
+      if diff_machines ~mem_ranges ref_m model_m = [] then go mid hi
       else go lo mid
     end
   in

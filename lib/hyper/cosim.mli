@@ -1,15 +1,59 @@
 (** Native-mode co-simulation self-validation (paper §2.3): run the same
-    image on the cycle-accurate core and the functional reference,
-    compare architectural state at instruction-count checkpoints, and
-    binary-search the first divergence when one exists. *)
+    image on a cycle-accurate core and the functional reference, compare
+    architectural state at instruction-count checkpoints, and
+    binary-search the first divergence when one exists. The model side is
+    any {!Ptl_ooo.Registry} core name ("ooo", "smt", "inorder"). *)
 
 type result =
-  | Agree of int  (* instructions compared *)
-  | Diverged of { after_insns : int; diffs : string list }
+  | Agree of int  (** instructions compared *)
+  | Diverged of {
+      after_insns : int;
+      diffs : string list;
+      trace : string list;
+          (** trace window leading up to the mismatch (text lines, oldest
+              first); [[]] unless {!Ptl_trace.Trace} is armed *)
+    }
 
-(** Compare every [check_every] instructions up to [max_insns]. *)
+(** How a model run ended: reached the requested instruction count, went
+    idle (program finished), or exhausted its step budget (wedged). *)
+type stop = Reached | Idle | Out_of_budget
+
+(** Run the functional reference for exactly [n] committed instructions. *)
+val run_reference : Ptl_isa.Asm.image -> n:int -> Ptl_arch.Machine.t
+
+(** Run the timed core [core] for at least [n] committed instructions.
+    [inject] is called after every step with the VCPU context (fault
+    injection for harness self-tests); [budget] bounds the step count. *)
+val run_model :
+  ?config:Ptl_ooo.Config.t ->
+  ?core:string ->
+  ?inject:(Ptl_arch.Context.t -> unit) ->
+  ?budget:int ->
+  Ptl_isa.Asm.image ->
+  n:int ->
+  Ptl_arch.Machine.t * stop
+
+(** Architectural diff of two machines: registers/flags/rip plus the
+    given guest-virtual [mem_ranges] (vaddr, length-in-bytes), compared
+    quadword by quadword. *)
+val diff_machines :
+  ?mem_ranges:(int64 * int) list ->
+  Ptl_arch.Machine.t ->
+  Ptl_arch.Machine.t ->
+  string list
+
+(** Compare every [check_every] instructions up to [max_insns]. [inject]
+    is a factory producing a fresh corruption callback per model run
+    (each checkpoint re-simulates from the initial state). When tracing
+    is armed, the ring is cleared before each model run and a divergence
+    carries the last [trace_lines] events as text. *)
 val validate :
   ?config:Ptl_ooo.Config.t ->
+  ?core:string ->
+  ?inject:(unit -> Ptl_arch.Context.t -> unit) ->
+  ?budget:int ->
+  ?mem_ranges:(int64 * int) list ->
+  ?trace_lines:int ->
   ?check_every:int ->
   max_insns:int ->
   Ptl_isa.Asm.image ->
@@ -17,4 +61,13 @@ val validate :
 
 (** Narrow the first divergent instruction between [lo] (agreeing) and
     [hi] (diverged). *)
-val bisect : ?config:Ptl_ooo.Config.t -> Ptl_isa.Asm.image -> lo:int -> hi:int -> int
+val bisect :
+  ?config:Ptl_ooo.Config.t ->
+  ?core:string ->
+  ?inject:(unit -> Ptl_arch.Context.t -> unit) ->
+  ?budget:int ->
+  ?mem_ranges:(int64 * int) list ->
+  Ptl_isa.Asm.image ->
+  lo:int ->
+  hi:int ->
+  int

@@ -84,6 +84,11 @@ module Checkpoint = Ptl_hyper.Checkpoint
 module Dma_trace = Ptl_hyper.Dma_trace
 module Cosim = Ptl_hyper.Cosim
 
+(* differential fuzzing *)
+module Fuzzgen = Ptl_fuzz.Fuzzgen
+module Shrink = Ptl_fuzz.Shrink
+module Fuzz = Ptl_fuzz.Harness
+
 (* workloads *)
 module Gasm = Ptl_workloads.Gasm
 module Crypto = Ptl_workloads.Crypto

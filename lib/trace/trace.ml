@@ -297,6 +297,22 @@ let pp_event buf ev =
   if ev.ev_tag <> "" then Buffer.add_string buf (" [" ^ ev.ev_tag ^ "]");
   Buffer.add_char buf '\n'
 
+(** One event as a single human-readable line (no trailing newline) — the
+    line format of {!dump_text}, reused by co-simulation divergence
+    reports. *)
+let event_to_string ev =
+  let buf = Buffer.create 64 in
+  pp_event buf ev;
+  Buffer.sub buf 0 (Buffer.length buf - 1)
+
+(** The most recent [n] events of the captured window, oldest first. *)
+let recent n =
+  let evs = Ring.to_list st.ring in
+  let drop = List.length evs - n in
+  if drop <= 0 then evs
+  else
+    List.filteri (fun i _ -> i >= drop) evs
+
 (** Human-readable event log, oldest first. *)
 let dump_text oc =
   let buf = Buffer.create 4096 in

@@ -132,6 +132,13 @@ val count : (event -> bool) -> int
     one core model's commit [tag] (e.g. ["ooo"]). *)
 val commits : ?tag:string -> unit -> int
 
+(** One event as a single human-readable line (no trailing newline) — the
+    line format of {!dump_text}, reused by divergence reports. *)
+val event_to_string : event -> string
+
+(** The most recent [n] events of the window, oldest first. *)
+val recent : int -> event list
+
 (** Human-readable event log, oldest first. *)
 val dump_text : out_channel -> unit
 

@@ -1,10 +1,13 @@
 (* Aggregated alcotest runner for the whole repository. Each [Test_*]
    module exposes [suite : unit Alcotest.test_case list] registered here
-   under its own section. *)
+   under its own section. Randomized tests draw their seed from
+   [Test_seed] (OPTLSIM_TEST_SEED, default 42); on failure the runner
+   prints the seed so the run can be reproduced exactly. *)
 
 let () =
-  Alcotest.run "optlsim"
-    [
+  try
+    Alcotest.run ~and_exit:false "optlsim"
+      [
       ("w64", Test_w64.suite);
       ("util", Test_util.suite);
       ("trace", Test_trace.suite);
@@ -19,4 +22,11 @@ let () =
       ("workloads", Test_workloads.suite);
       ("system", Test_system.suite);
       ("microbench", Test_microbench.suite);
+      ("fuzz", Test_fuzz.suite);
     ]
+  with e ->
+    Printf.eprintf
+      "\nrandomized tests ran with OPTLSIM_TEST_SEED=%d; export it to \
+       reproduce this run\n"
+      Test_seed.seed;
+    (match e with Alcotest.Test_error -> exit 1 | _ -> raise e)

@@ -327,8 +327,8 @@ let suite =
     Alcotest.test_case "variable lengths" `Quick test_variable_lengths;
     Alcotest.test_case "ptlcall = 0f 37" `Quick test_ptlcall_opcode_bytes;
     Alcotest.test_case "condition evaluation" `Quick test_cond_eval;
-    QCheck_alcotest.to_alcotest prop_cond_negate;
-    QCheck_alcotest.to_alcotest prop_roundtrip;
+    Test_seed.to_alcotest prop_cond_negate;
+    Test_seed.to_alcotest prop_roundtrip;
     Alcotest.test_case "asm basic + decode walk" `Quick test_asm_basic;
     Alcotest.test_case "asm forward reference" `Quick test_asm_forward_ref;
     Alcotest.test_case "asm branch relaxation" `Quick test_asm_relaxation;

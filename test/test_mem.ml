@@ -348,5 +348,5 @@ let suite =
     Alcotest.test_case "hierarchy ifetch + invalidate" `Quick test_hierarchy_ifetch_and_invalidate;
     Alcotest.test_case "coherence moesi" `Quick test_coherence_moesi;
     Alcotest.test_case "coherence instant" `Quick test_coherence_instant;
-    QCheck_alcotest.to_alcotest prop_coherence_invariants;
+    Test_seed.to_alcotest prop_coherence_invariants;
   ]

@@ -345,5 +345,5 @@ let suite =
     Alcotest.test_case "ooo SMC flush" `Quick test_ooo_smc_flush;
     Alcotest.test_case "ooo irq delivery" `Quick test_ooo_irq_delivery;
     Alcotest.test_case "ooo k8 config" `Quick test_ooo_k8_config_runs;
-    QCheck_alcotest.to_alcotest prop_cosim_equivalence;
+    Test_seed.to_alcotest prop_cosim_equivalence;
   ]

@@ -1,0 +1,27 @@
+(** Single source of randomness for every randomized test in the suite.
+
+    The seed comes from [OPTLSIM_TEST_SEED] (default 42) and is threaded
+    into every QCheck property via {!to_alcotest} and into simulator-side
+    generators via {!rng} (lib/util/rng.ml's deterministic xoshiro), so a
+    failing randomized run is reproducible by exporting the seed the
+    runner printed. *)
+
+let seed =
+  match Sys.getenv "OPTLSIM_TEST_SEED" with
+  | s ->
+    (match int_of_string_opt s with
+    | Some n -> n
+    | None ->
+      Printf.eprintf "OPTLSIM_TEST_SEED=%S is not an integer; using 42\n" s;
+      42)
+  | exception Not_found -> 42
+
+(** A fresh deterministic simulator RNG seeded from {!seed}; [salt]
+    decorrelates independent tests without losing reproducibility. *)
+let rng ?(salt = 0) () = Ptl_util.Rng.create (seed + salt)
+
+(** Wrap a QCheck property as an alcotest case with its generator state
+    seeded from {!seed} (replaces [QCheck_alcotest.to_alcotest], which
+    seeds from a global nondeterministic default). *)
+let to_alcotest test =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) test

@@ -306,7 +306,7 @@ let suite =
     Alcotest.test_case "exec branches" `Quick test_exec_branches;
     Alcotest.test_case "exec address generation" `Quick test_exec_address;
     Alcotest.test_case "exec floating point" `Quick test_exec_fp;
-    QCheck_alcotest.to_alcotest prop_translation_brackets;
+    Test_seed.to_alcotest prop_translation_brackets;
     Alcotest.test_case "bbcache build + hit" `Quick test_bbcache_build_and_hit;
     Alcotest.test_case "bbcache kernel/user key" `Quick test_bbcache_kernel_user_split;
     Alcotest.test_case "bbcache insn limit" `Quick test_bbcache_insn_limit;

@@ -127,8 +127,8 @@ let suite =
       (check_sub W64.B1 0x80L 1L false 0x7FL false true);
     Alcotest.test_case "sub: borrow in equal" `Quick
       (check_sub W64.B8 5L 5L true 0xFFFFFFFFFFFFFFFFL true false);
-    QCheck_alcotest.to_alcotest prop_add_b2;
-    QCheck_alcotest.to_alcotest prop_sub_b2;
-    QCheck_alcotest.to_alcotest prop_mul128;
-    QCheck_alcotest.to_alcotest prop_add_sub_inverse;
+    Test_seed.to_alcotest prop_add_b2;
+    Test_seed.to_alcotest prop_sub_b2;
+    Test_seed.to_alcotest prop_mul128;
+    Test_seed.to_alcotest prop_add_sub_inverse;
   ]

@@ -254,7 +254,7 @@ let test_cosim_validate_agrees () =
   let img = counting_image () in
   match Cosim.validate ~check_every:20 ~max_insns:500 img with
   | Cosim.Agree n -> Alcotest.(check bool) "compared some insns" true (n > 0)
-  | Cosim.Diverged { after_insns; diffs } ->
+  | Cosim.Diverged { after_insns; diffs; _ } ->
     Alcotest.fail
       (Printf.sprintf "diverged after %d: %s" after_insns (String.concat "; " diffs))
 
@@ -263,7 +263,7 @@ let suite =
     Alcotest.test_case "rc4 guest = oracle (seq+ooo)" `Quick test_rc4_guest_matches_oracle;
     Alcotest.test_case "rc4 roundtrip" `Quick test_rc4_roundtrip;
     Alcotest.test_case "lz oracle roundtrip" `Quick test_lz_oracle_roundtrip;
-    QCheck_alcotest.to_alcotest prop_lz_oracle;
+    Test_seed.to_alcotest prop_lz_oracle;
     Alcotest.test_case "lz guest compress (seq+ooo)" `Quick test_lz_guest_compress;
     Alcotest.test_case "lz guest decompress" `Quick test_lz_guest_decompress;
     Alcotest.test_case "checksum guest" `Quick test_checksum_guest;
