@@ -320,6 +320,67 @@ let exp_trace_overhead () =
 (* Run-to-run variance (paper: <1% across perfctr re-runs)           *)
 (* ---------------------------------------------------------------- *)
 
+(* ---------------------------------------------------------------- *)
+(* Guard overhead: cost of the invariant sweep at sampling intervals *)
+(* ---------------------------------------------------------------- *)
+
+let exp_guard_overhead () =
+  banner "Guard overhead: invariant-sweep cost at sampling intervals {1, 64, 4096}";
+  Printf.printf
+    "the guard supervisor samples the full structural invariant set (ROB/LSQ\n\
+     ordering, physreg conservation, iq slots, cache tag/LRU + MSHR, TLB)\n\
+     every N core steps; the default N=64 must stay under 10%% overhead.\n%!";
+  let module Guard = Ptl_guard.Guard in
+  let measured_cycles = 200_000 in
+  let run_once ~interval =
+    let m = hot_loop_machine () in
+    let inst =
+      Registry.build "ooo" Config.k8_ptlsim m.Machine.env [| m.Machine.ctx |]
+    in
+    let inst =
+      match interval with
+      | None -> inst
+      | Some n ->
+        Guard.wrap
+          ~config:{ Guard.default_config with Guard.interval = n }
+          ~env:m.Machine.env ~ctx:m.Machine.ctx inst
+    in
+    for _ = 1 to 30_000 do
+      inst.Registry.step ()
+    done;
+    let t0 = Sys.time () in
+    for _ = 1 to measured_cycles do
+      inst.Registry.step ()
+    done;
+    Sys.time () -. t0
+  in
+  (* two unguarded runs; the fastest is the baseline *)
+  let base =
+    match List.sort compare [ run_once ~interval:None; run_once ~interval:None ] with
+    | b :: _ -> b
+    | [] -> assert false
+  in
+  Printf.printf "guard off:            %.3f s (%.0f cycles/s)\n%!" base
+    (float_of_int measured_cycles /. base);
+  let default_over = ref 0.0 in
+  List.iter
+    (fun n ->
+      let t = run_once ~interval:(Some n) in
+      let over = 100.0 *. (t -. base) /. base in
+      if n = 64 then default_over := over;
+      Printf.printf "guard interval %-6d %.3f s (%.0f cycles/s)  %+.1f%%\n%!" n t
+        (float_of_int measured_cycles /. t)
+        over)
+    [ 4096; 64; 1 ];
+  if !default_over >= 10.0 then begin
+    Printf.printf
+      "FAIL: default sampling interval (64) costs %+.1f%% (>= 10%%)\n%!"
+      !default_over;
+    exit 1
+  end;
+  Printf.printf "PASS: default interval (64) overhead %+.1f%% < 10%%\n%!"
+    !default_over
+
 let exp_variance () =
   banner "Run-to-run variance of the 4-counter measurement protocol";
   Printf.printf
@@ -658,6 +719,7 @@ let experiments =
     ("fig3", exp_fig3);
     ("speed", exp_speed);
     ("trace-overhead", exp_trace_overhead);
+    ("guard-overhead", exp_guard_overhead);
     ("variance", exp_variance);
     ("ablate-bbcache", exp_ablate_bbcache);
     ("ablate-hoist", exp_ablate_hoist);

@@ -172,6 +172,93 @@ let trace_term =
     const mk $ flag_on $ start $ stop $ rip $ filter $ buf $ trigger $ out
     $ timeline)
 
+(* ---------- guard rails (--guard family) ---------- *)
+
+(* Exit code for a simulator self-check failure (watchdog lockup or
+   structural invariant violation): distinct from flag errors (1, or
+   124 from cmdliner) and fuzz divergences (2). See README "Guard
+   rails". *)
+let exit_sim_failure = 3
+
+type guard_opts = {
+  g_on : bool;
+  g_interval : int;  (* invariant sweep every N core steps *)
+  g_checkpoint_every : int;  (* cycles between snapshots, 0 = start only *)
+  g_degrade : bool;  (* roll back + finish on the seq core on failure *)
+}
+
+let guard_requested g = g.g_on || g.g_degrade
+
+let guard_config g =
+  {
+    Guard.default_config with
+    Guard.interval = max 1 g.g_interval;
+    checkpoint_every = g.g_checkpoint_every;
+    degrade = g.g_degrade;
+  }
+
+(* Install the guard supervisor on every core instance the domain
+   builds (mode switches rebuild the core, so the wrap must be a
+   standing decorator rather than a one-shot). *)
+let install_guard g d =
+  if guard_requested g then
+    Domain.set_instance_wrap d (fun inst ->
+        Guard.wrap ~config:(guard_config g) ~env:d.Domain.env
+          ~ctx:d.Domain.ctx inst)
+
+(* Contain a simulator self-check failure at the driver: render the
+   diagnostic bundle once, exit with the documented code. Without this
+   the typed fault would escape as an uncaught exception + backtrace. *)
+let catch_sim_failure f =
+  try f ()
+  with Sim_failure.Sim_failure fail ->
+    prerr_string (Sim_failure.render fail);
+    Printf.eprintf
+      "optlsim: simulator self-check failed (%s); exiting %d\n"
+      fail.Sim_failure.subsystem exit_sim_failure;
+    exit exit_sim_failure
+
+let guard_term =
+  let flag_on =
+    Arg.(
+      value & flag
+      & info [ "guard" ]
+          ~doc:
+            "Enable guard rails: sampled structural invariant checks \
+             (ROB/LSQ ordering, physical-register conservation, \
+             issue-queue slot conservation, cache tag/LRU and MSHR \
+             consistency, TLB consistency) plus periodic checkpoints. \
+             Failures print a diagnostic bundle and exit 3.")
+  in
+  let interval =
+    Arg.(
+      value & opt int 64
+      & info [ "guard-interval" ] ~docv:"STEPS"
+          ~doc:"Run the invariant sweep every STEPS core steps (default 64).")
+  in
+  let checkpoint_every =
+    Arg.(
+      value
+      & opt int 1_000_000
+      & info [ "guard-checkpoint-every" ] ~docv:"CYCLES"
+          ~doc:
+            "Cycles between rollback checkpoints (default 1000000); 0 \
+             takes one checkpoint at simulation start only.")
+  in
+  let degrade =
+    Arg.(
+      value & flag
+      & info [ "guard-degrade" ]
+          ~doc:
+            "On a self-check failure, roll back to the last checkpoint \
+             and finish the run on the sequential reference core instead \
+             of exiting (implies $(b,--guard)).")
+  in
+  let mk g_on g_interval g_checkpoint_every g_degrade =
+    { g_on; g_interval; g_checkpoint_every; g_degrade }
+  in
+  Term.(const mk $ flag_on $ interval $ checkpoint_every $ degrade)
+
 let machine_of_name = function
   | "k8" | "k8-ptlsim" -> Config.k8_ptlsim
   | "k8-silicon" -> Config.k8_silicon
@@ -195,7 +282,9 @@ let print_summary d k =
       if v > 0 then Printf.printf "%-22s%d\n" (p ^ ":") v)
     [ "ooo.commit.insns"; "ooo.commit.uops"; "ooo.commit.mispredicts";
       "ooo.dcache.dtlb_misses"; "ooo.mem.L1D.misses"; "kernel.syscalls";
-      "kernel.context_switches"; "kernel.packets"; "kernel.disk_reads" ];
+      "kernel.context_switches"; "kernel.packets"; "kernel.disk_reads";
+      "guard.check_passes"; "guard.violations"; "guard.checkpoints";
+      "guard.rollbacks"; "guard.degraded" ];
   (match k with
   | Some k ->
     Printf.printf "shutdown:             %b\n" (Kernel.is_shutdown k)
@@ -204,7 +293,7 @@ let print_summary d k =
     (String.concat " "
        (List.map (fun (m, c) -> Printf.sprintf "%d@%d" m c) (Domain.markers d)))
 
-let run_rsync trace_opts core machine files commands max_mcycles =
+let run_rsync trace_opts guard_opts core machine files commands max_mcycles =
   setup_trace trace_opts;
   let fileset = { Fileset.default with Fileset.nfiles = files } in
   let d, k =
@@ -217,13 +306,15 @@ let run_rsync trace_opts core machine files commands max_mcycles =
         core;
       }
   in
+  install_guard guard_opts d;
   Domain.submit d commands;
-  ignore (Domain.run ~max_cycles:(max_mcycles * 1_000_000) d);
+  catch_sim_failure (fun () ->
+      ignore (Domain.run ~max_cycles:(max_mcycles * 1_000_000) d));
   Printf.printf "synchronized correctly: %b\n" (Rsync_bench.verify_sync k);
   print_summary d (Some k);
   finish_trace trace_opts d.Domain.env.Env.stats
 
-let run_compute trace_opts core machine commands max_mcycles iters =
+let run_compute trace_opts guard_opts core machine commands max_mcycles iters =
   setup_trace trace_opts;
   let g = Gasm.create () in
   Gasm.jmp g "main";
@@ -246,17 +337,21 @@ let run_compute trace_opts core machine commands max_mcycles iters =
   Kernel.register_program k ~name:"init" (Gasm.assemble g);
   Kernel.boot k;
   let d = Domain.create ~kernel:k ~core ~config:(machine_of_name machine) env ctx in
+  install_guard guard_opts d;
   Domain.submit d commands;
-  ignore (Domain.run ~max_cycles:(max_mcycles * 1_000_000) d);
+  catch_sim_failure (fun () ->
+      ignore (Domain.run ~max_cycles:(max_mcycles * 1_000_000) d));
   print_summary d (Some k);
   finish_trace trace_opts env.Env.stats
 
 (* ---------- differential fuzzing (optlsim fuzz) ---------- *)
 
-let run_fuzz trace_opts core machine seed iters len classes report_dir inject =
+let run_fuzz trace_opts guard_opts core machine seed iters len classes
+    report_dir inject =
   let o = trace_opts in
   match
-    Fuzz.check_flags ~iters ~len ~classes ~core ~inject ~trace_start:o.t_start
+    Fuzz.check_flags ~iters ~len ~classes ~core ~inject
+      ~guard_degrade:guard_opts.g_degrade ~trace_start:o.t_start
       ~trace_stop:o.t_stop ~trace_rip:o.t_rip ~trace_trigger:o.t_trigger
       ~trace_out:o.t_out ~trace_timeline:o.t_timeline ()
   with
@@ -283,10 +378,18 @@ let run_fuzz trace_opts core machine seed iters len classes report_dir inject =
         Printf.printf "fuzz: %d/%d iterations, %d divergences\n%!" (iter + 1)
           iters divs
     in
+    (* Under --guard the supervisor rides along inside the cosim loop:
+       invariant violations and watchdog lockups become shrinkable,
+       reportable findings like any divergence. *)
+    let guard =
+      if guard_requested guard_opts then Some (guard_config guard_opts)
+      else None
+    in
     let s =
-      Fuzz.run ~config ~core ?inject:inject_fn ~classes ~len ~check_every
-        ~trace_capacity ~trace_classes:(Trace.parse_classes o.t_filter)
-        ~replay_extra ~progress ~seed ~iters ()
+      Fuzz.run ~config ~core ?inject:inject_fn ?guard ~classes ~len
+        ~check_every ~trace_capacity
+        ~trace_classes:(Trace.parse_classes o.t_filter) ~replay_extra
+        ~progress ~seed ~iters ()
     in
     Printf.printf
       "fuzz: seed %d, %d iterations, %d instructions generated, core %s vs \
@@ -398,21 +501,21 @@ let fuzz_cmd =
               the report carries the shrunk program, both architectural \
               states and the trace window leading up to the mismatch." ])
     Term.(
-      const run_fuzz $ trace_term $ core_arg $ fuzz_machine_arg
+      const run_fuzz $ trace_term $ guard_term $ core_arg $ fuzz_machine_arg
       $ fuzz_seed_arg $ fuzz_iters_arg $ fuzz_len_arg $ fuzz_classes_arg
       $ fuzz_report_dir_arg $ fuzz_inject_arg)
 
 let rsync_cmd =
   Cmd.v (Cmd.info "rsync" ~doc:"Run the paper's rsync-over-ssh benchmark")
     Term.(
-      const run_rsync $ trace_term $ core_arg $ machine_arg $ files_arg
-      $ commands_arg $ max_mcycles_arg)
+      const run_rsync $ trace_term $ guard_term $ core_arg $ machine_arg
+      $ files_arg $ commands_arg $ max_mcycles_arg)
 
 let compute_cmd =
   Cmd.v (Cmd.info "compute" ~doc:"Run a synthetic compute workload")
     Term.(
-      const run_compute $ trace_term $ core_arg $ machine_arg $ commands_arg
-      $ max_mcycles_arg $ iters_arg)
+      const run_compute $ trace_term $ guard_term $ core_arg $ machine_arg
+      $ commands_arg $ max_mcycles_arg $ iters_arg)
 
 let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc:"List registered core models")

@@ -22,6 +22,7 @@ module Registry = Ptl_ooo.Registry
 module Trace = Ptl_trace.Trace
 module Cosim = Ptl_hyper.Cosim
 module Flags = Ptl_isa.Flags
+module Guard = Ptl_guard.Guard
 
 (* The scratch window every generated memory access lands in; compared
    quadword by quadword at each checkpoint. The private stack above it is
@@ -99,11 +100,26 @@ let render_report ~seed ~core ~len ~classes ~replay_extra d =
     after every iteration with (iteration, divergences-so-far).
     [replay_extra] is appended verbatim to the replay command line in
     reports (the CLI passes its [--fuzz-inject] flag through it). *)
-let run ?(config = Config.tiny) ?(core = "ooo") ?inject
+let run ?(config = Config.tiny) ?(core = "ooo") ?inject ?guard
     ?(classes = Fuzzgen.all_classes) ?(len = default_len)
     ?(check_every = default_check_every) ?(trace_capacity = 4096)
     ?(trace_classes = Trace.all_classes) ?(trace_lines = 64)
     ?(replay_extra = "") ?(progress = fun _ _ -> ()) ~seed ~iters () =
+  (* Guard-detected lockups and invariant violations surface as [Hung]
+     stops and become shrinkable divergences; the diagnostic bundle is
+     folded into the report rather than spammed to stderr on every ddmin
+     probe, and degrade mode is never allowed here (falling back to the
+     seq core would make the model its own reference). *)
+  let guard_sink =
+    match guard with Some _ -> Some (open_out "/dev/null") | None -> None
+  in
+  let wrap =
+    match (guard, guard_sink) with
+    | Some g, Some sink ->
+      let g = { g with Guard.degrade = false } in
+      Some (fun env ctx inst -> Guard.wrap ~config:g ~out:sink ~env ~ctx inst)
+    | _ -> None
+  in
   let master = Rng.create seed in
   let gen_insns = ref 0 in
   let divs = ref [] in
@@ -120,8 +136,8 @@ let run ?(config = Config.tiny) ?(core = "ooo") ?inject
     let max_insns = (orig_insns * 64) + 256 in
     let check slots =
       let img = Fuzzgen.build (Fuzzgen.with_slots prog slots) in
-      Cosim.validate ~config ~core ?inject ~budget:step_budget ~mem_ranges
-        ~check_every ~max_insns img
+      Cosim.validate ~config ~core ?inject ?wrap ~budget:step_budget
+        ~mem_ranges ~check_every ~max_insns img
     in
     let diverged slots =
       match check slots with Cosim.Agree _ -> false | Cosim.Diverged _ -> true
@@ -157,8 +173,8 @@ let run ?(config = Config.tiny) ?(core = "ooo") ?inject
          divergent instruction and carries the pipeline window. *)
       Trace.configure ~capacity:trace_capacity ~classes:trace_classes ();
       let final =
-        Cosim.validate ~config ~core ?inject ~budget:step_budget ~mem_ranges
-          ~trace_lines ~check_every:1 ~max_insns img
+        Cosim.validate ~config ~core ?inject ?wrap ~budget:step_budget
+          ~mem_ranges ~trace_lines ~check_every:1 ~max_insns img
       in
       Trace.disable ();
       let after, diffs, trace =
@@ -187,6 +203,7 @@ let run ?(config = Config.tiny) ?(core = "ooo") ?inject
       divs := d :: !divs);
     progress iter (List.length !divs)
   done;
+  (match guard_sink with Some c -> close_out c | None -> ());
   {
     s_seed = seed;
     s_core = core;
@@ -217,8 +234,8 @@ let write_reports ~dir summary =
     [--trace-buf] and [--trace-filter] are honoured; the other
     [--trace-*] flags contradict it and are rejected with an
     explanation. Returns the first problem as [Error msg]. *)
-let check_flags ~iters ~len ~classes ~core ~inject ~trace_start ~trace_stop
-    ~trace_rip ~trace_trigger ~trace_out ~trace_timeline () =
+let check_flags ~iters ~len ~classes ~core ~inject ~guard_degrade ~trace_start
+    ~trace_stop ~trace_rip ~trace_trigger ~trace_out ~trace_timeline () =
   let ( let* ) r f = match r with Error _ as e -> e | Ok () -> f () in
   let* () =
     if iters < 1 then Error "--fuzz-iters must be at least 1" else Ok ()
@@ -246,6 +263,13 @@ let check_flags ~iters ~len ~classes ~core ~inject ~trace_start ~trace_stop
     | _ -> Ok ()
   in
   let reject flag msg = Error (flag ^ " contradicts fuzz mode: " ^ msg) in
+  let* () =
+    if guard_degrade then
+      reject "--guard-degrade"
+        "degrading to the seq core would make the model its own reference \
+         and mask the very findings fuzzing exists to surface"
+    else Ok ()
+  in
   let* () =
     match trace_start with
     | Some _ ->

@@ -22,6 +22,7 @@ module Context = Ptl_arch.Context
 module Seqcore = Ptl_arch.Seqcore
 module Config = Ptl_ooo.Config
 module Registry = Ptl_ooo.Registry
+module Sim_failure = Ptl_ooo.Sim_failure
 module Trace = Ptl_trace.Trace
 
 type result =
@@ -33,8 +34,9 @@ type result =
       trace : string list;
     }
 
-(* How a model run ended. *)
-type stop = Reached | Idle | Out_of_budget
+(* How a model run ended. [Hung] is a typed simulator self-check fault
+   (watchdog lockup or guard invariant violation) raised mid-step. *)
+type stop = Reached | Idle | Out_of_budget | Hung of Sim_failure.t
 
 (* Run [image] on the functional core for exactly [n] committed
    instructions (single-instruction blocks for exact stepping). *)
@@ -57,10 +59,16 @@ let run_reference image ~n =
     VCPU context, lets a harness corrupt state mid-run to emulate a core
     bug. [budget] bounds the number of steps so a wedged model is reported
     instead of hanging the validator. *)
-let run_model ?(config = Config.tiny) ?(core = "ooo") ?inject
+let run_model ?(config = Config.tiny) ?(core = "ooo") ?inject ?wrap
     ?(budget = 50_000_000) image ~n =
   let m = Machine.create image in
   let instance = Registry.build core config m.Machine.env [| m.Machine.ctx |] in
+  (* e.g. the guard supervisor (lib/guard), installed by the fuzz harness *)
+  let instance =
+    match wrap with
+    | Some w -> w m.Machine.env m.Machine.ctx instance
+    | None -> instance
+  in
   let budget = ref budget in
   let stop = ref None in
   while !stop = None do
@@ -68,7 +76,8 @@ let run_model ?(config = Config.tiny) ?(core = "ooo") ?inject
     else if instance.Registry.idle () then stop := Some Idle
     else if !budget <= 0 then stop := Some Out_of_budget
     else begin
-      instance.Registry.step ();
+      (try instance.Registry.step ()
+       with Sim_failure.Sim_failure f -> stop := Some (Hung f));
       (match inject with Some f -> f m.Machine.ctx | None -> ());
       decr budget
     end
@@ -116,17 +125,18 @@ let trace_window lines =
     re-simulates from the initial state). When tracing is armed the ring
     is cleared before each model run, so a [Diverged] result carries the
     model-side window leading up to the mismatch. *)
-let validate ?config ?(core = "ooo") ?inject ?budget ?(mem_ranges = [])
+let validate ?config ?(core = "ooo") ?inject ?wrap ?budget ?(mem_ranges = [])
     ?(trace_lines = 64) ?(check_every = 50) ~max_insns image =
   let rec go n =
     if n > max_insns then Agree max_insns
     else begin
       if !Trace.on then Trace.clear ();
       let inject = match inject with Some f -> Some (f ()) | None -> None in
-      let model_m, stop = run_model ?config ~core ?inject ?budget image ~n in
+      let model_m, stop = run_model ?config ~core ?inject ?wrap ?budget image ~n in
       let window = trace_window trace_lines in
       let actual = model_m.Machine.ctx.Context.insns_committed in
-      if stop = Out_of_budget then
+      match stop with
+      | Out_of_budget ->
         Diverged
           {
             after_insns = actual;
@@ -136,14 +146,22 @@ let validate ?config ?(core = "ooo") ?inject ?budget ?(mem_ranges = [])
                   actual ];
             trace = window;
           }
-      else begin
+      | Hung f ->
+        (* A watchdog lockup / invariant violation is a reportable,
+           shrinkable finding exactly like an architectural divergence. *)
+        Diverged
+          {
+            after_insns = actual;
+            diffs = Sim_failure.summary f :: [];
+            trace = (if window <> [] then window else f.Sim_failure.trace_window);
+          }
+      | Reached | Idle ->
         let ref_m = run_reference image ~n:actual in
         let diffs = diff_machines ~mem_ranges ref_m model_m in
         if diffs <> [] then Diverged { after_insns = actual; diffs; trace = window }
         else if actual < n (* program finished early: fully compared *)
         then Agree actual
         else go (n + check_every)
-      end
     end
   in
   go check_every
@@ -151,14 +169,14 @@ let validate ?config ?(core = "ooo") ?inject ?budget ?(mem_ranges = [])
 (** Binary-search the first divergent instruction between [lo] (known
     agreeing) and [hi] (known diverged) — the paper's isolation
     technique. *)
-let bisect ?config ?(core = "ooo") ?inject ?budget ?(mem_ranges = []) image
+let bisect ?config ?(core = "ooo") ?inject ?wrap ?budget ?(mem_ranges = []) image
     ~lo ~hi =
   let rec go lo hi =
     if hi - lo <= 1 then hi
     else begin
       let mid = (lo + hi) / 2 in
       let inject = match inject with Some f -> Some (f ()) | None -> None in
-      let model_m, _ = run_model ?config ~core ?inject ?budget image ~n:mid in
+      let model_m, _ = run_model ?config ~core ?inject ?wrap ?budget image ~n:mid in
       let actual = model_m.Machine.ctx.Context.insns_committed in
       let ref_m = run_reference image ~n:actual in
       if diff_machines ~mem_ranges ref_m model_m = [] then go mid hi

@@ -15,19 +15,32 @@ type result =
     }
 
 (** How a model run ended: reached the requested instruction count, went
-    idle (program finished), or exhausted its step budget (wedged). *)
-type stop = Reached | Idle | Out_of_budget
+    idle (program finished), exhausted its step budget (wedged), or
+    raised a typed simulator self-check fault (watchdog lockup or guard
+    invariant violation). *)
+type stop =
+  | Reached
+  | Idle
+  | Out_of_budget
+  | Hung of Ptl_ooo.Sim_failure.t
 
 (** Run the functional reference for exactly [n] committed instructions. *)
 val run_reference : Ptl_isa.Asm.image -> n:int -> Ptl_arch.Machine.t
 
 (** Run the timed core [core] for at least [n] committed instructions.
     [inject] is called after every step with the VCPU context (fault
-    injection for harness self-tests); [budget] bounds the step count. *)
+    injection for harness self-tests); [wrap] decorates the built
+    registry instance (the guard supervisor installs itself here);
+    [budget] bounds the step count. *)
 val run_model :
   ?config:Ptl_ooo.Config.t ->
   ?core:string ->
   ?inject:(Ptl_arch.Context.t -> unit) ->
+  ?wrap:
+    (Ptl_arch.Env.t ->
+    Ptl_arch.Context.t ->
+    Ptl_ooo.Registry.instance ->
+    Ptl_ooo.Registry.instance) ->
   ?budget:int ->
   Ptl_isa.Asm.image ->
   n:int ->
@@ -51,6 +64,11 @@ val validate :
   ?config:Ptl_ooo.Config.t ->
   ?core:string ->
   ?inject:(unit -> Ptl_arch.Context.t -> unit) ->
+  ?wrap:
+    (Ptl_arch.Env.t ->
+    Ptl_arch.Context.t ->
+    Ptl_ooo.Registry.instance ->
+    Ptl_ooo.Registry.instance) ->
   ?budget:int ->
   ?mem_ranges:(int64 * int) list ->
   ?trace_lines:int ->
@@ -65,6 +83,11 @@ val bisect :
   ?config:Ptl_ooo.Config.t ->
   ?core:string ->
   ?inject:(unit -> Ptl_arch.Context.t -> unit) ->
+  ?wrap:
+    (Ptl_arch.Env.t ->
+    Ptl_arch.Context.t ->
+    Ptl_ooo.Registry.instance ->
+    Ptl_ooo.Registry.instance) ->
   ?budget:int ->
   ?mem_ranges:(int64 * int) list ->
   Ptl_isa.Asm.image ->

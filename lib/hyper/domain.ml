@@ -35,6 +35,9 @@ type t = {
   mutable core_name : string;
   mutable mode : mode;
   mutable sim : Registry.instance option;
+  (* decorator applied to every freshly built core instance (the guard
+     supervisor installs itself here; identity when unset) *)
+  mutable instance_wrap : (Registry.instance -> Registry.instance) option;
   native : Seqcore.t;
   (* native-mode clock: cycles advance by insns * num / den (default
      2/3 cycles per instruction = IPC 1.5, roughly the K8 on rsync) *)
@@ -71,6 +74,7 @@ let create ?kernel ?(core = "ooo") ?(native_cpi = (2, 3)) ~config env ctx =
       core_name = core;
       mode = Native;
       sim = None;
+      instance_wrap = None;
       native = Seqcore.create ~prefix:"native" env ctx;
       native_cpi_num = num;
       native_cpi_den = den;
@@ -140,8 +144,19 @@ let enter_sim t =
   if t.mode <> Simulating || t.sim = None then begin
     Stats.incr t.c_mode_switches;
     t.mode <- Simulating;
-    t.sim <- Some (Registry.build t.core_name t.config t.env [| t.ctx |])
+    let inst = Registry.build t.core_name t.config t.env [| t.ctx |] in
+    let inst =
+      match t.instance_wrap with Some w -> w inst | None -> inst
+    in
+    t.sim <- Some inst
   end
+
+(** Install a decorator applied to every core instance the domain builds
+    from now on (and to the current one, by forcing a rebuild at the
+    next simulation step). *)
+let set_instance_wrap t w =
+  t.instance_wrap <- Some w;
+  t.sim <- None
 
 let clear_stops t =
   t.stop_insns <- None;

@@ -211,6 +211,52 @@ let occupancy t =
       acc + Array.fold_left (fun a l -> if l.tag >= 0 then a + 1 else a) 0 ways)
     0 t.lines
 
+(** Tag/LRU structural consistency for the guard registry: no duplicate
+    tags within a set, no garbage tags, and no recency stamp from the
+    future. Returns a violation description, or None. *)
+let check t =
+  let violation = ref None in
+  let note fmt = Printf.ksprintf (fun s -> if !violation = None then violation := Some s) fmt in
+  Array.iteri
+    (fun s ways ->
+      let seen = Hashtbl.create 8 in
+      Array.iter
+        (fun l ->
+          if l.tag < -1 then note "%s set %d: invalid tag %d" t.config.name s l.tag
+          else if l.tag >= 0 then begin
+            if Hashtbl.mem seen l.tag then
+              note "%s set %d: duplicate tag %#x" t.config.name s l.tag;
+            Hashtbl.replace seen l.tag ();
+            if l.stamp > t.tick then
+              note "%s set %d tag %#x: stamp %d from the future (tick %d)"
+                t.config.name s l.tag l.stamp t.tick
+          end)
+        ways)
+    t.lines;
+  !violation
+
+(** Planted corruption for guard self-tests: copy the tag of the first
+    valid line into another way of the same set. *)
+let debug_duplicate_tag t =
+  if t.config.ways < 2 then false
+  else begin
+    let done_ = ref false in
+    Array.iter
+      (fun ways ->
+        if not !done_ then
+          Array.iteri
+            (fun w l ->
+              if (not !done_) && l.tag >= 0 && w + 1 < Array.length ways then begin
+                ways.(w + 1).tag <- l.tag;
+                ways.(w + 1).dirty <- false;
+                ways.(w + 1).stamp <- l.stamp;
+                done_ := true
+              end)
+            ways)
+      t.lines;
+    !done_
+  end
+
 (** Configured hit latency (cycles). *)
 let latency t = t.config.latency
 

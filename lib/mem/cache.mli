@@ -60,3 +60,13 @@ val latency : t -> int
 val hits : t -> int
 val misses : t -> int
 val accesses : t -> int
+
+(** Guard hook: tag/LRU structural consistency (no duplicate tags in a
+    set, no garbage tags, no recency stamp from the future). Returns a
+    violation description, or [None] when consistent. *)
+val check : t -> string option
+
+(** Planted-corruption hook for guard self-tests: duplicate the tag of
+    the first valid line into another way of its set. Returns false when
+    no set holds a valid line with a free second way. *)
+val debug_duplicate_tag : t -> bool

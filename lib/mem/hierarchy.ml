@@ -177,6 +177,45 @@ let invalidate_line t paddr =
   ignore (Cache.invalidate t.l2 paddr);
   Option.iter (fun l3 -> ignore (Cache.invalidate l3 paddr)) t.l3
 
+(* ---------- guard inspection hooks ---------- *)
+
+let mshr_occupancy t = Hashtbl.length t.mshr
+
+(** MSHR-leak check: a fill whose completion cycle lies beyond any
+    latency the hierarchy can legitimately produce (worst-case miss chain
+    through every level plus full-MSHR queueing and a generous coherence
+    allowance) was inserted by a bug and will never expire. Completed
+    entries awaiting lazy expiry are fine. Returns a violation, or None. *)
+let mshr_check t ~cycle =
+  let worst_single =
+    t.config.l1d.Cache.latency + t.config.l2.Cache.latency
+    + (match t.config.l3 with Some c -> c.Cache.latency | None -> 0)
+    + t.config.mem_latency
+  in
+  (* remote_penalty (coherence) adds an unknown but bounded cost *)
+  let bound = (t.config.mshrs + 2) * (worst_single + 1024) in
+  Hashtbl.fold
+    (fun line ready acc ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+        if ready > cycle + bound then
+          Some
+            (Printf.sprintf
+               "MSHR for line %#x completes at cycle %d, %d cycles out (bound %d): leaked entry"
+               line ready (ready - cycle) bound)
+        else None)
+    t.mshr None
+
+(** Structural consistency of every cache level plus the MSHR table. *)
+let check t ~cycle =
+  let ( <|> ) a b = match a with Some _ -> a | None -> b () in
+  Cache.check t.l1d
+  <|> (fun () -> Cache.check t.l1i)
+  <|> (fun () -> Cache.check t.l2)
+  <|> (fun () -> match t.l3 with Some l3 -> Cache.check l3 | None -> None)
+  <|> (fun () -> mshr_check t ~cycle)
+
 (** Flush all levels (the paper's -perfctr option flushes all CPU caches
     before switching to native mode). *)
 let flush t =

@@ -188,3 +188,58 @@ let flush_page t vaddr =
   let vpn = vpn_of_vaddr vaddr in
   level_flush_page t.l1 vpn;
   Option.iter (fun l2 -> level_flush_page l2 vpn) t.l2
+
+(* ---------- guard inspection hooks ---------- *)
+
+let level_check name lvl =
+  let violation = ref None in
+  let note fmt = Printf.ksprintf (fun s -> if !violation = None then violation := Some s) fmt in
+  for s = 0 to lvl.sets - 1 do
+    let seen = Hashtbl.create 8 in
+    for w = 0 to lvl.ways - 1 do
+      let tag = lvl.tags.(s).(w) in
+      if tag <> -1L then begin
+        if Hashtbl.mem seen tag then note "%s set %d: duplicate vpn %#Lx" name s tag;
+        Hashtbl.replace seen tag ();
+        if lvl.data.(s).(w) = None then
+          note "%s set %d way %d: valid tag %#Lx with no entry" name s w tag;
+        if Int64.to_int (Int64.unsigned_rem tag (Int64.of_int lvl.sets)) <> s then
+          note "%s set %d: vpn %#Lx indexed into the wrong set" name s tag;
+        if lvl.lru.(s).(w) > lvl.tick then
+          note "%s set %d: lru stamp %d from the future (tick %d)" name s
+            lvl.lru.(s).(w) lvl.tick
+      end
+      else if lvl.data.(s).(w) <> None then
+        note "%s set %d way %d: invalid tag with a live entry" name s w
+    done
+  done;
+  !violation
+
+(** Internal tag/entry/LRU consistency of every level. Returns a
+    violation description, or None. *)
+let check t =
+  match level_check (t.name ^ ".l1") t.l1 with
+  | Some _ as v -> v
+  | None ->
+    (match Option.map (level_check (t.name ^ ".l2")) t.l2 with
+    | Some (Some _ as v) -> v
+    | _ -> Option.join (Option.map (level_check (t.name ^ ".pde")) t.pde))
+
+(** All valid L1/L2 translations as (vpn, entry) pairs — the vpn comes
+    from the tag array (the entry's own [vpn] field is not meaningful for
+    leaf translations). Used by the guard's TLB↔pagetable agreement
+    check. *)
+let entries t =
+  let out = ref [] in
+  let level lvl =
+    for s = 0 to lvl.sets - 1 do
+      for w = 0 to lvl.ways - 1 do
+        match lvl.data.(s).(w) with
+        | Some e when lvl.tags.(s).(w) <> -1L -> out := (lvl.tags.(s).(w), e) :: !out
+        | _ -> ()
+      done
+    done
+  in
+  level t.l1;
+  Option.iter level t.l2;
+  !out

@@ -46,3 +46,11 @@ val flush : t -> unit
 
 (** Flush one page (invlpg). *)
 val flush_page : t -> int64 -> unit
+
+(** Guard hook: internal tag/entry/LRU consistency of every level.
+    Returns a violation description, or [None] when consistent. *)
+val check : t -> string option
+
+(** Guard hook: all valid L1/L2 translations as (vpn, entry) pairs, the
+    vpn taken from the tag arrays. *)
+val entries : t -> (int64 * entry) list

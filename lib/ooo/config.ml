@@ -42,6 +42,11 @@ type t = {
   (* K8 counts retired "uop triads" (groups of up to 3); when set, the
      committed-uop counter advances by ceil(n/3) per macro-op (§5). *)
   count_uop_triads : bool;
+  (* Lockup watchdog: a thread that is not idle yet commits nothing for
+     this many cycles is a simulator bug; the core raises a typed
+     {!Sim_failure} (the guard supervisor turns it into a diagnostic
+     bundle). *)
+  watchdog_cycles : int;
 }
 
 (** Execution latency of each uop class, in cycles. *)
@@ -103,6 +108,7 @@ let k8_ptlsim =
     redirect_penalty = 10;
     smt_threads = 1;
     count_uop_triads = false;
+    watchdog_cycles = 500_000;
   }
 
 (** The "reference silicon" configuration: what the real Athlon 64 had
@@ -164,4 +170,5 @@ let tiny =
     redirect_penalty = 4;
     smt_threads = 1;
     count_uop_triads = false;
+    watchdog_cycles = 500_000;
   }

@@ -30,6 +30,11 @@ type t = {
   bpred : Predictor.t;
   mutable pending_cycles : int;  (* cost accumulated by the current block *)
   mutable tlb_gen_seen : int;
+  (* no-commit watchdog (same contract as the OOO core's): a running
+     context that retires nothing for [watchdog_cycles] is a core bug *)
+  watchdog_cycles : int;
+  mutable wd_last_insns : int;
+  mutable wd_last_progress : int;
   c_cycles : Stats.counter;
   c_kernel : Stats.counter;
   c_user : Stats.counter;
@@ -50,6 +55,9 @@ let create ?(prefix = "inorder") (config : Config.t) env ctx =
       bpred = Predictor.create ~prefix:(prefix ^ ".bpred") stats config.Config.bpred;
       pending_cycles = 0;
       tlb_gen_seen = ctx.Context.tlb_generation;
+      watchdog_cycles = config.Config.watchdog_cycles;
+      wd_last_insns = 0;
+      wd_last_progress = env.Env.cycle;
       c_cycles = Stats.counter stats (prefix ^ ".cycles");
       c_kernel = Stats.counter stats (prefix ^ ".cycles_in_mode.kernel");
       c_user = Stats.counter stats (prefix ^ ".cycles_in_mode.user");
@@ -144,6 +152,23 @@ let step_block t =
   | Seqcore.Executed _ | Seqcore.Interrupted -> ());
   t.env.Env.cycle <- t.env.Env.cycle + cost;
   Stats.add t.c_cycles cost;
+  (* Watchdog: progress is committed instructions advancing, an interrupt
+     being delivered, or a legitimately idle VCPU. A running context that
+     keeps burning cycles without retiring is a simulator bug. *)
+  let insns_now = Seqcore.insns t.seq in
+  let progressed =
+    insns_now > t.wd_last_insns
+    || match st with Seqcore.Interrupted | Seqcore.Idle -> true | Seqcore.Executed _ -> false
+  in
+  if progressed then begin
+    t.wd_last_insns <- insns_now;
+    t.wd_last_progress <- t.env.Env.cycle
+  end
+  else if t.env.Env.cycle - t.wd_last_progress > t.watchdog_cycles then
+    Sim_failure.fail ~stats:t.env.Env.stats ~subsystem:"inorder.watchdog"
+      ~kind:Sim_failure.Lockup ~cycle:t.env.Env.cycle ~rip:t.ctx.Context.rip
+      (Printf.sprintf "no commit since cycle %d (insns=%d)" t.wd_last_progress
+         insns_now);
   st
 
 (** Run until idle or [max_cycles] simulated cycles pass. *)

@@ -1196,8 +1196,6 @@ let writeback t =
 
 module Flags = Ptl_isa.Flags
 
-exception Pipeline_hang of string
-
 (* Scan the macro-op at the ROB head. Returns the inclusive index of the
    last entry, or the reason it cannot commit yet. *)
 type macro_scan =
@@ -1454,14 +1452,19 @@ let step t =
         th.last_progress <- now t
       end)
     t.threads;
-  (* watchdog: a stuck pipeline is a simulator bug; fail loudly *)
+  (* watchdog: a stuck pipeline is a simulator bug; fail loudly with a
+     typed fault the guard supervisor / CLI driver can render *)
   Array.iter
     (fun th ->
-      if (not (thread_idle th)) && now t - th.last_progress > 500_000 then
-        raise
-          (Pipeline_hang
-             (Printf.sprintf "core %d thread %d: no commit since cycle %d (rip=%#Lx)"
-                t.core_id th.tid th.last_progress th.ctx.Context.rip)))
+      if
+        (not (thread_idle th))
+        && now t - th.last_progress > t.config.Config.watchdog_cycles
+      then
+        Sim_failure.fail ~stats:t.env.Env.stats
+          ~subsystem:(t.prefix ^ ".watchdog")
+          ~kind:Sim_failure.Lockup ~cycle:(now t) ~rip:th.ctx.Context.rip
+          (Printf.sprintf "core %d thread %d: no commit since cycle %d"
+             t.core_id th.tid th.last_progress))
     t.threads
 
 let all_idle t = Array.for_all (fun th -> thread_idle th && not (Context.interruptible th.ctx)) t.threads
@@ -1483,3 +1486,168 @@ let run t ~max_cycles =
 
 let insns t = Stats.value t.c_insns
 let cycles t = Stats.value t.c_cycles
+
+(* ---------- guard inspection hooks ----------
+
+   Small read-only views of the pipeline structures for the lib/guard
+   invariant registry. They return plain data (or a violation string) so
+   the guard does not have to re-derive pipeline semantics. All run
+   between cycles, when the structures are consistent. *)
+
+(* Allocation-free age scan: first out-of-order adjacent (prev, seq)
+   pair in a ring of entries, or None. The guard sweep runs these every
+   few dozen cycles, so they must not allocate. *)
+let first_unordered ring =
+  let prev = ref min_int and bad = ref None in
+  Ring.iter ring (fun e ->
+      if !bad = None && e.seq <= !prev then bad := Some (!prev, e.seq);
+      prev := e.seq);
+  !bad
+
+(** ROB age ordering: per-thread sequence numbers must be strictly
+    increasing oldest-to-youngest. Returns a violation, or None. *)
+let guard_rob_order_check t =
+  let bad = ref None in
+  Array.iteri
+    (fun tid th ->
+      if !bad = None then
+        match first_unordered th.rob with
+        | Some (a, b) ->
+          bad :=
+            Some
+              (Printf.sprintf "thread %d: seq %d precedes %d (age order broken)"
+                 tid a b)
+        | None -> ())
+    t.threads;
+  !bad
+
+(** LSQ consistency: age-ordered, memory uops only, and every entry
+    still present in its thread's ROB (a dangling LSQ entry survives its
+    own annulment). Returns a violation, or None. *)
+let guard_lsq_check t =
+  let bad = ref None in
+  Array.iteri
+    (fun tid th ->
+      if !bad = None then begin
+        (match first_unordered th.lsq with
+        | Some (a, b) ->
+          bad := Some (Printf.sprintf "thread %d: seq %d precedes %d" tid a b)
+        | None -> ());
+        if !bad = None then begin
+          (* membership via merge walk: both rings are age-ordered (just
+             verified), so the LSQ must be a subsequence of the ROB —
+             O(|ROB| + |LSQ|) instead of a quadratic scan *)
+          let nr = Ring.length th.rob and nl = Ring.length th.lsq in
+          let ri = ref 0 in
+          (try
+             for li = 0 to nl - 1 do
+               let e = Ring.get th.lsq li in
+               if not (Uop.is_mem e.uop) then begin
+                 bad :=
+                   Some
+                     (Printf.sprintf "thread %d: LSQ seq %d is not a memory uop"
+                        tid e.seq);
+                 raise Exit
+               end;
+               while !ri < nr && not (Ring.get th.rob !ri == e) do
+                 incr ri
+               done;
+               if !ri >= nr then begin
+                 bad :=
+                   Some
+                     (Printf.sprintf "thread %d: LSQ seq %d has no ROB entry"
+                        tid e.seq);
+                 raise Exit
+               end;
+               incr ri
+             done
+           with Exit -> ())
+        end
+      end)
+    t.threads;
+  !bad
+
+(** Visit every physical register the pipeline currently references:
+    RAT mappings, in-flight destinations, and the old mappings held for
+    commit-time release (sources are always a subset of these but are
+    included for the dangling-reference check). *)
+let guard_iter_referenced t f =
+  let add i = if i >= 0 then f i in
+  let add_rat = function Phys p -> add p | Arch -> () in
+  Array.iter
+    (fun th ->
+      Array.iter add_rat th.rat;
+      Ring.iter th.rob (fun e ->
+          add e.dest;
+          add e.dest_flags;
+          (match e.old_rd with Some (_, m) -> add_rat m | None -> ());
+          (match e.old_flags with Some m -> add_rat m | None -> ());
+          add_rat e.src_a;
+          add_rat e.src_b;
+          add_rat e.src_c;
+          add_rat e.src_f))
+    t.threads
+
+(** Issue-queue slot conservation, both directions: every occupied slot
+    holds a Waiting entry that claims this cluster; every ROB entry
+    claiming a queue slot occupies exactly one; and per-cluster occupied
+    slots equal per-cluster ROB claimers (so a stale annulled entry
+    cannot hide in a slot — the counts would disagree). Returns a
+    violation description, or None when consistent. *)
+let guard_iq_check t =
+  let violation = ref None in
+  let note fmt = Printf.ksprintf (fun s -> if !violation = None then violation := Some s) fmt in
+  let nclusters = Array.length t.iqs in
+  let occupied = Array.make nclusters 0 in
+  let claimed = Array.make nclusters 0 in
+  Array.iteri
+    (fun ci q ->
+      Array.iter
+        (fun slot ->
+          match slot with
+          | None -> ()
+          | Some { slot_rob = e } ->
+            occupied.(ci) <- occupied.(ci) + 1;
+            if e.in_iq <> ci then
+              note "iq[%d]: slot entry seq %d claims cluster %d" ci e.seq e.in_iq
+            else if e.state <> Waiting then
+              note "iq[%d]: slot entry seq %d not in Waiting state" ci e.seq)
+        q)
+    t.iqs;
+  Array.iter
+    (fun th ->
+      Ring.iter th.rob (fun e ->
+          if e.in_iq >= 0 then begin
+            if e.in_iq >= nclusters then
+              note "rob seq %d: in_iq=%d out of range" e.seq e.in_iq
+            else begin
+              claimed.(e.in_iq) <- claimed.(e.in_iq) + 1;
+              let occurrences =
+                Array.fold_left
+                  (fun a slot ->
+                    match slot with
+                    | Some { slot_rob } when slot_rob == e -> a + 1
+                    | _ -> a)
+                  0 t.iqs.(e.in_iq)
+              in
+              if occurrences <> 1 then
+                note "rob seq %d: claims iq[%d] but occupies %d slots" e.seq
+                  e.in_iq occurrences
+            end
+          end))
+    t.threads;
+  if !violation = None then
+    for ci = 0 to nclusters - 1 do
+      if occupied.(ci) <> claimed.(ci) then
+        note "iq[%d]: %d slots occupied but %d ROB entries claim one" ci
+          occupied.(ci) claimed.(ci)
+    done;
+  !violation
+
+(** Locks still held with every thread idle are leaked interlocks. *)
+let guard_interlock_check t =
+  if all_idle t && Interlock.count t.interlock > 0 then
+    Some
+      (Printf.sprintf "%d interlock(s) held with all threads idle"
+         (Interlock.count t.interlock))
+  else None

@@ -80,3 +80,61 @@ let consistent t =
     Array.fold_left (fun a r -> a + if r.state = Free then 1 else 0) 0 t.regs
   in
   free_marked = Queue.length t.free
+
+(* ---------- guard inspection hooks ---------- *)
+
+let capacity t = Array.length t.regs
+let state t i = t.regs.(i).state
+let state_name = function Free -> "Free" | Pending -> "Pending" | Written -> "Written"
+
+(** Free-list contents, head first. *)
+let free_list t = List.rev (Queue.fold (fun acc i -> i :: acc) [] t.free)
+
+(** Conservation + leak check against the set of registers the pipeline
+    references ([iter_referenced] visits each, see
+    {!Ooo_core.guard_iter_referenced}): the free list must agree with
+    the Free-marked population, contain no duplicates and no live
+    register; every referenced register must be live; and every live
+    register must be referenced (otherwise it leaked). Returns a
+    violation description, or None. *)
+let conservation_check t ~iter_referenced =
+  let n = capacity t in
+  let on_free = Array.make n false in
+  let dup = ref None in
+  Queue.iter
+    (fun i ->
+      if i < 0 || i >= n then dup := Some (Printf.sprintf "free-list index %d out of range" i)
+      else begin
+        if on_free.(i) then dup := Some (Printf.sprintf "physreg %d on free list twice" i);
+        on_free.(i) <- true
+      end)
+    t.free;
+  match !dup with
+  | Some _ as v -> v
+  | None ->
+    let free_marked =
+      Array.fold_left (fun a r -> a + if r.state = Free then 1 else 0) 0 t.regs
+    in
+    if free_marked <> Queue.length t.free then
+      Some
+        (Printf.sprintf "free list holds %d entries but %d registers are Free"
+           (Queue.length t.free) free_marked)
+    else begin
+      let referenced_set = Array.make n false in
+      iter_referenced (fun i -> if i >= 0 && i < n then referenced_set.(i) <- true);
+      let violation = ref None in
+      Array.iteri
+        (fun i r ->
+          if !violation = None then begin
+            if r.state = Free && referenced_set.(i) then
+              violation := Some (Printf.sprintf "physreg %d is Free but still referenced" i)
+            else if r.state <> Free && on_free.(i) then
+              violation :=
+                Some (Printf.sprintf "physreg %d is %s but on the free list" i (state_name r.state))
+            else if r.state <> Free && not referenced_set.(i) then
+              violation :=
+                Some (Printf.sprintf "physreg %d leaked: %s but unreferenced" i (state_name r.state))
+          end)
+        t.regs;
+      !violation
+    end

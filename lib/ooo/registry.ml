@@ -16,6 +16,15 @@ module Env = Ptl_arch.Env
 module Context = Ptl_arch.Context
 module Seqcore = Ptl_arch.Seqcore
 
+(** The concrete core behind an instance, for tooling (the guard
+    supervisor attaches model-specific invariant checks through it).
+    [Core_opaque] is for third-party builders that expose nothing. *)
+type handle =
+  | Core_ooo of Ooo_core.t
+  | Core_inorder of Inorder_core.t
+  | Core_seq of Seqcore.t
+  | Core_opaque
+
 (** A uniform driving interface over any core model. *)
 type instance = {
   model_name : string;
@@ -23,6 +32,7 @@ type instance = {
   step : unit -> unit;
   idle : unit -> bool;
   insns : unit -> int;
+  handle : handle;
 }
 
 type builder = Config.t -> Env.t -> Context.t array -> instance
@@ -51,6 +61,7 @@ let () =
             env.Env.cycle <- env.Env.cycle + 1);
         idle = (fun () -> Ooo_core.all_idle core);
         insns = (fun () -> Ooo_core.insns core);
+        handle = Core_ooo core;
       });
   register "smt" (fun config env contexts ->
       let core =
@@ -66,6 +77,7 @@ let () =
             env.Env.cycle <- env.Env.cycle + 1);
         idle = (fun () -> Ooo_core.all_idle core);
         insns = (fun () -> Ooo_core.insns core);
+        handle = Core_ooo core;
       });
   register "inorder" (fun config env contexts ->
       if Array.length contexts <> 1 then invalid_arg "inorder: single context";
@@ -78,6 +90,7 @@ let () =
             (not contexts.(0).Context.running)
             && not (Context.interruptible contexts.(0)));
         insns = (fun () -> Inorder_core.insns core);
+        handle = Core_inorder core;
       });
   register "seq" (fun _config env contexts ->
       if Array.length contexts <> 1 then invalid_arg "seq: single context";
@@ -97,4 +110,5 @@ let () =
             (not contexts.(0).Context.running)
             && not (Context.interruptible contexts.(0)));
         insns = (fun () -> Seqcore.insns core);
+        handle = Core_seq core;
       })

@@ -1,0 +1,81 @@
+(** Typed simulator self-check fault.
+
+    A [Sim_failure] is the simulator admitting a bug in itself: a pipeline
+    that stopped committing (watchdog lockup) or a structural invariant
+    that no longer holds (free-list leak, ROB misordering, MSHR leak...).
+    It replaces the old bare-string [Pipeline_hang] and carries everything
+    a diagnostic needs: the failing subsystem, the cycle and guest RIP,
+    the tail of the armed event trace, and a snapshot of the nonzero
+    statistics counters. [render] turns one into the self-contained text
+    bundle printed by the guard supervisor and the CLI driver. *)
+
+module Stats = Ptl_stats.Statstree
+module Trace = Ptl_trace.Trace
+
+type kind = Lockup | Invariant
+
+type t = {
+  subsystem : string;  (* e.g. "ooo.watchdog", "ooo.physreg", "mem.mshr" *)
+  kind : kind;
+  cycle : int;
+  rip : int64;  (* guest RIP at failure time, 0L when unknown *)
+  message : string;
+  trace_window : string list;  (* armed trace tail, oldest first *)
+  stats : (string * int) list;  (* nonzero counters at failure time *)
+}
+
+exception Sim_failure of t
+
+let kind_name = function Lockup -> "lockup" | Invariant -> "invariant"
+
+(* Snapshot the nonzero counters of a stats tree. *)
+let stats_snapshot (stats : Stats.t) =
+  List.filter_map
+    (fun path ->
+      let v = Stats.get stats path in
+      if v <> 0 then Some (path, v) else None)
+    (Stats.paths stats)
+
+(* Tail of the armed trace ring as text, [] when tracing is off. *)
+let trace_tail ?(lines = 32) () =
+  if !Trace.on then List.map Trace.event_to_string (Trace.recent lines)
+  else []
+
+let make ?stats ?(trace_lines = 32) ~subsystem ~kind ~cycle ~rip message =
+  {
+    subsystem;
+    kind;
+    cycle;
+    rip;
+    message;
+    trace_window = trace_tail ~lines:trace_lines ();
+    stats = (match stats with Some s -> stats_snapshot s | None -> []);
+  }
+
+let fail ?stats ?trace_lines ~subsystem ~kind ~cycle ~rip message =
+  raise (Sim_failure (make ?stats ?trace_lines ~subsystem ~kind ~cycle ~rip message))
+
+(** Short single-line form for log lines and cosim diffs. *)
+let summary t =
+  Printf.sprintf "sim failure [%s/%s] cycle %d rip %#Lx: %s" t.subsystem
+    (kind_name t.kind) t.cycle t.rip t.message
+
+(** The full diagnostic bundle as text (see README "Guard rails"). *)
+let render t =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "=== optlsim guard: simulator failure ===\n";
+  pf "subsystem : %s\n" t.subsystem;
+  pf "kind      : %s\n" (kind_name t.kind);
+  pf "cycle     : %d\n" t.cycle;
+  pf "rip       : %#Lx\n" t.rip;
+  pf "message   : %s\n" t.message;
+  if t.trace_window <> [] then begin
+    pf "\n-- trace window (last %d events) --\n" (List.length t.trace_window);
+    List.iter (fun l -> pf "%s\n" l) t.trace_window
+  end;
+  if t.stats <> [] then begin
+    pf "\n-- stats snapshot (nonzero counters) --\n";
+    List.iter (fun (p, v) -> pf "%s = %d\n" p v) t.stats
+  end;
+  Buffer.contents buf

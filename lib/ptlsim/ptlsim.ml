@@ -69,6 +69,7 @@ module Multicore = Ptl_ooo.Multicore
 module Registry = Ptl_ooo.Registry
 module Physreg = Ptl_ooo.Physreg
 module Interlock = Ptl_ooo.Interlock
+module Sim_failure = Ptl_ooo.Sim_failure
 
 (* the minios guest kernel *)
 module Kernel = Ptl_kernel.Kernel
@@ -83,6 +84,9 @@ module Ptlcall = Ptl_hyper.Ptlcall
 module Checkpoint = Ptl_hyper.Checkpoint
 module Dma_trace = Ptl_hyper.Dma_trace
 module Cosim = Ptl_hyper.Cosim
+
+(* guard rails: invariant registry + crash-containment supervisor *)
+module Guard = Ptl_guard.Guard
 
 (* differential fuzzing *)
 module Fuzzgen = Ptl_fuzz.Fuzzgen

@@ -23,6 +23,7 @@ let () =
       ("system", Test_system.suite);
       ("microbench", Test_microbench.suite);
       ("fuzz", Test_fuzz.suite);
+      ("guard", Test_guard.suite);
     ]
   with e ->
     Printf.eprintf

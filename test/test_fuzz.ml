@@ -182,10 +182,12 @@ let test_injected_bug_deterministic () =
    simulation runs) --- *)
 
 let check ?(iters = 10) ?(len = 5) ?(classes = "") ?(core = "ooo")
-    ?inject ?trace_start ?trace_stop ?(trace_rip = "") ?(trace_trigger = "")
-    ?(trace_out = []) ?(trace_timeline = 0) () =
-  Fuzz.check_flags ~iters ~len ~classes ~core ~inject ~trace_start ~trace_stop
-    ~trace_rip ~trace_trigger ~trace_out ~trace_timeline ()
+    ?inject ?(guard_degrade = false) ?trace_start ?trace_stop
+    ?(trace_rip = "") ?(trace_trigger = "") ?(trace_out = [])
+    ?(trace_timeline = 0) () =
+  Fuzz.check_flags ~iters ~len ~classes ~core ~inject ~guard_degrade
+    ~trace_start ~trace_stop ~trace_rip ~trace_trigger ~trace_out
+    ~trace_timeline ()
 
 let test_check_flags () =
   Alcotest.(check bool) "plain invocation ok" true (check () = Ok ());
@@ -204,6 +206,7 @@ let test_check_flags () =
   rejected "seq core" (check ~core:"seq" ());
   rejected "unknown core" (check ~core:"turbo9000" ());
   rejected "inject" (check ~inject:0 ());
+  rejected "guard-degrade" (check ~guard_degrade:true ());
   rejected "trace-start" (check ~trace_start:100 ());
   rejected "trace-stop" (check ~trace_stop:100 ());
   rejected "trace-rip" (check ~trace_rip:"0x400000" ());
