@@ -34,6 +34,7 @@ module Flags = Ptl_isa.Flags
 module Coherence = Ptl_mem.Coherence
 module Tlb = Ptl_mem.Tlb
 module Trace = Ptl_trace.Trace
+module Sample = Ptl_sample.Sample
 
 let scale =
   match Sys.getenv_opt "OPTLSIM_SCALE" with
@@ -710,6 +711,93 @@ let exp_sampling () =
   Printf.printf "sampled IPC error vs full: %+.1f%%\n%!"
     (100.0 *. (s_ipc -. full_ipc) /. full_ipc)
 
+(* The lib/sample supervisor on a long two-phase microbench: wall-clock
+   speedup vs full detail, and aggregate-CPI error of the estimate.
+   Writes BENCH_sample.json for the CI artifact. *)
+let exp_sample () =
+  banner "Sampled simulation engine (lib/sample): speedup and CPI error";
+  (* a long homogeneous loop mixing memory, ALU and multiply work — the
+     steady-state microbench shape where periodic sampling is exact up to
+     boundary effects (phased workloads need periods incommensurate with
+     the phase length; see --sample-period) *)
+  let make_domain () =
+    let g = G.create () in
+    G.jmp g "main";
+    G.label g "main";
+    G.li g G.rbp Ptl_kernel.Abi.user_heap_base;
+    G.lii g G.rcx (1_200_000 * scale);
+    G.label g "top";
+    G.ld g G.rax ~base:G.rbp ();
+    G.addi g G.rax 1;
+    G.st g ~base:G.rbp G.rax ();
+    G.imuli g G.rbx 1103515245;
+    G.addi g G.rbx 12345;
+    G.dec g G.rcx;
+    G.jne g "top";
+    G.sys_marker g 999;
+    G.sys_exit g 0;
+    let env = Env.create () in
+    let ctx = Context.create ~vcpu_id:0 in
+    let k = Kernel.create env ctx in
+    Kernel.register_program k ~name:"init" (G.assemble g);
+    Kernel.boot k;
+    Domain.create ~kernel:k ~core:"ooo" ~config:Config.k8_ptlsim env ctx
+  in
+  (* full-detail reference *)
+  let d_full = make_domain () in
+  Domain.submit d_full "-core ooo -run";
+  let t0 = Unix.gettimeofday () in
+  ignore (Domain.run ~max_cycles:2_000_000_000 d_full);
+  let t_full = Unix.gettimeofday () -. t0 in
+  let full_insns = Domain.insns d_full in
+  let full_cycles = Stats.get d_full.Domain.env.Env.stats "domain.cycles" in
+  let full_cpi = float_of_int full_cycles /. float_of_int (max 1 full_insns) in
+  (* sampled run: ~1.2% of instructions in detail *)
+  let schedule =
+    { Sample.ff_insns = 2_470_000; warmup_insns = 10_000; measure_insns = 20_000 }
+  in
+  let d_s = make_domain () in
+  let t0 = Unix.gettimeofday () in
+  let r = Sample.run ~max_cycles:2_000_000_000 ~schedule d_s in
+  let t_samp = Unix.gettimeofday () -. t0 in
+  let speedup = t_full /. t_samp in
+  let err_pct =
+    100.0 *. (r.Sample.est_cycles -. float_of_int full_cycles)
+    /. float_of_int (max 1 full_cycles)
+  in
+  Sample.report stdout r;
+  Printf.printf "full detail: %d insns, %d cycles (CPI %.4f) in %.2f s\n"
+    full_insns full_cycles full_cpi t_full;
+  Printf.printf "sampled:     %d insns, %d measured in detail, %.2f s\n"
+    r.Sample.total_insns r.Sample.measured_insns t_samp;
+  Printf.printf "speedup %.1fx, estimated-cycle error %+.2f%%\n" speedup err_pct;
+  let pass = speedup >= 10.0 && Float.abs err_pct <= 5.0 in
+  Printf.printf "budget (>=10x, <=5%% error): %s\n%!"
+    (if pass then "PASS" else "FAIL");
+  let oc = open_out "BENCH_sample.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"sample\",\n\
+    \  \"scale\": %d,\n\
+    \  \"full\": { \"insns\": %d, \"cycles\": %d, \"cpi\": %.6f, \"seconds\": \
+     %.3f },\n\
+    \  \"sampled\": { \"insns\": %d, \"measured_insns\": %d, \"intervals\": \
+     %d,\n\
+    \               \"cpi\": %.6f, \"cpi_mean\": %.6f, \"cpi_ci95\": %.6f,\n\
+    \               \"est_cycles\": %.0f, \"seconds\": %.3f },\n\
+    \  \"speedup\": %.2f,\n\
+    \  \"cpi_error_pct\": %.3f,\n\
+    \  \"budget\": { \"min_speedup\": 10.0, \"max_cpi_error_pct\": 5.0 },\n\
+    \  \"pass\": %b\n\
+     }\n"
+    scale full_insns full_cycles full_cpi t_full r.Sample.total_insns
+    r.Sample.measured_insns
+    (List.length r.Sample.intervals)
+    r.Sample.cpi r.Sample.cpi_mean r.Sample.cpi_ci95 r.Sample.est_cycles
+    t_samp speedup err_pct pass;
+  close_out oc;
+  Printf.printf "wrote BENCH_sample.json\n%!"
+
 (* ---------------------------------------------------------------- *)
 
 let experiments =
@@ -729,6 +817,7 @@ let experiments =
     ("coherence", exp_coherence);
     ("cosim", exp_cosim);
     ("sampling", exp_sampling);
+    ("sample", exp_sample);
     ("fuzz", exp_fuzz);
   ]
 

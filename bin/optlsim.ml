@@ -21,10 +21,12 @@ type trace_opts = {
   t_buf : int;  (* ring capacity in events *)
   t_trigger : string;  (* immediate | cycle:N | mispredict *)
   t_out : string list;  (* sink specs: [format:]path *)
+  t_stream : string;  (* incremental sink spec, "" = none *)
   t_timeline : int;  (* per-uop timeline rows to print, 0 = off *)
 }
 
-let trace_requested o = o.t_on || o.t_out <> [] || o.t_timeline > 0
+let trace_requested o =
+  o.t_on || o.t_out <> [] || o.t_stream <> "" || o.t_timeline > 0
 
 (* A sink spec is [format:]path; the format defaults from the extension
    (.json -> chrome, .csv -> csv, else text). path "-" is stdout. *)
@@ -44,6 +46,10 @@ let parse_sink spec =
     in
     (f, spec)
 
+(* the channel behind --trace-stream, owned here; the trace module only
+   borrows it while the streaming sink is attached *)
+let stream_channel : (string * out_channel) option ref = ref None
+
 let setup_trace o =
   if trace_requested o then begin
     (* reject bad sink specs before burning cycles on the simulation *)
@@ -52,6 +58,7 @@ let setup_trace o =
       match String.lowercase_ascii o.t_trigger with
       | "" | "immediate" -> None
       | "mispredict" -> Some Trace.On_mispredict
+      | "sample" -> Some Trace.On_sample
       | s when String.length s > 6 && String.sub s 0 6 = "cycle:" ->
         Some
           (Trace.At_cycle
@@ -62,7 +69,18 @@ let setup_trace o =
       ?stop_cycle:o.t_stop
       ?rip:(if o.t_rip = "" then None else Some (Int64.of_string o.t_rip))
       ~classes:(Trace.parse_classes o.t_filter)
-      ?trigger ()
+      ?trigger ();
+    if o.t_stream <> "" then begin
+      let format, path = parse_sink o.t_stream in
+      let fmt =
+        match Trace.stream_format_of_name format with
+        | Some f -> f
+        | None -> failwith ("unknown trace stream format in " ^ o.t_stream)
+      in
+      let oc = if path = "-" then stdout else open_out path in
+      Trace.stream_to fmt oc;
+      stream_channel := Some (path, oc)
+    end
   end
 
 let write_sink spec =
@@ -77,6 +95,14 @@ let write_sink spec =
 
 let finish_trace o stats =
   if !Trace.on then begin
+    (match !stream_channel with
+    | Some (path, oc) ->
+      Trace.stream_stop ();
+      if path <> "-" then close_out oc else flush oc;
+      stream_channel := None;
+      Printf.printf "trace: streamed %d events to %s\n" (Trace.captured ())
+        path
+    | None -> ());
     Printf.printf "trace: %d events in window (%d captured, %d lost to wraparound)\n"
       (Trace.length ()) (Trace.captured ()) (Trace.overwritten ());
     List.iter write_sink o.t_out;
@@ -147,7 +173,9 @@ let trace_term =
     Arg.(
       value & opt string ""
       & info [ "trace-trigger" ] ~docv:"WHEN"
-          ~doc:"When capture begins: immediate (default), cycle:N, or mispredict.")
+          ~doc:
+            "When capture begins: immediate (default), cycle:N, mispredict, \
+             or sample (the first measured sampling interval).")
   in
   let out =
     Arg.(
@@ -158,6 +186,16 @@ let trace_term =
              (Perfetto-loadable JSON), or csv:PATH. Repeatable; format \
              defaults from the extension; PATH - is stdout.")
   in
+  let stream =
+    Arg.(
+      value & opt string ""
+      & info [ "trace-stream" ] ~docv:"[FMT:]PATH"
+          ~doc:
+            "Also write every accepted event to PATH incrementally during \
+             the run (text, csv, or chrome), so a crashed run still leaves \
+             a usable trace and long traces survive ring wraparound. \
+             Format defaults from the extension; PATH - is stdout.")
+  in
   let timeline =
     Arg.(
       value
@@ -165,12 +203,24 @@ let trace_term =
       & info [ "trace-timeline" ] ~docv:"ROWS"
           ~doc:"Print per-uop stage-by-stage timelines for up to ROWS uops.")
   in
-  let mk t_on t_start t_stop t_rip t_filter t_buf t_trigger t_out t_timeline =
-    { t_on; t_start; t_stop; t_rip; t_filter; t_buf; t_trigger; t_out; t_timeline }
+  let mk t_on t_start t_stop t_rip t_filter t_buf t_trigger t_out t_stream
+      t_timeline =
+    {
+      t_on;
+      t_start;
+      t_stop;
+      t_rip;
+      t_filter;
+      t_buf;
+      t_trigger;
+      t_out;
+      t_stream;
+      t_timeline;
+    }
   in
   Term.(
     const mk $ flag_on $ start $ stop $ rip $ filter $ buf $ trigger $ out
-    $ timeline)
+    $ stream $ timeline)
 
 (* ---------- guard rails (--guard family) ---------- *)
 
@@ -259,6 +309,112 @@ let guard_term =
   in
   Term.(const mk $ flag_on $ interval $ checkpoint_every $ degrade)
 
+(* ---------- sampled simulation (--sample family) ---------- *)
+
+type sample_opts = {
+  s_on : bool;
+  s_period : int option;  (* instructions per ff+warmup+measure period *)
+  s_ff : int option;  (* explicit fast-forward length (excludes period) *)
+  s_warmup : int;
+  s_measure : int;
+  s_roi : bool;  (* gate on the guest's -startsample/-stopsample region *)
+}
+
+let sample_requested s =
+  s.s_on || s.s_period <> None || s.s_ff <> None || s.s_roi
+
+(* Validate the --sample flag combination against the rest of the
+   command line and derive the schedule; None = not sampling. *)
+let sample_schedule sample_opts guard_opts ~core ~commands =
+  if not (sample_requested sample_opts) then None
+  else begin
+    if commands <> "-run" then begin
+      prerr_endline
+        "optlsim: --sample-* cannot be combined with --commands: the \
+         sampling supervisor owns the run schedule (use --sample-roi with \
+         guest -startsample/-stopsample ptlcalls to scope it)";
+      exit 1
+    end;
+    match
+      Sample.check_flags ~core ~ff:sample_opts.s_ff
+        ~period:sample_opts.s_period ~warmup:sample_opts.s_warmup
+        ~measure:sample_opts.s_measure ~guard_degrade:guard_opts.g_degrade
+        ~fuzz:false ()
+    with
+    | Error msg ->
+      prerr_endline ("optlsim: " ^ msg);
+      exit 1
+    | Ok schedule -> Some schedule
+  end
+
+(* Run the domain under the sampling supervisor and print its report
+   (the sampled replacement for Domain.submit + Domain.run). *)
+let run_sampled sample_opts ~schedule ~max_cycles d =
+  catch_sim_failure (fun () ->
+      let r =
+        Sample.run ~roi:sample_opts.s_roi ~max_cycles ~schedule d
+      in
+      Sample.report stdout r)
+
+let sample_term =
+  let flag_on =
+    Arg.(
+      value & flag
+      & info [ "sample" ]
+          ~doc:
+            "Enable sampled simulation: repeat fast-forward (native, with \
+             functional cache/TLB/predictor warming), warm-up (timed, \
+             unmeasured) and measure (timed, measured) phases, and report \
+             the aggregate CPI with a 95% confidence interval.")
+  in
+  let period =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sample-period" ] ~docv:"INSNS"
+          ~doc:
+            "Instructions per sampling period (fast-forward + warm-up + \
+             measure; default 1000000). Implies $(b,--sample).")
+  in
+  let ff =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sample-ff" ] ~docv:"INSNS"
+          ~doc:
+            "Explicit fast-forward length per period (mutually exclusive \
+             with $(b,--sample-period)). Implies $(b,--sample).")
+  in
+  let warmup =
+    Arg.(
+      value
+      & opt int Sample.default_warmup
+      & info [ "sample-warmup" ] ~docv:"INSNS"
+          ~doc:
+            "Timed but unmeasured instructions before each measured \
+             interval (default 20000).")
+  in
+  let measure =
+    Arg.(
+      value
+      & opt int Sample.default_measure
+      & info [ "sample-measure" ] ~docv:"INSNS"
+          ~doc:"Measured instructions per interval (default 30000).")
+  in
+  let roi =
+    Arg.(
+      value & flag
+      & info [ "sample-roi" ]
+          ~doc:
+            "Only schedule sampling periods while the guest's \
+             -startsample/-stopsample ptlcall region is open (fast-forward \
+             and warming continue outside it). Implies $(b,--sample).")
+  in
+  let mk s_on s_period s_ff s_warmup s_measure s_roi =
+    { s_on; s_period; s_ff; s_warmup; s_measure; s_roi }
+  in
+  Term.(const mk $ flag_on $ period $ ff $ warmup $ measure $ roi)
+
 let machine_of_name = function
   | "k8" | "k8-ptlsim" -> Config.k8_ptlsim
   | "k8-silicon" -> Config.k8_silicon
@@ -293,7 +449,9 @@ let print_summary d k =
     (String.concat " "
        (List.map (fun (m, c) -> Printf.sprintf "%d@%d" m c) (Domain.markers d)))
 
-let run_rsync trace_opts guard_opts core machine files commands max_mcycles =
+let run_rsync trace_opts guard_opts sample_opts core machine files commands
+    max_mcycles =
+  let schedule = sample_schedule sample_opts guard_opts ~core ~commands in
   setup_trace trace_opts;
   let fileset = { Fileset.default with Fileset.nfiles = files } in
   let d, k =
@@ -307,14 +465,19 @@ let run_rsync trace_opts guard_opts core machine files commands max_mcycles =
       }
   in
   install_guard guard_opts d;
-  Domain.submit d commands;
-  catch_sim_failure (fun () ->
-      ignore (Domain.run ~max_cycles:(max_mcycles * 1_000_000) d));
+  let max_cycles = max_mcycles * 1_000_000 in
+  (match schedule with
+  | Some schedule -> run_sampled sample_opts ~schedule ~max_cycles d
+  | None ->
+    Domain.submit d commands;
+    catch_sim_failure (fun () -> ignore (Domain.run ~max_cycles d)));
   Printf.printf "synchronized correctly: %b\n" (Rsync_bench.verify_sync k);
   print_summary d (Some k);
   finish_trace trace_opts d.Domain.env.Env.stats
 
-let run_compute trace_opts guard_opts core machine commands max_mcycles iters =
+let run_compute trace_opts guard_opts sample_opts core machine commands
+    max_mcycles iters =
+  let schedule = sample_schedule sample_opts guard_opts ~core ~commands in
   setup_trace trace_opts;
   let g = Gasm.create () in
   Gasm.jmp g "main";
@@ -338,17 +501,27 @@ let run_compute trace_opts guard_opts core machine commands max_mcycles iters =
   Kernel.boot k;
   let d = Domain.create ~kernel:k ~core ~config:(machine_of_name machine) env ctx in
   install_guard guard_opts d;
-  Domain.submit d commands;
-  catch_sim_failure (fun () ->
-      ignore (Domain.run ~max_cycles:(max_mcycles * 1_000_000) d));
+  let max_cycles = max_mcycles * 1_000_000 in
+  (match schedule with
+  | Some schedule -> run_sampled sample_opts ~schedule ~max_cycles d
+  | None ->
+    Domain.submit d commands;
+    catch_sim_failure (fun () -> ignore (Domain.run ~max_cycles d)));
   print_summary d (Some k);
   finish_trace trace_opts env.Env.stats
 
 (* ---------- differential fuzzing (optlsim fuzz) ---------- *)
 
-let run_fuzz trace_opts guard_opts core machine seed iters len classes
-    report_dir inject =
+let run_fuzz trace_opts guard_opts sample_opts core machine seed iters len
+    classes report_dir inject =
   let o = trace_opts in
+  if sample_requested sample_opts then begin
+    prerr_endline
+      "optlsim fuzz: --sample-* cannot be combined with the fuzz \
+       subcommand: fuzzing cosimulates every instruction on both engines, \
+       so there is nothing to fast-forward";
+    exit 1
+  end;
   match
     Fuzz.check_flags ~iters ~len ~classes ~core ~inject
       ~guard_degrade:guard_opts.g_degrade ~trace_start:o.t_start
@@ -501,21 +674,21 @@ let fuzz_cmd =
               the report carries the shrunk program, both architectural \
               states and the trace window leading up to the mismatch." ])
     Term.(
-      const run_fuzz $ trace_term $ guard_term $ core_arg $ fuzz_machine_arg
-      $ fuzz_seed_arg $ fuzz_iters_arg $ fuzz_len_arg $ fuzz_classes_arg
-      $ fuzz_report_dir_arg $ fuzz_inject_arg)
+      const run_fuzz $ trace_term $ guard_term $ sample_term $ core_arg
+      $ fuzz_machine_arg $ fuzz_seed_arg $ fuzz_iters_arg $ fuzz_len_arg
+      $ fuzz_classes_arg $ fuzz_report_dir_arg $ fuzz_inject_arg)
 
 let rsync_cmd =
   Cmd.v (Cmd.info "rsync" ~doc:"Run the paper's rsync-over-ssh benchmark")
     Term.(
-      const run_rsync $ trace_term $ guard_term $ core_arg $ machine_arg
-      $ files_arg $ commands_arg $ max_mcycles_arg)
+      const run_rsync $ trace_term $ guard_term $ sample_term $ core_arg
+      $ machine_arg $ files_arg $ commands_arg $ max_mcycles_arg)
 
 let compute_cmd =
   Cmd.v (Cmd.info "compute" ~doc:"Run a synthetic compute workload")
     Term.(
-      const run_compute $ trace_term $ guard_term $ core_arg $ machine_arg
-      $ commands_arg $ max_mcycles_arg $ iters_arg)
+      const run_compute $ trace_term $ guard_term $ sample_term $ core_arg
+      $ machine_arg $ commands_arg $ max_mcycles_arg $ iters_arg)
 
 let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc:"List registered core models")

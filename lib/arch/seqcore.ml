@@ -25,7 +25,18 @@ module Pm = Ptl_mem.Phys_mem
 type hooks = {
   h_load : vaddr:int64 -> rip:int64 -> unit;
   h_store : vaddr:int64 -> rip:int64 -> unit;
-  h_branch : rip:int64 -> taken:bool -> target:int64 -> conditional:bool -> unit;
+  h_branch :
+    rip:int64 ->
+    taken:bool ->
+    target:int64 ->
+    conditional:bool ->
+    call:bool ->
+    ret:bool ->
+    next_rip:int64 ->
+    unit;
+      (** [call]/[ret] carry the decoder's branch hints (RAS warming);
+          [next_rip] is the fall-through address (the return address a
+          call would push). *)
   h_insn : rip:int64 -> kernel:bool -> unit;  (* after each macro commit *)
 }
 
@@ -187,6 +198,7 @@ let exec_macro t uops i =
           in
           h.h_branch ~rip:at_rip ~taken:out.Ptl_uop.Exec.taken
             ~target:out.Ptl_uop.Exec.target ~conditional
+            ~call:u.Uop.hint_call ~ret:u.Uop.hint_ret ~next_rip:u.Uop.next_rip
         | None -> ());
         if out.Ptl_uop.Exec.taken then begin
           Stats.incr t.c_taken;

@@ -164,6 +164,27 @@ let update_cond t ~rip ~taken ~mispredicted =
     bump t.bimodal_tbl bi taken);
   t.history <- ((t.history lsl 1) lor if taken then 1 else 0) land t.history_mask
 
+(* --- functional warming (sampled simulation) --- *)
+
+(** Train the direction tables and global history as [update_cond] would,
+    with no prediction made, no statistics and no trace events. The
+    hybrid chooser trains against what each component would have
+    predicted, exactly as in the timed path. *)
+let warm_cond t ~rip ~taken =
+  (match t.config.direction with
+  | Always_taken -> ()
+  | Saturating _ | Bimodal _ -> bump t.counters (rip_index t rip) taken
+  | Gshare _ -> bump t.counters (gshare_index t rip) taken
+  | Hybrid { chooser_bits; _ } ->
+    let gi = gshare_index t rip and bi = rip_index t rip in
+    let g_correct = counter_taken t.counters.(gi) = taken in
+    let b_correct = counter_taken t.bimodal_tbl.(bi) = taken in
+    let ci = bi land ((1 lsl chooser_bits) - 1) in
+    if g_correct <> b_correct then bump t.chooser ci g_correct;
+    bump t.counters gi taken;
+    bump t.bimodal_tbl bi taken);
+  t.history <- ((t.history lsl 1) lor if taken then 1 else 0) land t.history_mask
+
 (* --- BTB --- *)
 
 let btb_set t rip =
@@ -218,6 +239,23 @@ let update_target t ~rip ~target =
   t.btb_targets.(s + !victim) <- target;
   t.btb_lru.(s + !victim) <- t.btb_tick
 
+(** Warm the BTB: refresh recency when an entry for [rip] exists
+    (correcting a stale target in place), otherwise install one — the
+    state changes of a predict/update round with no statistics or trace
+    events. *)
+let warm_target t ~rip ~target =
+  let s = btb_set t rip * t.config.btb_ways in
+  let rec go w =
+    if w >= t.config.btb_ways then update_target t ~rip ~target
+    else if t.btb_tags.(s + w) = rip then begin
+      t.btb_tick <- t.btb_tick + 1;
+      t.btb_lru.(s + w) <- t.btb_tick;
+      t.btb_targets.(s + w) <- target
+    end
+    else go (w + 1)
+  in
+  go 0
+
 (* --- RAS --- *)
 
 type ras_checkpoint = { ck_top : int; ck_value : int64 }
@@ -235,6 +273,13 @@ let ras_pop t =
     t.ras_top <- t.ras_top - 1;
     Some t.ras.(t.ras_top mod Array.length t.ras)
   end
+
+(** Warm the RAS: push the return address on calls, drop the top on
+    returns, with no pop statistics. Keeps call/return depth aligned with
+    the architectural stack across fast-forward phases. *)
+let warm_ras t ~call ~ret ~next_rip =
+  if call then ras_push t next_rip
+  else if ret && t.ras_top > 0 then t.ras_top <- t.ras_top - 1
 
 (** Capture enough state to undo speculative RAS updates. *)
 let ras_checkpoint t =

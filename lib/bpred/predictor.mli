@@ -35,6 +35,15 @@ val predict_cond : t -> rip:int64 -> bool
 (** Train at commit; [mispredicted] feeds the misprediction counter. *)
 val update_cond : t -> rip:int64 -> taken:bool -> mispredicted:bool -> unit
 
+(** Functional warming (sampled simulation): the architectural state
+    changes of a predict/update round — direction tables, global history,
+    BTB entry and recency, RAS depth — with no statistics and no trace
+    events. *)
+val warm_cond : t -> rip:int64 -> taken:bool -> unit
+
+val warm_target : t -> rip:int64 -> target:int64 -> unit
+val warm_ras : t -> call:bool -> ret:bool -> next_rip:int64 -> unit
+
 (** BTB: predicted target of the branch at [rip], if cached. *)
 val predict_target : t -> rip:int64 -> int64 option
 

@@ -38,6 +38,13 @@ type t = {
   (* decorator applied to every freshly built core instance (the guard
      supervisor installs itself here; identity when unset) *)
   mutable instance_wrap : (Registry.instance -> Registry.instance) option;
+  (* shared long-lived microarch state threaded into every core build
+     (the sampling supervisor installs one so caches/TLBs/predictor
+     survive mode switches; None = each instance builds its own) *)
+  mutable uarch : Ptl_ooo.Uarch.t option;
+  (* region-of-interest gate toggled by the guest's -startsample /
+     -stopsample ptlcalls; read by the sampling supervisor *)
+  mutable sample_roi : bool;
   native : Seqcore.t;
   (* native-mode clock: cycles advance by insns * num / den (default
      2/3 cycles per instruction = IPC 1.5, roughly the K8 on rsync) *)
@@ -75,6 +82,8 @@ let create ?kernel ?(core = "ooo") ?(native_cpi = (2, 3)) ~config env ctx =
       mode = Native;
       sim = None;
       instance_wrap = None;
+      uarch = None;
+      sample_roi = false;
       native = Seqcore.create ~prefix:"native" env ctx;
       native_cpi_num = num;
       native_cpi_den = den;
@@ -144,12 +153,22 @@ let enter_sim t =
   if t.mode <> Simulating || t.sim = None then begin
     Stats.incr t.c_mode_switches;
     t.mode <- Simulating;
-    let inst = Registry.build t.core_name t.config t.env [| t.ctx |] in
+    let inst =
+      Registry.build ?uarch:t.uarch t.core_name t.config t.env [| t.ctx |]
+    in
     let inst =
       match t.instance_wrap with Some w -> w inst | None -> inst
     in
     t.sim <- Some inst
   end
+
+(** Install a shared microarchitectural state threaded into every core
+    instance built from now on (forcing a rebuild at the next simulation
+    step). The sampling supervisor uses this so functional warming during
+    fast-forward lands in the structures the timed core will read. *)
+let set_uarch t u =
+  t.uarch <- Some u;
+  t.sim <- None
 
 (** Install a decorator applied to every core instance the domain builds
     from now on (and to the current one, by forcing a rebuild at the
@@ -201,6 +220,12 @@ let rec process_commands t =
     | Ptlcall.Kill -> t.killed <- true
     | Ptlcall.Flush_stats ->
       Stats.reset t.env.Env.stats;
+      process_commands t
+    | Ptlcall.Sample_start ->
+      t.sample_roi <- true;
+      process_commands t
+    | Ptlcall.Sample_stop ->
+      t.sample_roi <- false;
       process_commands t)
 
 (* A stop condition fired: the current Run phase is over; take the next
@@ -267,6 +292,39 @@ let step t =
       count_mode t (max 1 (t.env.Env.cycle - before))
     | None -> assert false)
 
+(** One iteration of the drive loop: service device events, skip idle
+    gaps to the next timer, advance the active engine one step, tick the
+    timelapse. Returns false when the domain can make no further
+    progress (guest shut down, or halted with nothing pending). Mode and
+    command handling are the caller's job — {!run} layers the ptlcall
+    machinery on top; the sampling supervisor forces modes itself. *)
+let drive_once t =
+  (match t.kernel with
+  | Some k ->
+    if Kernel.next_event_cycle k <= t.env.Env.cycle then Kernel.poll k
+  | None -> ());
+  if match t.kernel with Some k -> Kernel.is_shutdown k | None -> false then
+    false
+  else if domain_idle t then (
+    match t.kernel with
+    | Some k ->
+      let next = Kernel.next_event_cycle k in
+      if next = max_int then false
+      else begin
+        let skip = max 1 (next - t.env.Env.cycle) in
+        count_mode t skip;
+        t.env.Env.cycle <- t.env.Env.cycle + skip;
+        Kernel.poll k;
+        tick_timelapse t;
+        true
+      end
+    | None -> false)
+  else begin
+    step t;
+    tick_timelapse t;
+    true
+  end
+
 (** Drive the domain until killed, [max_cycles] elapse, or (with no kernel)
     the guest halts for good. *)
 let run ?(max_cycles = max_int) t =
@@ -284,31 +342,7 @@ let run ?(max_cycles = max_int) t =
     end;
     if not t.run_active then process_commands t;
     if t.killed then stop := true
-    else begin
-      (* device events *)
-      (match t.kernel with
-      | Some k ->
-        if Kernel.next_event_cycle k <= t.env.Env.cycle then Kernel.poll k;
-        if Kernel.is_shutdown k then stop := true
-      | None -> ());
-      if not !stop then begin
-        if domain_idle t then begin
-          match t.kernel with
-          | Some k ->
-            let next = Kernel.next_event_cycle k in
-            if next = max_int then stop := true
-            else begin
-              let skip = max 1 (next - t.env.Env.cycle) in
-              count_mode t skip;
-              t.env.Env.cycle <- t.env.Env.cycle + skip;
-              Kernel.poll k
-            end
-          | None -> stop := true
-        end
-        else step t;
-        tick_timelapse t
-      end
-    end
+    else if not (drive_once t) then stop := true
   done;
   (match t.timelapse with
   | Some tl -> Timelapse.finish tl ~cycle:t.env.Env.cycle

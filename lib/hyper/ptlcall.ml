@@ -24,6 +24,8 @@ type command =
   | Snapshot  (* -snapshot: capture a statistics snapshot *)
   | Kill  (* -kill: stop the domain and finalize statistics *)
   | Flush_stats  (* -flushstats: zero all counters *)
+  | Sample_start  (* -startsample: enter the sampling region of interest *)
+  | Sample_stop  (* -stopsample: leave the sampling region of interest *)
 
 exception Parse_error of string
 
@@ -65,6 +67,8 @@ let parse text : command list =
     | "-snapshot" :: rest -> go (Snapshot :: acc) rest
     | "-kill" :: rest -> go (Kill :: acc) rest
     | "-flushstats" :: rest -> go (Flush_stats :: acc) rest
+    | "-startsample" :: rest -> go (Sample_start :: acc) rest
+    | "-stopsample" :: rest -> go (Sample_stop :: acc) rest
     | "-run" :: rest ->
       (* gather stop conditions attached to this run *)
       let rec stops acc_s = function
@@ -96,3 +100,5 @@ let command_to_string = function
   | Snapshot -> "-snapshot"
   | Kill -> "-kill"
   | Flush_stats -> "-flushstats"
+  | Sample_start -> "-startsample"
+  | Sample_stop -> "-stopsample"

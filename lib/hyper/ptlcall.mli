@@ -15,6 +15,8 @@ type command =
   | Snapshot
   | Kill
   | Flush_stats
+  | Sample_start  (** [-startsample]: enter the sampling region of interest *)
+  | Sample_stop  (** [-stopsample]: leave the sampling region of interest *)
 
 exception Parse_error of string
 

@@ -166,6 +166,32 @@ let access t paddr ~write =
     victim.stamp <- t.tick;
     Miss { writeback }
 
+(** Functional warming (sampled simulation fast-forward): update tag,
+    LRU recency and dirty state exactly as [access] would — allocating on
+    a miss — but without touching the hit/miss/writeback counters or
+    emitting trace events, so measured-interval statistics stay clean.
+    Dirty victims are silently dropped (data lives in guest physical
+    memory; only the tag state matters for timing fidelity). *)
+let warm t paddr ~write =
+  t.tick <- t.tick + 1;
+  let s = set_of t paddr and tag = tag_of t paddr in
+  let ways = t.lines.(s) in
+  let rec find w =
+    if w >= Array.length ways then None
+    else if ways.(w).tag = tag then Some w
+    else find (w + 1)
+  in
+  match find 0 with
+  | Some w ->
+    if t.config.replacement = Lru then ways.(w).stamp <- t.tick;
+    if write then ways.(w).dirty <- true
+  | None ->
+    let w = pick_victim t s in
+    let victim = ways.(w) in
+    victim.tag <- tag;
+    victim.dirty <- write;
+    victim.stamp <- t.tick
+
 (** Insert a line without counting an access (prefetch fills). *)
 let fill t paddr =
   let s = set_of t paddr and tag = tag_of t paddr in

@@ -43,6 +43,11 @@ type access_result =
 (** Access (allocating on miss); [write] marks the line dirty. *)
 val access : t -> int -> write:bool -> access_result
 
+(** Functional warming: update tag/LRU/dirty state as [access] would
+    (allocating on a miss) with no statistics and no trace events. Used
+    by the sampled-simulation fast-forward phase. *)
+val warm : t -> int -> write:bool -> unit
+
 (** Insert a line without counting an access (prefetch fill). *)
 val fill : t -> int -> unit
 

@@ -122,6 +122,39 @@ let prefetch t paddr =
     end
   end
 
+(* ---------- functional warming (sampled simulation) ---------- *)
+
+(* Mirror of [miss_latency]'s fill path with no latency and no counters:
+   on an L1 miss the line is brought in through L2 (and L3 when present),
+   updating tags/LRU at every level it passes. *)
+let warm_miss t ~paddr ~l1 ~write =
+  if not (Cache.probe t.l2 paddr) then
+    Option.iter (fun l3 -> Cache.warm l3 paddr ~write:false) t.l3;
+  Cache.warm t.l2 paddr ~write:false;
+  Cache.warm l1 paddr ~write
+
+let warm_data t ~paddr ~write =
+  if Cache.probe t.l1d paddr then Cache.warm t.l1d paddr ~write
+  else begin
+    warm_miss t ~paddr ~l1:t.l1d ~write;
+    (* keep the prefetcher's L2 footprint warm too, silently *)
+    if t.config.prefetch_next_line then begin
+      let next = Cache.line_addr t.l1d paddr + t.config.l1d.Cache.line_size in
+      if not (Cache.probe t.l2 next) then Cache.fill t.l2 next
+    end
+  end
+
+(** Functional warming: touch the hierarchy as [load]/[store]/[ifetch]
+    would, updating tags, LRU and dirty state only — no latency, no MSHR
+    traffic, no statistics, no trace events. *)
+let warm_load t ~paddr = warm_data t ~paddr ~write:false
+
+let warm_store t ~paddr = warm_data t ~paddr ~write:true
+
+let warm_ifetch t ~paddr =
+  if Cache.probe t.l1i paddr then Cache.warm t.l1i paddr ~write:false
+  else warm_miss t ~paddr ~l1:t.l1i ~write:false
+
 let data_access t ~cycle ~paddr ~write =
   expire_mshrs t ~cycle;
   let line = Cache.line_addr t.l1d paddr in

@@ -130,22 +130,29 @@ let vpn_of_vaddr vaddr = Int64.shift_right_logical vaddr Phys_mem.page_shift
 (** Result of a lookup: where the translation was found. *)
 type hit = L1_hit of entry | L2_hit of entry | Tlb_miss
 
-let lookup t vaddr =
+let lookup_raw t vaddr =
   let vpn = vpn_of_vaddr vaddr in
-  let hit =
-    match level_lookup t.l1 vpn with
-    | Some e -> L1_hit e
-    | None ->
-      (match t.l2 with
-      | None -> Tlb_miss
-      | Some l2 ->
-        (match level_lookup l2 vpn with
-        | Some e ->
-          (* Promote into L1. *)
-          level_insert t.l1 vpn e;
-          L2_hit e
-        | None -> Tlb_miss))
-  in
+  match level_lookup t.l1 vpn with
+  | Some e -> L1_hit e
+  | None ->
+    (match t.l2 with
+    | None -> Tlb_miss
+    | Some l2 ->
+      (match level_lookup l2 vpn with
+      | Some e ->
+        (* Promote into L1. *)
+        level_insert t.l1 vpn e;
+        L2_hit e
+      | None -> Tlb_miss))
+
+(** [lookup] minus the trace events: same LRU updates and L2-to-L1
+    promotion, nothing recorded. The functional-warming translation path
+    of the sampling supervisor uses this so fast-forward phases leave no
+    footprint in the measured event stream. *)
+let lookup_quiet = lookup_raw
+
+let lookup t vaddr =
+  let hit = lookup_raw t vaddr in
   (if !Ptl_trace.Trace.on then
      match hit with
      | L1_hit _ ->

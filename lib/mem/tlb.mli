@@ -33,6 +33,10 @@ type hit = L1_hit of entry | L2_hit of entry | Tlb_miss
 (** Look up a virtual address; L2 hits promote into L1. *)
 val lookup : t -> int64 -> hit
 
+(** [lookup] minus the trace events: same LRU updates and L2-to-L1
+    promotion, nothing recorded — the sampled-simulation warming path. *)
+val lookup_quiet : t -> int64 -> hit
+
 (** Install a translation after a page walk (fills every level and the
     PDE cache). *)
 val insert : t -> int64 -> entry -> unit

@@ -41,18 +41,22 @@ type t = {
   c_idle : Stats.counter;
 }
 
-let create ?(prefix = "inorder") (config : Config.t) env ctx =
+let create ?(prefix = "inorder") ?uarch (config : Config.t) env ctx =
   let stats = env.Env.stats in
+  let uarch =
+    match uarch with
+    | Some u -> u
+    | None -> Uarch.create ~prefix config stats
+  in
   let t =
     {
       env;
       ctx;
       seq = Seqcore.create ~prefix env ctx;
-      hierarchy =
-        Hierarchy.create ~prefix:(prefix ^ ".mem") stats config.Config.hierarchy;
-      dtlb = Tlb.create ~name:(prefix ^ ".dtlb") config.Config.dtlb;
-      itlb = Tlb.create ~name:(prefix ^ ".itlb") config.Config.itlb;
-      bpred = Predictor.create ~prefix:(prefix ^ ".bpred") stats config.Config.bpred;
+      hierarchy = uarch.Uarch.hierarchy;
+      dtlb = uarch.Uarch.dtlb;
+      itlb = uarch.Uarch.itlb;
+      bpred = uarch.Uarch.bpred;
       pending_cycles = 0;
       tlb_gen_seen = ctx.Context.tlb_generation;
       watchdog_cycles = config.Config.watchdog_cycles;
@@ -103,7 +107,7 @@ let create ?(prefix = "inorder") (config : Config.t) env ctx =
             | Some paddr -> charge (Hierarchy.store t.hierarchy ~cycle:env.Env.cycle ~paddr)
             | None -> ());
         h_branch =
-          (fun ~rip ~taken ~target ~conditional ->
+          (fun ~rip ~taken ~target ~conditional ~call:_ ~ret:_ ~next_rip:_ ->
             if conditional then begin
               let pred = Predictor.predict_cond t.bpred ~rip in
               let mispredicted = pred <> taken in

@@ -169,10 +169,18 @@ type t = {
   c_hoist_violations : Stats.counter;
 }
 
-let create ?(core_id = 0) ?(prefix = "ooo") ?interlock ?bbcache (config : Config.t) env contexts =
+let create ?(core_id = 0) ?(prefix = "ooo") ?interlock ?bbcache ?uarch
+    (config : Config.t) env contexts =
   if Array.length contexts <> config.Config.smt_threads then
     invalid_arg "Ooo_core.create: one context per thread";
   let stats = env.Env.stats in
+  (* a shared uarch (sampled simulation) supplies long-lived structures
+     that survive this instance; otherwise build a private cold set *)
+  let uarch =
+    match uarch with
+    | Some u -> u
+    | None -> Uarch.create ~prefix config stats
+  in
   let c suffix = Stats.counter stats (prefix ^ "." ^ suffix) in
   let thread tid ctx =
     {
@@ -190,7 +198,9 @@ let create ?(core_id = 0) ?(prefix = "ooo") ?interlock ?bbcache (config : Config
       redirect = None;
       last_fetch_line = -1;
       tlb_gen_seen = ctx.Context.tlb_generation;
-      last_progress = 0;
+      (* baseline at the current virtual cycle: cores are rebuilt on
+         every native->sim switch, arbitrarily late in the run *)
+      last_progress = env.Env.cycle;
     }
   in
   {
@@ -203,11 +213,11 @@ let create ?(core_id = 0) ?(prefix = "ooo") ?interlock ?bbcache (config : Config
     iqs =
       Array.of_list
         (List.map (fun cl -> Array.make cl.Config.iq_size None) config.Config.clusters);
-    bbcache = (match bbcache with Some b -> b | None -> Bbcache.create stats);
-    hierarchy = Hierarchy.create ~prefix:(prefix ^ ".mem") stats config.Config.hierarchy;
-    dtlb = Tlb.create ~name:(prefix ^ ".dtlb") config.Config.dtlb;
-    itlb = Tlb.create ~name:(prefix ^ ".itlb") config.Config.itlb;
-    bpred = Predictor.create ~prefix:(prefix ^ ".bpred") stats config.Config.bpred;
+    bbcache = (match bbcache with Some b -> b | None -> uarch.Uarch.bbcache);
+    hierarchy = uarch.Uarch.hierarchy;
+    dtlb = uarch.Uarch.dtlb;
+    itlb = uarch.Uarch.itlb;
+    bpred = uarch.Uarch.bpred;
     interlock =
       (match interlock with Some i -> i | None -> Interlock.create stats);
     seq_counter = 0;

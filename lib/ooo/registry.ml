@@ -35,7 +35,10 @@ type instance = {
   handle : handle;
 }
 
-type builder = Config.t -> Env.t -> Context.t array -> instance
+(** Builders take an optional shared {!Uarch.t} (the sampled-simulation
+    supervisor passes one so caches/TLBs/predictor survive rebuilds);
+    plain timed runs leave it [None] and each instance builds its own. *)
+type builder = ?uarch:Uarch.t -> Config.t -> Env.t -> Context.t array -> instance
 
 let registry : (string, builder) Hashtbl.t = Hashtbl.create 8
 
@@ -45,14 +48,14 @@ let names () = Hashtbl.fold (fun k _ acc -> k :: acc) registry []
 
 exception Unknown_core of string
 
-let build name config env contexts =
+let build ?uarch name config env contexts =
   match Hashtbl.find_opt registry name with
-  | Some b -> b config env contexts
+  | Some b -> b ?uarch config env contexts
   | None -> raise (Unknown_core name)
 
 let () =
-  register "ooo" (fun config env contexts ->
-      let core = Ooo_core.create { config with Config.smt_threads = Array.length contexts } env contexts in
+  register "ooo" (fun ?uarch config env contexts ->
+      let core = Ooo_core.create ?uarch { config with Config.smt_threads = Array.length contexts } env contexts in
       {
         model_name = "ooo";
         step =
@@ -63,9 +66,9 @@ let () =
         insns = (fun () -> Ooo_core.insns core);
         handle = Core_ooo core;
       });
-  register "smt" (fun config env contexts ->
+  register "smt" (fun ?uarch config env contexts ->
       let core =
-        Ooo_core.create ~prefix:"smt"
+        Ooo_core.create ~prefix:"smt" ?uarch
           { config with Config.smt_threads = Array.length contexts }
           env contexts
       in
@@ -79,9 +82,9 @@ let () =
         insns = (fun () -> Ooo_core.insns core);
         handle = Core_ooo core;
       });
-  register "inorder" (fun config env contexts ->
+  register "inorder" (fun ?uarch config env contexts ->
       if Array.length contexts <> 1 then invalid_arg "inorder: single context";
-      let core = Inorder_core.create config env contexts.(0) in
+      let core = Inorder_core.create ?uarch config env contexts.(0) in
       {
         model_name = "inorder";
         step = (fun () -> ignore (Inorder_core.step_block core));
@@ -92,7 +95,7 @@ let () =
         insns = (fun () -> Inorder_core.insns core);
         handle = Core_inorder core;
       });
-  register "seq" (fun _config env contexts ->
+  register "seq" (fun ?uarch:_ _config env contexts ->
       if Array.length contexts <> 1 then invalid_arg "seq: single context";
       let core = Seqcore.create env contexts.(0) in
       {

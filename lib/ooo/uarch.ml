@@ -1,0 +1,39 @@
+(** The long-lived microarchitectural state of a timed core: cache
+    hierarchy, TLBs, branch predictor and the decoded-basic-block cache.
+
+    Normally each core instance builds its own set in [create]; mode
+    switches (Domain.enter_sim) therefore start every simulation phase
+    cold. The sampled-simulation supervisor (lib/sample) instead creates
+    one [Uarch.t] up front and threads it through {!Registry.build}, so
+
+    - cache/TLB/predictor contents survive the fast-forward phases and
+      the per-phase core rebuilds (only pipeline state starts fresh,
+      which the warm-up interval settles), and
+    - the functional warmer can update the very structures the timed
+      core will use, while the sequential core executes.
+
+    [prefix] must match the core's stats/trace namespace ("ooo", "smt",
+    "inorder") so counters land on the same paths either way. *)
+
+module Hierarchy = Ptl_mem.Hierarchy
+module Tlb = Ptl_mem.Tlb
+module Predictor = Ptl_bpred.Predictor
+module Bbcache = Ptl_uop.Bbcache
+
+type t = {
+  hierarchy : Hierarchy.t;
+  dtlb : Tlb.t;
+  itlb : Tlb.t;
+  bpred : Predictor.t;
+  bbcache : Bbcache.t;
+}
+
+let create ?(prefix = "ooo") (config : Config.t) stats =
+  {
+    hierarchy =
+      Hierarchy.create ~prefix:(prefix ^ ".mem") stats config.Config.hierarchy;
+    dtlb = Tlb.create ~name:(prefix ^ ".dtlb") config.Config.dtlb;
+    itlb = Tlb.create ~name:(prefix ^ ".itlb") config.Config.itlb;
+    bpred = Predictor.create ~prefix:(prefix ^ ".bpred") stats config.Config.bpred;
+    bbcache = Bbcache.create stats;
+  }

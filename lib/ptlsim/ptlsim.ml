@@ -67,6 +67,7 @@ module Ooo_core = Ptl_ooo.Ooo_core
 module Inorder_core = Ptl_ooo.Inorder_core
 module Multicore = Ptl_ooo.Multicore
 module Registry = Ptl_ooo.Registry
+module Uarch = Ptl_ooo.Uarch
 module Physreg = Ptl_ooo.Physreg
 module Interlock = Ptl_ooo.Interlock
 module Sim_failure = Ptl_ooo.Sim_failure
@@ -87,6 +88,9 @@ module Cosim = Ptl_hyper.Cosim
 
 (* guard rails: invariant registry + crash-containment supervisor *)
 module Guard = Ptl_guard.Guard
+
+(* sampled simulation (fast-forward + periodic detail) *)
+module Sample = Ptl_sample.Sample
 
 (* differential fuzzing *)
 module Fuzzgen = Ptl_fuzz.Fuzzgen

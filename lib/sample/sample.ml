@@ -1,0 +1,464 @@
+(** Mixed-mode sampled simulation: fast-forward with functional warming
+    plus periodic detailed intervals (SMARTS-style periodic sampling on
+    top of the paper's seamless native/simulation mode switching, §4.1).
+
+    The supervisor drives a {!Ptl_hyper.Domain} through a repeating
+
+      fast-forward (native, warmed) -> warm-up (timed, unmeasured)
+        -> measure (timed, measured)
+
+    schedule. Fast-forward executes on the sequential functional core at
+    native speed while *functionally warming* the long-lived
+    microarchitectural state the timed core will read — L1/L2/L3 cache
+    tags and recency, both TLB levels, the branch direction tables,
+    BTB and return address stack — using the silent [warm_*] entry
+    points, so no statistics counters move and no trace events are
+    emitted outside measured intervals. The warm-up phase then runs the
+    timed core unmeasured long enough for the short-lived pipeline state
+    (ROB, queues, MSHRs) to settle; the measure phase brackets a
+    {!Ptl_stats.Statstree} snapshot pair whose deltas become one sampled
+    interval.
+
+    The warmed structures live in a shared {!Ptl_ooo.Uarch} installed
+    into the domain with {!Ptl_hyper.Domain.set_uarch}, so they survive
+    the per-entry core rebuilds of [enter_sim].
+
+    Aggregation follows SMARTS: the whole-run CPI estimate is
+    sum(cycles)/sum(insns) over the measured intervals, the confidence
+    interval is the 95% normal interval of the per-interval CPIs, and
+    the estimated full-detail cycle count is total insns x aggregate
+    CPI.
+
+    The guest can gate sampling to a region of interest with the
+    [-startsample] / [-stopsample] ptlcalls; under [~roi:true] the
+    supervisor fast-forwards (still warming) until the ROI opens and
+    ignores instructions outside it when scheduling intervals. *)
+
+module Env = Ptl_arch.Env
+module Context = Ptl_arch.Context
+module Seqcore = Ptl_arch.Seqcore
+module Hierarchy = Ptl_mem.Hierarchy
+module Tlb = Ptl_mem.Tlb
+module Pm = Ptl_mem.Phys_mem
+module Pt = Ptl_mem.Pagetable
+module Predictor = Ptl_bpred.Predictor
+module Stats = Ptl_stats.Statstree
+module Timelapse = Ptl_stats.Timelapse
+module Trace = Ptl_trace.Trace
+module Uarch = Ptl_ooo.Uarch
+module Domain = Ptl_hyper.Domain
+module Ptlcall = Ptl_hyper.Ptlcall
+
+(* ---------------------------------------------------------------- *)
+(* Schedule and flag validation                                      *)
+(* ---------------------------------------------------------------- *)
+
+type schedule = {
+  ff_insns : int;  (* native instructions fast-forwarded per period *)
+  warmup_insns : int;  (* timed but unmeasured instructions *)
+  measure_insns : int;  (* timed, measured instructions *)
+}
+
+let default_period = 1_000_000
+let default_warmup = 20_000
+let default_measure = 30_000
+
+let period schedule =
+  schedule.ff_insns + schedule.warmup_insns + schedule.measure_insns
+
+(** Validate the sampling CLI flag combination and derive the schedule.
+    [ff] and [period] are the raw [--sample-ff] / [--sample-period]
+    options (mutually exclusive; a period is converted to a
+    fast-forward length by subtracting warm-up and measure). Mirrors
+    {!Ptl_fuzz.Harness.check_flags}: returns [Error] with a
+    user-ranked message instead of raising. *)
+let check_flags ~core ~ff ~period ~warmup ~measure ~guard_degrade ~fuzz () :
+    (schedule, string) result =
+  let ( let* ) r f = match r with Error _ as e -> e | Ok x -> f x in
+  let* () =
+    if fuzz then
+      Error
+        "--sample-* cannot be combined with the fuzz subcommand: fuzzing \
+         cosimulates every instruction on both engines, so there is \
+         nothing to fast-forward"
+    else Ok ()
+  in
+  let* () =
+    if guard_degrade then
+      Error
+        "--sample-* cannot be combined with --guard-degrade: degraded \
+         recovery switches core models under the sampler, which would \
+         silently change what the measured intervals measure"
+    else Ok ()
+  in
+  let* () =
+    match core with
+    | "seq" ->
+      Error
+        "--core seq cannot be sampled: the sequential core has no timed \
+         pipeline to measure (pick ooo, smt or inorder)"
+    | c when not (List.mem c (Ptl_ooo.Registry.names ())) ->
+      Error (Printf.sprintf "--core %s: unknown core model" c)
+    | _ -> Ok ()
+  in
+  let* () =
+    if measure < 1 then
+      Error "--sample-measure must be at least 1 instruction"
+    else Ok ()
+  in
+  let* () =
+    if warmup < 0 then Error "--sample-warmup cannot be negative" else Ok ()
+  in
+  let* ff =
+    match (ff, period) with
+    | Some _, Some _ ->
+      Error "give either --sample-ff or --sample-period, not both"
+    | Some f, None ->
+      if f < 0 then Error "--sample-ff cannot be negative" else Ok f
+    | None, p ->
+      let p = Option.value p ~default:default_period in
+      if p <= warmup + measure then
+        Error
+          (Printf.sprintf
+             "--sample-period %d must exceed warmup+measure (%d) so some \
+              instructions are actually fast-forwarded"
+             p (warmup + measure))
+      else Ok (p - warmup - measure)
+  in
+  Ok { ff_insns = ff; warmup_insns = warmup; measure_insns = measure }
+
+(* ---------------------------------------------------------------- *)
+(* Results                                                           *)
+(* ---------------------------------------------------------------- *)
+
+(** One measured interval: the [Statstree] snapshot pair bracketing it
+    plus the committed-instruction and cycle deltas between them. *)
+type interval = {
+  iv_index : int;
+  iv_insns : int;
+  iv_cycles : int;
+  iv_cpi : float;
+  iv_before : Stats.snapshot;
+  iv_after : Stats.snapshot;
+}
+
+type result = {
+  intervals : interval list;  (** in measurement order *)
+  total_insns : int;  (** all instructions committed during the run *)
+  total_cycles : int;  (** virtual cycles elapsed during the run *)
+  measured_insns : int;
+  measured_cycles : int;
+  cpi : float;  (** aggregate: measured cycles / measured insns *)
+  cpi_mean : float;  (** mean of the per-interval CPIs *)
+  cpi_ci95 : float;  (** 95% confidence half-width of [cpi_mean] *)
+  est_cycles : float;  (** total_insns x aggregate CPI *)
+}
+
+(** Fold measured intervals into the whole-run estimate (pure; unit
+    tested against hand-computed values). *)
+let aggregate ~total_insns ~total_cycles intervals =
+  let n = List.length intervals in
+  let measured_insns =
+    List.fold_left (fun a iv -> a + iv.iv_insns) 0 intervals
+  and measured_cycles =
+    List.fold_left (fun a iv -> a + iv.iv_cycles) 0 intervals
+  in
+  let cpi =
+    if measured_insns = 0 then 0.0
+    else float_of_int measured_cycles /. float_of_int measured_insns
+  in
+  let cpi_mean =
+    if n = 0 then 0.0
+    else
+      List.fold_left (fun a iv -> a +. iv.iv_cpi) 0.0 intervals
+      /. float_of_int n
+  in
+  let cpi_ci95 =
+    if n <= 1 then 0.0
+    else begin
+      let var =
+        List.fold_left
+          (fun a iv ->
+            let d = iv.iv_cpi -. cpi_mean in
+            a +. (d *. d))
+          0.0 intervals
+        /. float_of_int (n - 1)
+      in
+      1.96 *. sqrt (var /. float_of_int n)
+    end
+  in
+  {
+    intervals;
+    total_insns;
+    total_cycles;
+    measured_insns;
+    measured_cycles;
+    cpi;
+    cpi_mean;
+    cpi_ci95;
+    est_cycles = float_of_int total_insns *. cpi;
+  }
+
+(* ---------------------------------------------------------------- *)
+(* Functional warming                                                *)
+(* ---------------------------------------------------------------- *)
+
+(** Hook the native sequential core so every fast-forwarded instruction
+    warms [uarch] architecturally: TLB fills fall back to a silent page
+    walk (faulting accesses warm nothing — the native core raises the
+    real fault itself), cache updates go through the [warm_*] hierarchy
+    entry points, branches train the direction tables / BTB / RAS. No
+    statistics counters move and no trace events are emitted. *)
+let install_warming (d : Domain.t) (u : Uarch.t) =
+  let env = d.Domain.env and ctx = d.Domain.ctx in
+  let tlb_gen_seen = ref ctx.Context.tlb_generation in
+  (* 1-entry line memos: consecutive accesses to the same 64B line leave
+     every warmed structure in the same state (the line stays
+     most-recently-used), so skipping them loses nothing but sub-line
+     LRU-stamp precision and makes warming ~3x cheaper per instruction.
+     -1 never matches a real line index. *)
+  let last_iline = ref (-1) and last_lline = ref (-1)
+  and last_sline = ref (-1) in
+  let line_of vaddr = Int64.to_int (Int64.shift_right_logical vaddr 6) in
+  let check_gen () =
+    if ctx.Context.tlb_generation <> !tlb_gen_seen then begin
+      tlb_gen_seen := ctx.Context.tlb_generation;
+      Tlb.flush u.Uarch.dtlb;
+      Tlb.flush u.Uarch.itlb;
+      last_iline := -1;
+      last_lline := -1;
+      last_sline := -1
+    end
+  in
+  let translate tlb ~vaddr ~write ~exec =
+    match Tlb.lookup_quiet tlb vaddr with
+    | Tlb.L1_hit e | Tlb.L2_hit e ->
+      Some
+        (Pm.paddr_of_mfn e.Tlb.mfn
+         + Int64.to_int (Int64.logand vaddr (Int64.of_int Pm.page_mask)))
+    | Tlb.Tlb_miss -> (
+      match
+        Pt.walk env.Env.mem ~cr3_mfn:ctx.Context.cr3 ~vaddr ~write
+          ~user:(ctx.Context.mode = Context.User) ~exec ~set_ad:false ()
+      with
+      | Error _ -> None
+      | Ok tr ->
+        Tlb.insert tlb vaddr
+          {
+            Tlb.vpn = 0L;
+            mfn = tr.Pt.mfn;
+            writable = tr.Pt.writable;
+            user = tr.Pt.user;
+            nx = tr.Pt.nx;
+          };
+        Some
+          (Pm.paddr_of_mfn tr.Pt.mfn
+           + Int64.to_int (Int64.logand vaddr (Int64.of_int Pm.page_mask))))
+  in
+  d.Domain.native.Seqcore.hooks <-
+    Some
+      {
+        Seqcore.h_load =
+          (fun ~vaddr ~rip:_ ->
+            check_gen ();
+            let line = line_of vaddr in
+            if line <> !last_lline then begin
+              last_lline := line;
+              match translate u.Uarch.dtlb ~vaddr ~write:false ~exec:false with
+              | Some paddr -> Hierarchy.warm_load u.Uarch.hierarchy ~paddr
+              | None -> ()
+            end);
+        h_store =
+          (fun ~vaddr ~rip:_ ->
+            check_gen ();
+            let line = line_of vaddr in
+            if line <> !last_sline then begin
+              last_sline := line;
+              match translate u.Uarch.dtlb ~vaddr ~write:true ~exec:false with
+              | Some paddr -> Hierarchy.warm_store u.Uarch.hierarchy ~paddr
+              | None -> ()
+            end);
+        h_branch =
+          (fun ~rip ~taken ~target ~conditional ~call ~ret ~next_rip ->
+            if conditional then Predictor.warm_cond u.Uarch.bpred ~rip ~taken;
+            if taken && target <> 0L then
+              Predictor.warm_target u.Uarch.bpred ~rip ~target;
+            Predictor.warm_ras u.Uarch.bpred ~call ~ret ~next_rip);
+        h_insn =
+          (fun ~rip ~kernel:_ ->
+            check_gen ();
+            let line = line_of rip in
+            if line <> !last_iline then begin
+              last_iline := line;
+              match
+                translate u.Uarch.itlb ~vaddr:rip ~write:false ~exec:true
+              with
+              | Some paddr -> Hierarchy.warm_ifetch u.Uarch.hierarchy ~paddr
+              | None -> ()
+            end);
+      }
+
+let remove_warming (d : Domain.t) = d.Domain.native.Seqcore.hooks <- None
+
+(* ---------------------------------------------------------------- *)
+(* Supervisor                                                        *)
+(* ---------------------------------------------------------------- *)
+
+(* Under sampling the supervisor owns the schedule, so queued guest
+   commands are reduced to the ones that still make sense: ROI toggles
+   and -kill. -run / -native / -core would fight the phase machine. *)
+let drain_commands (d : Domain.t) =
+  match d.Domain.pending with
+  | [] -> ()
+  | cmds ->
+    d.Domain.pending <- [];
+    List.iter
+      (fun cmd ->
+        match cmd with
+        | Ptlcall.Sample_start -> d.Domain.sample_roi <- true
+        | Ptlcall.Sample_stop -> d.Domain.sample_roi <- false
+        | Ptlcall.Kill -> d.Domain.killed <- true
+        | Ptlcall.Snapshot -> (
+          match d.Domain.timelapse with
+          | Some tl -> Timelapse.finish tl ~cycle:d.Domain.env.Env.cycle
+          | None -> ())
+        | other ->
+          Logs.debug (fun m ->
+              m "sample: ignoring guest command %s under sampling"
+                (Ptlcall.command_to_string other)))
+      cmds
+
+(** Run the domain to completion (guest shutdown / halt / -kill /
+    budget) under the sampling [schedule]. With [~roi:true] the
+    measured periods only advance while the guest-controlled
+    [-startsample] region is open; fast-forward (and warming) continues
+    outside it. Returns the per-interval records and the aggregate CPI
+    estimate. *)
+let run ?(roi = false) ?(max_insns = max_int) ?(max_cycles = max_int)
+    ~schedule (d : Domain.t) =
+  let env = d.Domain.env and ctx = d.Domain.ctx in
+  let stats = env.Env.stats in
+  let c_intervals = Stats.counter stats "sample.intervals"
+  and c_ff = Stats.counter stats "sample.ff_insns"
+  and c_warm = Stats.counter stats "sample.warmup_insns"
+  and c_meas_i = Stats.counter stats "sample.measured_insns"
+  and c_meas_c = Stats.counter stats "sample.measured_cycles" in
+  let uarch =
+    match d.Domain.uarch with
+    | Some u -> u
+    | None ->
+      let u = Uarch.create ~prefix:d.Domain.core_name d.Domain.config stats in
+      Domain.set_uarch d u;
+      u
+  in
+  install_warming d uarch;
+  if not roi then d.Domain.sample_roi <- true;
+  let start_cycle = env.Env.cycle
+  and start_insns = ctx.Context.insns_committed in
+  let finished = ref false in
+  let out_of_budget () =
+    ctx.Context.insns_committed - start_insns >= max_insns
+    || env.Env.cycle - start_cycle >= max_cycles
+  in
+  let tick () =
+    drain_commands d;
+    if d.Domain.killed || out_of_budget () then begin
+      finished := true;
+      false
+    end
+    else if Domain.drive_once d then true
+    else begin
+      finished := true;
+      false
+    end
+  in
+  (* Fast-forward [n] ROI instructions on the native core; instructions
+     committed while the ROI is closed warm but do not count. *)
+  let drive_ff n =
+    Domain.enter_native d;
+    let remaining = ref n in
+    let last = ref ctx.Context.insns_committed in
+    while (not !finished) && (!remaining > 0 || (roi && not d.Domain.sample_roi))
+    do
+      if tick () then begin
+        let now = ctx.Context.insns_committed in
+        if d.Domain.sample_roi then remaining := !remaining - (now - !last);
+        last := now
+      end
+    done
+  in
+  (* Drive the timed core until [n] more instructions commit. *)
+  let drive_sim n =
+    Domain.enter_sim d;
+    let target = ctx.Context.insns_committed + n in
+    while (not !finished) && ctx.Context.insns_committed < target do
+      ignore (tick ())
+    done
+  in
+  let intervals = ref [] in
+  let idx = ref 0 in
+  while not !finished do
+    let i_ff = ctx.Context.insns_committed in
+    drive_ff schedule.ff_insns;
+    Stats.add c_ff (ctx.Context.insns_committed - i_ff);
+    if not !finished then begin
+      let i_warm = ctx.Context.insns_committed in
+      drive_sim schedule.warmup_insns;
+      Stats.add c_warm (ctx.Context.insns_committed - i_warm)
+    end;
+    if not !finished then begin
+      Trace.sample_boundary ();
+      let before = Stats.snapshot stats ~cycle:env.Env.cycle in
+      let i0 = ctx.Context.insns_committed in
+      drive_sim schedule.measure_insns;
+      let after = Stats.snapshot stats ~cycle:env.Env.cycle in
+      let insns = ctx.Context.insns_committed - i0 in
+      let cycles = after.Stats.cycle - before.Stats.cycle in
+      if insns > 0 then begin
+        intervals :=
+          {
+            iv_index = !idx;
+            iv_insns = insns;
+            iv_cycles = cycles;
+            iv_cpi = float_of_int cycles /. float_of_int insns;
+            iv_before = before;
+            iv_after = after;
+          }
+          :: !intervals;
+        incr idx;
+        Stats.incr c_intervals;
+        Stats.add c_meas_i insns;
+        Stats.add c_meas_c cycles
+      end
+    end
+  done;
+  remove_warming d;
+  Domain.enter_native d;
+  (match d.Domain.timelapse with
+  | Some tl -> Timelapse.finish tl ~cycle:env.Env.cycle
+  | None -> ());
+  aggregate
+    ~total_insns:(ctx.Context.insns_committed - start_insns)
+    ~total_cycles:(env.Env.cycle - start_cycle)
+    (List.rev !intervals)
+
+(* ---------------------------------------------------------------- *)
+(* Reporting                                                         *)
+(* ---------------------------------------------------------------- *)
+
+(** Human-readable per-interval table plus the aggregate estimate, the
+    [optlsim --sample] end-of-run report. *)
+let report oc r =
+  Printf.fprintf oc "sampled run: %d interval(s), %d/%d insns measured\n"
+    (List.length r.intervals) r.measured_insns r.total_insns;
+  Printf.fprintf oc "  %-9s %12s %12s %8s\n" "interval" "insns" "cycles" "cpi";
+  List.iter
+    (fun iv ->
+      Printf.fprintf oc "  %-9d %12d %12d %8.3f\n" iv.iv_index iv.iv_insns
+        iv.iv_cycles iv.iv_cpi)
+    r.intervals;
+  Printf.fprintf oc "aggregate CPI %.4f (mean %.4f +/- %.4f, 95%% CI)\n" r.cpi
+    r.cpi_mean r.cpi_ci95;
+  Printf.fprintf oc
+    "estimated full-detail cycles %.0f for %d insns (ran %d virtual cycles)\n"
+    r.est_cycles r.total_insns r.total_cycles

@@ -1,0 +1,97 @@
+(** Mixed-mode sampled simulation: SMARTS-style periodic sampling —
+    repeating fast-forward (native, functionally warmed) -> warm-up
+    (timed, unmeasured) -> measure (timed, measured) — on top of the
+    paper's seamless native/simulation mode switching (§4.1).
+
+    Fast-forward runs the sequential functional core at native speed
+    while warming the long-lived microarchitectural state (cache tags
+    and recency, TLBs, branch direction tables, BTB, RAS) through the
+    silent [warm_*] entry points: no statistics move, no trace events
+    fire. Measured intervals bracket {!Ptl_stats.Statstree} snapshot
+    pairs; the aggregate CPI is sum(cycles)/sum(insns) with a 95%
+    normal confidence interval over the per-interval CPIs. *)
+
+(** Instructions per phase of one sampling period. *)
+type schedule = {
+  ff_insns : int;  (** fast-forwarded natively, warming *)
+  warmup_insns : int;  (** timed but excluded from measurement *)
+  measure_insns : int;  (** timed and measured *)
+}
+
+val default_period : int
+val default_warmup : int
+val default_measure : int
+
+(** Total instructions in one period. *)
+val period : schedule -> int
+
+(** Validate the sampling flag combination and derive the schedule.
+    [ff]/[period] are the raw [--sample-ff] / [--sample-period] options
+    (mutually exclusive; a period converts to a fast-forward length by
+    subtracting warm-up and measure). Rejects the sequential core (no
+    timed pipeline), unknown cores, the fuzz subcommand and
+    [--guard-degrade]. *)
+val check_flags :
+  core:string ->
+  ff:int option ->
+  period:int option ->
+  warmup:int ->
+  measure:int ->
+  guard_degrade:bool ->
+  fuzz:bool ->
+  unit ->
+  (schedule, string) result
+
+(** One measured interval: its snapshot pair and the instruction /
+    cycle deltas between them. *)
+type interval = {
+  iv_index : int;
+  iv_insns : int;
+  iv_cycles : int;
+  iv_cpi : float;
+  iv_before : Ptl_stats.Statstree.snapshot;
+  iv_after : Ptl_stats.Statstree.snapshot;
+}
+
+type result = {
+  intervals : interval list;  (** in measurement order *)
+  total_insns : int;  (** all instructions committed during the run *)
+  total_cycles : int;  (** virtual cycles elapsed during the run *)
+  measured_insns : int;
+  measured_cycles : int;
+  cpi : float;  (** aggregate: measured cycles / measured insns *)
+  cpi_mean : float;  (** mean of the per-interval CPIs *)
+  cpi_ci95 : float;  (** 95% confidence half-width of [cpi_mean] *)
+  est_cycles : float;  (** [total_insns] x aggregate CPI *)
+}
+
+(** Fold measured intervals into the whole-run estimate (pure). *)
+val aggregate :
+  total_insns:int -> total_cycles:int -> interval list -> result
+
+(** Hook the domain's native core so fast-forwarded instructions warm
+    the shared {!Ptl_ooo.Uarch} (exposed for tests; {!run} installs it
+    itself). *)
+val install_warming : Ptl_hyper.Domain.t -> Ptl_ooo.Uarch.t -> unit
+
+val remove_warming : Ptl_hyper.Domain.t -> unit
+
+(** Drive the domain to completion (guest shutdown / halt / [-kill] /
+    budget) under [schedule]. Installs a shared {!Ptl_ooo.Uarch} via
+    {!Ptl_hyper.Domain.set_uarch} if the domain has none, so warmed
+    state survives core rebuilds. With [~roi:true], scheduling only
+    advances while the guest's [-startsample] region is open
+    (fast-forward and warming continue outside it). Calls
+    {!Ptl_trace.Trace.sample_boundary} at the start of every measured
+    interval. *)
+val run :
+  ?roi:bool ->
+  ?max_insns:int ->
+  ?max_cycles:int ->
+  schedule:schedule ->
+  Ptl_hyper.Domain.t ->
+  result
+
+(** Per-interval table plus the aggregate estimate (the [--sample]
+    end-of-run report). *)
+val report : out_channel -> result -> unit

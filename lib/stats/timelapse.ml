@@ -24,8 +24,13 @@ let tick t ~cycle =
     t.next_cycle <- t.next_cycle + t.interval
   end
 
-(** Force a final snapshot at [cycle] (end of run). *)
-let finish t ~cycle = t.snaps <- Statstree.snapshot t.stats ~cycle :: t.snaps
+(** Force a final snapshot at [cycle] (end of run). When the schedule
+    already took a snapshot at exactly this cycle (the run ended on an
+    interval boundary), no duplicate zero-length interval is appended. *)
+let finish t ~cycle =
+  match t.snaps with
+  | s :: _ when s.Statstree.cycle = cycle -> ()
+  | _ -> t.snaps <- Statstree.snapshot t.stats ~cycle :: t.snaps
 
 let snapshots t = List.rev t.snaps
 

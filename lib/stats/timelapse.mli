@@ -10,7 +10,9 @@ val create : Statstree.t -> interval:int -> t
 (** Call with the current cycle; takes snapshots on schedule. *)
 val tick : t -> cycle:int -> unit
 
-(** Force a final snapshot (end of run / ptlcall -snapshot). *)
+(** Force a final snapshot (end of run / ptlcall -snapshot). Idempotent
+    on an exact interval boundary: when a snapshot at this cycle already
+    exists, no duplicate zero-length interval is appended. *)
 val finish : t -> cycle:int -> unit
 
 val snapshots : t -> Statstree.snapshot list

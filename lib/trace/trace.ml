@@ -156,6 +156,7 @@ type trigger =
   | Immediate
   | At_cycle of int  (* PTLsim -startlog: begin at a given cycle *)
   | On_mispredict  (* begin at the first mispredicted branch *)
+  | On_sample  (* begin at the first measured sampling interval *)
 
 (* ---------------------------------------------------------------- *)
 (* Global state                                                      *)
@@ -171,6 +172,10 @@ type state = {
   mutable cycle : int;
   mutable captured : int;  (* events accepted into the ring, ever *)
   mutable overwritten : int;  (* accepted events later lost to wraparound *)
+  (* incremental sink: called on every accepted event, in addition to the
+     ring push (None = dump-at-exit only) *)
+  mutable stream : (event -> unit) option;
+  mutable stream_close : (unit -> unit) option;
 }
 
 let default_capacity = 1 lsl 20
@@ -186,6 +191,8 @@ let st =
     cycle = 0;
     captured = 0;
     overwritten = 0;
+    stream = None;
+    stream_close = None;
   }
 
 (** The one-branch gate every emit site checks. True iff tracing is
@@ -213,7 +220,22 @@ let configure ?(capacity = default_capacity) ?start_cycle
   st.overwritten <- 0;
   on := true
 
-let disable () = on := false
+(** Open the [On_sample] trigger: the sampling supervisor calls this at
+    the start of each measured interval; capture begins at the first one
+    and stays open (the usual trigger latching). A no-op for any other
+    trigger. *)
+let sample_boundary () =
+  match st.trigger with On_sample -> st.triggered <- true | _ -> ()
+
+(* finalize and detach any incremental sink *)
+let close_stream () =
+  (match st.stream_close with Some f -> f () | None -> ());
+  st.stream <- None;
+  st.stream_close <- None
+
+let disable () =
+  close_stream ();
+  on := false
 
 (** Drop every captured event but keep the configuration armed. *)
 let clear () =
@@ -243,6 +265,7 @@ let emit ?(core = 0) ?(thread = 0) ?(uuid = -1) ?(rip = 0L) ?(slot = -1)
       match st.trigger with
       | At_cycle n -> if st.cycle >= n then st.triggered <- true
       | On_mispredict -> if kind = Mispredict then st.triggered <- true
+      | On_sample -> ()  (* opened only by [sample_boundary] *)
       | Immediate -> st.triggered <- true
     end;
     if
@@ -266,7 +289,8 @@ let emit ?(core = 0) ?(thread = 0) ?(uuid = -1) ?(rip = 0L) ?(slot = -1)
       in
       if Ring.push_overwrite st.ring ev then
         st.overwritten <- st.overwritten + 1;
-      st.captured <- st.captured + 1
+      st.captured <- st.captured + 1;
+      match st.stream with Some f -> f ev | None -> ()
     end
   end
 
@@ -322,15 +346,19 @@ let dump_text oc =
   Ring.iter st.ring (fun ev -> pp_event buf ev);
   Buffer.output_buffer oc buf
 
+let csv_header = "cycle,kind,core,thread,uuid,rip,slot,info,tag\n"
+
+let csv_row ev =
+  Printf.sprintf "%d,%s,%d,%d,%d,0x%Lx,%d,0x%Lx,%s\n" ev.ev_cycle
+    (kind_name ev.ev_kind) ev.ev_core ev.ev_thread ev.ev_uuid ev.ev_rip
+    ev.ev_slot ev.ev_info ev.ev_tag
+
 (** CSV sink: one row per event, stable column order. *)
 let dump_csv oc =
-  output_string oc "cycle,kind,core,thread,uuid,rip,slot,info,tag\n";
+  output_string oc csv_header;
   let buf = Buffer.create 4096 in
   Ring.iter st.ring (fun ev ->
-      Buffer.add_string buf
-        (Printf.sprintf "%d,%s,%d,%d,%d,0x%Lx,%d,0x%Lx,%s\n" ev.ev_cycle
-           (kind_name ev.ev_kind) ev.ev_core ev.ev_thread ev.ev_uuid ev.ev_rip
-           ev.ev_slot ev.ev_info ev.ev_tag);
+      Buffer.add_string buf (csv_row ev);
       if Buffer.length buf > 1 lsl 16 then begin
         Buffer.output_buffer oc buf;
         Buffer.clear buf
@@ -339,10 +367,12 @@ let dump_csv oc =
 
 (* Chrome trace-event JSON (the "JSON Array Format" with a traceEvents
    wrapper), loadable in Perfetto or chrome://tracing. One process (pid)
-   per core, one track (tid) per pipeline stage / structure class, one
+   per core, one track (tid) per (SMT thread, pipeline stage) pair, one
    complete event ("ph":"X", 1-cycle duration) per trace event, with the
    payload in "args". Timestamps are simulated cycles interpreted as
-   microseconds. *)
+   microseconds. Hardware thread N's tracks occupy tid N*16..N*16+15, so
+   an SMT core's threads group into contiguous, labeled bands ("t1:fetch",
+   "t1:commit", ...); a single-threaded run keeps the plain 0..15 ids. *)
 
 let chrome_tid kind =
   match kind with
@@ -382,6 +412,14 @@ let chrome_track_name tid =
   | 14 -> "bbcache"
   | _ -> "bpred"
 
+(* Perfetto track id: hardware thread N owns tids N*16..N*16+15, so SMT
+   threads render as contiguous labeled bands. Thread 0 keeps 0..15. *)
+let chrome_tid_of ev = (ev.ev_thread * 16) + chrome_tid ev.ev_kind
+
+let chrome_track_label tid =
+  let stage = chrome_track_name (tid mod 16) in
+  if tid < 16 then stage else Printf.sprintf "t%d:%s" (tid / 16) stage
+
 let json_escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -396,6 +434,34 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+let chrome_process_meta core =
+  Printf.sprintf
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"core %d\"}}"
+    core core
+
+let chrome_thread_meta core tid =
+  Printf.sprintf
+    "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+    core tid
+    (json_escape (chrome_track_label tid))
+
+let chrome_sort_meta core tid =
+  Printf.sprintf
+    "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"sort_index\":%d}}"
+    core tid tid
+
+let chrome_event_json ev =
+  let name =
+    if ev.ev_tag = "" then kind_name ev.ev_kind
+    else kind_name ev.ev_kind ^ ":" ^ ev.ev_tag
+  in
+  Printf.sprintf
+    "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%d,\"dur\":1,\"pid\":%d,\"tid\":%d,\"args\":{\"uuid\":%d,\"thread\":%d,\"rip\":\"0x%Lx\",\"slot\":%d,\"info\":\"0x%Lx\"}}"
+    (json_escape name)
+    (class_name (class_of ev.ev_kind))
+    ev.ev_cycle ev.ev_core (chrome_tid_of ev) ev.ev_uuid ev.ev_thread
+    ev.ev_rip ev.ev_slot ev.ev_info
+
 let dump_chrome oc =
   let buf = Buffer.create 8192 in
   Buffer.add_string buf "{\"traceEvents\":[";
@@ -404,53 +470,105 @@ let dump_chrome oc =
     if !first then first := false else Buffer.add_char buf ',';
     Buffer.add_string buf "\n "
   in
-  (* metadata: name the per-core processes and per-stage tracks that
-     actually appear in the window *)
+  (* metadata: name the per-core processes and the per-(SMT thread, stage)
+     tracks that actually appear in the window *)
   let tracks = Hashtbl.create 64 in
   Ring.iter st.ring (fun ev ->
-      Hashtbl.replace tracks (ev.ev_core, chrome_tid ev.ev_kind) ());
+      Hashtbl.replace tracks (ev.ev_core, chrome_tid_of ev) ());
   let cores = Hashtbl.create 8 in
   Hashtbl.iter (fun (core, _) () -> Hashtbl.replace cores core ()) tracks;
   Hashtbl.iter
     (fun core () ->
       sep ();
-      Buffer.add_string buf
-        (Printf.sprintf
-           "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"core %d\"}}"
-           core core))
+      Buffer.add_string buf (chrome_process_meta core))
     cores;
   Hashtbl.iter
     (fun (core, tid) () ->
       sep ();
-      Buffer.add_string buf
-        (Printf.sprintf
-           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
-           core tid (chrome_track_name tid));
+      Buffer.add_string buf (chrome_thread_meta core tid);
       sep ();
-      Buffer.add_string buf
-        (Printf.sprintf
-           "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"sort_index\":%d}}"
-           core tid tid))
+      Buffer.add_string buf (chrome_sort_meta core tid))
     tracks;
   Ring.iter st.ring (fun ev ->
       sep ();
-      let name =
-        if ev.ev_tag = "" then kind_name ev.ev_kind
-        else kind_name ev.ev_kind ^ ":" ^ ev.ev_tag
-      in
-      Buffer.add_string buf
-        (Printf.sprintf
-           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%d,\"dur\":1,\"pid\":%d,\"tid\":%d,\"args\":{\"uuid\":%d,\"thread\":%d,\"rip\":\"0x%Lx\",\"slot\":%d,\"info\":\"0x%Lx\"}}"
-           (json_escape name)
-           (class_name (class_of ev.ev_kind))
-           ev.ev_cycle ev.ev_core (chrome_tid ev.ev_kind) ev.ev_uuid
-           ev.ev_thread ev.ev_rip ev.ev_slot ev.ev_info);
+      Buffer.add_string buf (chrome_event_json ev);
       if Buffer.length buf > 1 lsl 16 then begin
         Buffer.output_buffer oc buf;
         Buffer.clear buf
       end);
   Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
   Buffer.output_buffer oc buf
+
+(* ---------------------------------------------------------------- *)
+(* Incremental streaming sinks                                       *)
+(* ---------------------------------------------------------------- *)
+
+(** Output format of a streaming sink (satellite of the ring sinks above:
+    same text / CSV / Chrome encodings, written event-by-event). *)
+type stream_format = Stream_text | Stream_csv | Stream_chrome
+
+let stream_format_of_name = function
+  | "text" | "txt" -> Some Stream_text
+  | "csv" -> Some Stream_csv
+  | "chrome" | "json" -> Some Stream_chrome
+  | _ -> None
+
+(** Attach an incremental sink: every event accepted from now on (trigger
+    and filters already applied) is also written to [oc] immediately, so
+    a run that dies mid-flight still leaves a usable trace and a trace
+    larger than the ring survives wraparound. Replaces any sink already
+    installed (finalizing it first). The Chrome writer emits process /
+    track metadata lazily, the first time each (core, track) appears.
+    [stream_stop] (or [disable]) finalizes the sink — for Chrome that
+    writes the closing bracket, so the file is valid JSON only after it
+    runs. The caller keeps ownership of [oc] and closes it afterwards. *)
+let stream_to fmt oc =
+  close_stream ();
+  match fmt with
+  | Stream_text ->
+    st.stream <-
+      Some
+        (fun ev ->
+          output_string oc (event_to_string ev);
+          output_char oc '\n');
+    st.stream_close <- Some (fun () -> flush oc)
+  | Stream_csv ->
+    output_string oc csv_header;
+    st.stream <- Some (fun ev -> output_string oc (csv_row ev));
+    st.stream_close <- Some (fun () -> flush oc)
+  | Stream_chrome ->
+    output_string oc "{\"traceEvents\":[";
+    let first = ref true in
+    let named = Hashtbl.create 64 in
+    let put s =
+      if !first then first := false else output_char oc ',';
+      output_string oc "\n ";
+      output_string oc s
+    in
+    st.stream <-
+      Some
+        (fun ev ->
+          let core = ev.ev_core and tid = chrome_tid_of ev in
+          if not (Hashtbl.mem named (core, -1)) then begin
+            Hashtbl.add named (core, -1) ();
+            put (chrome_process_meta core)
+          end;
+          if not (Hashtbl.mem named (core, tid)) then begin
+            Hashtbl.add named (core, tid) ();
+            put (chrome_thread_meta core tid);
+            put (chrome_sort_meta core tid)
+          end;
+          put (chrome_event_json ev));
+    st.stream_close <-
+      Some
+        (fun () ->
+          output_string oc "\n],\"displayTimeUnit\":\"ms\"}\n";
+          flush oc)
+
+(** Finalize and detach the streaming sink, if any. Idempotent. *)
+let stream_stop () = close_stream ()
+
+let streaming () = st.stream <> None
 
 (* ---------------------------------------------------------------- *)
 (* Per-instruction timelines                                         *)

@@ -67,6 +67,9 @@ type trigger =
   | Immediate
   | At_cycle of int   (** begin logging at a given simulated cycle *)
   | On_mispredict     (** begin at the first mispredicted branch *)
+  | On_sample
+      (** begin at the first measured sampling interval (opened by the
+          sampling supervisor calling {!sample_boundary}) *)
 
 (** The one-branch gate: true iff tracing is configured. Emit sites MUST
     guard with [if !Trace.on] so the disabled path never allocates. *)
@@ -87,7 +90,13 @@ val configure :
   unit ->
   unit
 
+(** Disarm tracing; also finalizes and detaches any streaming sink. *)
 val disable : unit -> unit
+
+(** Open the {!On_sample} trigger: the sampling supervisor calls this at
+    the start of each measured interval; capture begins at the first one
+    and latches open. A no-op under any other trigger. *)
+val sample_boundary : unit -> unit
 
 (** Drop captured events but keep the configuration armed (re-arms the
     trigger). *)
@@ -146,9 +155,32 @@ val dump_text : out_channel -> unit
 val dump_csv : out_channel -> unit
 
 (** Chrome trace-event JSON (Perfetto / chrome://tracing): one process
-    per core, one track per pipeline stage, one 1-cycle complete event
-    per trace event, with metadata naming the tracks. *)
+    per core, one track per (SMT thread, pipeline stage) pair — thread
+    N's tracks occupy tid N*16.. and are labeled "tN:stage", so an SMT
+    core's threads group into contiguous bands — one 1-cycle complete
+    event per trace event, with metadata naming the tracks. *)
 val dump_chrome : out_channel -> unit
+
+(** Output format of an incremental streaming sink. *)
+type stream_format = Stream_text | Stream_csv | Stream_chrome
+
+(** ["text"], ["csv"], ["chrome"] (also ["txt"], ["json"]). *)
+val stream_format_of_name : string -> stream_format option
+
+(** Attach an incremental sink: every accepted event (trigger and filters
+    already applied) is also written to the channel immediately, in
+    addition to the ring, so a crashed run still leaves a usable trace
+    and a trace longer than the ring survives wraparound. Replaces any
+    sink already installed (finalizing it first). Call {!stream_stop} (or
+    {!disable}) before closing the channel — the Chrome writer emits its
+    closing bracket there. The caller keeps ownership of the channel. *)
+val stream_to : stream_format -> out_channel -> unit
+
+(** Finalize and detach the streaming sink, if any. Idempotent. *)
+val stream_stop : unit -> unit
+
+(** Whether a streaming sink is currently attached. *)
+val streaming : unit -> bool
 
 (** Render per-uop timelines, one row per uop in fetch (uuid) order, one
     column per stage holding the cycle the uop reached it, with notes for

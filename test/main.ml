@@ -24,6 +24,7 @@ let () =
       ("microbench", Test_microbench.suite);
       ("fuzz", Test_fuzz.suite);
       ("guard", Test_guard.suite);
+      ("sample", Test_sample.suite);
     ]
   with e ->
     Printf.eprintf

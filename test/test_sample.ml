@@ -1,0 +1,268 @@
+(* Tests for the mixed-mode sampled simulation engine (lib/sample):
+   flag validation, snapshot/aggregate arithmetic, silent functional
+   warming, determinism, architectural equality with a pure sequential
+   run, CPI accuracy and ptlcall-driven regions of interest. *)
+
+module Sample = Ptl_sample.Sample
+module S = Ptl_stats.Statstree
+module Trace = Ptl_trace.Trace
+module Uarch = Ptl_ooo.Uarch
+module Config = Ptl_ooo.Config
+module Hierarchy = Ptl_mem.Hierarchy
+module Cache = Ptl_mem.Cache
+module Tlb = Ptl_mem.Tlb
+module Predictor = Ptl_bpred.Predictor
+module Domain = Ptl_hyper.Domain
+module Ptlcall = Ptl_hyper.Ptlcall
+module Kernel = Ptl_kernel.Kernel
+module Env = Ptl_arch.Env
+module Context = Ptl_arch.Context
+module G = Ptl_workloads.Gasm
+
+(* ---------- flag validation ---------- *)
+
+let check ?(core = "ooo") ?ff ?period ?(warmup = 1_000) ?(measure = 2_000)
+    ?(guard_degrade = false) ?(fuzz = false) () =
+  Sample.check_flags ~core ~ff ~period ~warmup ~measure ~guard_degrade ~fuzz ()
+
+let test_check_flags () =
+  (match check ~period:100_000 () with
+  | Ok s ->
+    Alcotest.(check int) "derived ff" 97_000 s.Sample.ff_insns;
+    Alcotest.(check int) "warmup" 1_000 s.Sample.warmup_insns;
+    Alcotest.(check int) "measure" 2_000 s.Sample.measure_insns;
+    Alcotest.(check int) "period" 100_000 (Sample.period s)
+  | Error e -> Alcotest.failf "valid period rejected: %s" e);
+  (match check ~ff:50_000 () with
+  | Ok s -> Alcotest.(check int) "explicit ff" 50_000 s.Sample.ff_insns
+  | Error e -> Alcotest.failf "valid ff rejected: %s" e);
+  let rejects name r =
+    Alcotest.(check bool) name true (Result.is_error r)
+  in
+  rejects "seq core" (check ~core:"seq" ~period:100_000 ());
+  rejects "unknown core" (check ~core:"nonsense" ~period:100_000 ());
+  rejects "fuzz" (check ~fuzz:true ~period:100_000 ());
+  rejects "guard degrade" (check ~guard_degrade:true ~period:100_000 ());
+  rejects "ff and period" (check ~ff:1 ~period:100_000 ());
+  rejects "period too small" (check ~period:3_000 ());
+  rejects "measure < 1" (check ~measure:0 ~period:100_000 ())
+
+(* ---------- aggregate arithmetic ---------- *)
+
+let mk_interval idx insns cycles =
+  let snap = S.snapshot (S.create ()) ~cycle:0 in
+  {
+    Sample.iv_index = idx;
+    iv_insns = insns;
+    iv_cycles = cycles;
+    iv_cpi = float_of_int cycles /. float_of_int insns;
+    iv_before = snap;
+    iv_after = snap;
+  }
+
+let test_aggregate () =
+  (* two intervals with CPIs 1.5 and 2.5: aggregate 400/200 = 2.0,
+     sample variance 0.5, CI = 1.96 * sqrt(0.5/2) = 0.98 *)
+  let ivs = [ mk_interval 0 100 150; mk_interval 1 100 250 ] in
+  let r = Sample.aggregate ~total_insns:1_000 ~total_cycles:12_345 ivs in
+  Alcotest.(check int) "measured insns" 200 r.Sample.measured_insns;
+  Alcotest.(check int) "measured cycles" 400 r.Sample.measured_cycles;
+  Alcotest.(check (float 1e-9)) "aggregate cpi" 2.0 r.Sample.cpi;
+  Alcotest.(check (float 1e-9)) "mean cpi" 2.0 r.Sample.cpi_mean;
+  Alcotest.(check (float 1e-9)) "ci95" 0.98 r.Sample.cpi_ci95;
+  Alcotest.(check (float 1e-6)) "estimated cycles" 2000.0 r.Sample.est_cycles;
+  Alcotest.(check int) "totals preserved" 12_345 r.Sample.total_cycles;
+  (* one interval: no variance estimate *)
+  let r1 = Sample.aggregate ~total_insns:100 ~total_cycles:0 [ mk_interval 0 50 100 ] in
+  Alcotest.(check (float 1e-9)) "single-interval ci" 0.0 r1.Sample.cpi_ci95;
+  (* no intervals: everything degrades to zero, no division by zero *)
+  let r0 = Sample.aggregate ~total_insns:100 ~total_cycles:0 [] in
+  Alcotest.(check (float 1e-9)) "empty cpi" 0.0 r0.Sample.cpi;
+  Alcotest.(check (float 1e-9)) "empty est" 0.0 r0.Sample.est_cycles
+
+(* ---------- functional warming is silent ---------- *)
+
+let test_warming_silent () =
+  let st = S.create () in
+  let u = Uarch.create Config.tiny st in
+  Fun.protect ~finally:Trace.disable (fun () ->
+      Trace.configure ();
+      let h = u.Uarch.hierarchy in
+      Hierarchy.warm_load h ~paddr:0x1_0000;
+      Hierarchy.warm_store h ~paddr:0x2_0040;
+      Hierarchy.warm_ifetch h ~paddr:0x40_0000;
+      Tlb.insert u.Uarch.dtlb 0x7f00_0000L
+        { Tlb.vpn = 0L; mfn = 42; writable = true; user = true; nx = false };
+      (match Tlb.lookup_quiet u.Uarch.dtlb 0x7f00_0123L with
+      | Tlb.L1_hit e -> Alcotest.(check int) "tlb mfn" 42 e.Tlb.mfn
+      | _ -> Alcotest.fail "expected dtlb hit after insert");
+      Predictor.warm_cond u.Uarch.bpred ~rip:0x40_0100L ~taken:true;
+      Predictor.warm_target u.Uarch.bpred ~rip:0x40_0100L ~target:0x40_0000L;
+      Predictor.warm_ras u.Uarch.bpred ~call:true ~ret:false
+        ~next_rip:0x40_0108L;
+      (* the state really moved... *)
+      Alcotest.(check bool) "l1d warmed" true
+        (Cache.probe h.Hierarchy.l1d 0x1_0000);
+      Alcotest.(check bool) "l1d warmed by store" true
+        (Cache.probe h.Hierarchy.l1d 0x2_0040);
+      Alcotest.(check bool) "l1i warmed" true
+        (Cache.probe h.Hierarchy.l1i 0x40_0000);
+      Alcotest.(check bool) "l2 warmed" true
+        (Cache.probe h.Hierarchy.l2 0x1_0000);
+      (* ...but not one statistic and not one trace event *)
+      List.iter
+        (fun p ->
+          Alcotest.(check int) (Printf.sprintf "counter %s still 0" p) 0
+            (S.get st p))
+        (S.paths st);
+      Alcotest.(check int) "no trace events" 0 (Trace.length ()))
+
+(* ---------- end to end on a kernel workload ---------- *)
+
+(* rbx := sum(1..n) + 3n, computed in a homogeneous 4-insn loop; the
+   final value doubles as the architectural fingerprint of the run. *)
+let loop_domain ?(core = "ooo") ~iters () =
+  let g = G.create () in
+  G.jmp g "main";
+  G.label g "main";
+  G.lii g G.rbx 0;
+  G.lii g G.rcx iters;
+  G.label g "top";
+  G.add g G.rbx G.rcx;
+  G.addi g G.rbx 3;
+  G.dec g G.rcx;
+  G.jne g "top";
+  G.sys_marker g 7;
+  G.sys_exit g 0;
+  let env = Env.create () in
+  let ctx = Context.create ~vcpu_id:0 in
+  let k = Kernel.create env ctx in
+  Kernel.register_program k ~name:"init" (G.assemble g);
+  Kernel.boot k;
+  (Domain.create ~kernel:k ~core ~config:Config.tiny env ctx, k, ctx)
+
+let expected_sum iters =
+  Int64.of_int ((iters * (iters + 1) / 2) + (3 * iters))
+
+let small_schedule =
+  { Sample.ff_insns = 20_000; warmup_insns = 2_000; measure_insns = 3_000 }
+
+let test_sampled_run_deterministic () =
+  let run () =
+    let d, k, _ = loop_domain ~iters:40_000 () in
+    let r = Sample.run ~schedule:small_schedule d in
+    Alcotest.(check bool) "shut down" true (Kernel.is_shutdown k);
+    ( List.map (fun iv -> (iv.Sample.iv_insns, iv.Sample.iv_cycles)) r.Sample.intervals,
+      r.Sample.total_insns,
+      r.Sample.cpi )
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "interval-exact determinism" true (a = b);
+  let ivs, _, _ = a in
+  Alcotest.(check bool) "several intervals measured" true (List.length ivs >= 3)
+
+let test_sampled_matches_seq_architecturally () =
+  let iters = 30_000 in
+  let d_seq, k_seq, ctx_seq = loop_domain ~core:"seq" ~iters () in
+  Domain.submit d_seq "-core seq -run";
+  ignore (Domain.run ~max_cycles:1_000_000_000 d_seq);
+  Alcotest.(check bool) "seq shut down" true (Kernel.is_shutdown k_seq);
+  let d, k, ctx = loop_domain ~iters () in
+  let r = Sample.run ~schedule:small_schedule d in
+  Alcotest.(check bool) "sampled shut down" true (Kernel.is_shutdown k);
+  Alcotest.(check bool) "intervals measured" true (r.Sample.intervals <> []);
+  Alcotest.(check int64) "same architectural result"
+    (Context.gpr ctx_seq G.rbx) (Context.gpr ctx G.rbx);
+  Alcotest.(check int64) "the right result" (expected_sum iters)
+    (Context.gpr ctx G.rbx);
+  Alcotest.(check int) "same instruction count" (Domain.insns d_seq)
+    (Domain.insns d);
+  Alcotest.(check (list int)) "same markers" [ 7 ]
+    (List.map fst (Domain.markers d))
+
+let test_sampled_cpi_accuracy () =
+  let iters = 40_000 in
+  (* ground truth: the same workload in full detail on the OOO core *)
+  let d_full, _, _ = loop_domain ~iters () in
+  Domain.submit d_full "-core ooo -run";
+  ignore (Domain.run ~max_cycles:1_000_000_000 d_full);
+  let full_cycles = float_of_int (Domain.cycles d_full) in
+  let d, _, _ = loop_domain ~iters () in
+  let r = Sample.run ~schedule:small_schedule d in
+  let err = abs_float (r.Sample.est_cycles -. full_cycles) /. full_cycles in
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate within 10%% (err %.2f%%)" (100.0 *. err))
+    true (err < 0.10);
+  (* the report prints without raising *)
+  let null = open_out Filename.null in
+  Fun.protect ~finally:(fun () -> close_out null) (fun () ->
+      Sample.report null r)
+
+(* ---------- region-of-interest sampling ---------- *)
+
+let test_roi_ptlcall_parse () =
+  (match Ptlcall.parse "-startsample" with
+  | [ Ptlcall.Sample_start ] -> ()
+  | _ -> Alcotest.fail "-startsample");
+  match Ptlcall.parse "-stopsample" with
+  | [ Ptlcall.Sample_stop ] -> ()
+  | _ -> Alcotest.fail "-stopsample"
+
+let test_roi_gated_sampling () =
+  (* setup loop, then an ROI of roi_iters iterations, then a tail loop;
+     with ~roi:true only the bracketed region may be measured *)
+  let roi_iters = 15_000 in
+  let g = G.create () in
+  G.jmp g "main";
+  G.label g "main";
+  G.lii g G.rcx 5_000;
+  G.label g "pre";
+  G.dec g G.rcx;
+  G.jne g "pre";
+  G.ptlctl g "-startsample";
+  G.lii g G.rbx 0;
+  G.lii g G.rcx roi_iters;
+  G.label g "top";
+  G.add g G.rbx G.rcx;
+  G.addi g G.rbx 3;
+  G.dec g G.rcx;
+  G.jne g "top";
+  G.ptlctl g "-stopsample";
+  G.lii g G.rcx 5_000;
+  G.label g "post";
+  G.dec g G.rcx;
+  G.jne g "post";
+  G.sys_exit g 0;
+  let env = Env.create () in
+  let ctx = Context.create ~vcpu_id:0 in
+  let k = Kernel.create env ctx in
+  Kernel.register_program k ~name:"init" (G.assemble g);
+  Kernel.boot k;
+  let d = Domain.create ~kernel:k ~core:"ooo" ~config:Config.tiny env ctx in
+  let schedule =
+    { Sample.ff_insns = 5_000; warmup_insns = 1_000; measure_insns = 2_000 }
+  in
+  let r = Sample.run ~roi:true ~schedule d in
+  Alcotest.(check bool) "shut down" true (Kernel.is_shutdown k);
+  Alcotest.(check bool) "measured inside the region" true
+    (r.Sample.intervals <> []);
+  (* the region is ~4 insns/iter; everything measured must fit in it *)
+  Alcotest.(check bool)
+    (Printf.sprintf "measurement confined to ROI (%d insns)"
+       r.Sample.measured_insns)
+    true
+    (r.Sample.measured_insns <= (4 * roi_iters) + 8)
+
+let suite =
+  [
+    Alcotest.test_case "flag validation" `Quick test_check_flags;
+    Alcotest.test_case "aggregate arithmetic" `Quick test_aggregate;
+    Alcotest.test_case "warming is silent" `Quick test_warming_silent;
+    Alcotest.test_case "sampled run deterministic" `Quick
+      test_sampled_run_deterministic;
+    Alcotest.test_case "architectural equality vs seq" `Quick
+      test_sampled_matches_seq_architecturally;
+    Alcotest.test_case "cpi accuracy" `Quick test_sampled_cpi_accuracy;
+    Alcotest.test_case "roi ptlcall parse" `Quick test_roi_ptlcall_parse;
+    Alcotest.test_case "roi-gated sampling" `Quick test_roi_gated_sampling;
+  ]

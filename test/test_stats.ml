@@ -64,6 +64,58 @@ let test_timelapse_finish () =
   T.finish tl ~cycle:500;
   Alcotest.(check (list int)) "partial interval captured" [ 3 ] (T.series tl "n")
 
+(* The sampler ends runs on exact interval boundaries; finish must not
+   append a duplicate zero-length interval there. *)
+let test_timelapse_finish_boundary () =
+  let t = S.create () in
+  let c = S.counter t "n" in
+  let tl = T.create t ~interval:100 in
+  for cycle = 1 to 200 do
+    S.incr c;
+    T.tick tl ~cycle
+  done;
+  Alcotest.(check int) "two intervals" 2 (T.intervals tl);
+  T.finish tl ~cycle:200;
+  Alcotest.(check int) "finish at boundary is idempotent" 2 (T.intervals tl);
+  T.finish tl ~cycle:200;
+  Alcotest.(check int) "repeated finish still idempotent" 2 (T.intervals tl);
+  S.add c 5;
+  T.finish tl ~cycle:250;
+  Alcotest.(check int) "later finish appends" 3 (T.intervals tl);
+  Alcotest.(check (list int)) "deltas" [ 100; 100; 5 ] (T.series tl "n")
+
+(* The snapshot bracketing the sampling supervisor performs around each
+   measured interval: deltas across several paths, late registration,
+   and snapshot_get. *)
+let test_snapshot_bracketing () =
+  let t = S.create () in
+  let cyc = S.counter t "core.cycles" in
+  let ins = S.counter t "core.commit.insns" in
+  S.add cyc 1000;
+  S.add ins 900;
+  let s0 = S.snapshot t ~cycle:1000 in
+  S.add cyc 640;
+  S.add ins 1000;
+  (* a counter registered mid-interval (core rebuilt between phases
+     re-registers the same paths; brand-new paths count from zero) *)
+  let late = S.counter t "core.replays" in
+  S.add late 7;
+  let s1 = S.snapshot t ~cycle:1640 in
+  Alcotest.(check int) "cycle delta" 640 (s1.S.cycle - s0.S.cycle);
+  Alcotest.(check int) "cycles" 640 (S.delta s0 s1 "core.cycles");
+  Alcotest.(check int) "insns" 1000 (S.delta s0 s1 "core.commit.insns");
+  Alcotest.(check int) "late counter from zero" 7 (S.delta s0 s1 "core.replays");
+  Alcotest.(check (option int)) "snapshot_get present" (Some 1640)
+    (S.snapshot_get s1 "core.cycles");
+  Alcotest.(check (option int)) "snapshot_get absent in older" None
+    (S.snapshot_get s0 "core.replays");
+  (* re-registering an existing path returns the same counter, so the
+     delta keeps accumulating across rebuilds *)
+  let again = S.counter t "core.cycles" in
+  S.add again 10;
+  let s2 = S.snapshot t ~cycle:1650 in
+  Alcotest.(check int) "rebuild accumulates" 650 (S.delta s0 s2 "core.cycles")
+
 let test_timelapse_csv () =
   let t = S.create () in
   let a = S.counter t "a" in
@@ -88,5 +140,8 @@ let suite =
     Alcotest.test_case "snapshot delta" `Quick test_snapshot_delta;
     Alcotest.test_case "timelapse series" `Quick test_timelapse_series;
     Alcotest.test_case "timelapse finish" `Quick test_timelapse_finish;
+    Alcotest.test_case "timelapse finish at boundary" `Quick
+      test_timelapse_finish_boundary;
+    Alcotest.test_case "snapshot bracketing" `Quick test_snapshot_bracketing;
     Alcotest.test_case "timelapse csv" `Quick test_timelapse_csv;
   ]

@@ -229,6 +229,122 @@ let test_trace_csv_sink () =
             (contains ~sub:"cycle,kind,core" s);
           Alcotest.(check bool) "row" true (contains ~sub:"9,issue,0,0,3" s)))
 
+(* An SMT window must group each hardware thread's events into its own
+   contiguous tid band with labeled tracks. *)
+let test_trace_chrome_smt_tracks () =
+  with_trace (fun () ->
+      Trace.configure ();
+      Trace.set_cycle 3;
+      Trace.emit ~thread:0 ~uuid:1 Trace.Fetch;
+      Trace.emit ~thread:1 ~uuid:2 Trace.Fetch;
+      Trace.emit ~thread:1 ~uuid:2 ~tag:"smt" Trace.Commit;
+      with_temp_file (fun path ->
+          let oc = open_out path in
+          Trace.dump_chrome oc;
+          close_out oc;
+          let s = read_file path in
+          (* thread 0 keeps the plain stage track *)
+          Alcotest.(check bool) "t0 fetch track" true
+            (contains ~sub:"{\"name\":\"fetch\"}" s);
+          (* thread 1's tracks are labeled and live at tid 16+stage *)
+          Alcotest.(check bool) "t1 fetch track" true
+            (contains ~sub:"{\"name\":\"t1:fetch\"}" s);
+          Alcotest.(check bool) "t1 commit track" true
+            (contains ~sub:"{\"name\":\"t1:commit\"}" s);
+          Alcotest.(check bool) "t1 fetch tid" true
+            (contains ~sub:"\"tid\":16," s);
+          Alcotest.(check bool) "t1 commit tid" true
+            (contains ~sub:"\"tid\":27," s)))
+
+(* ---------- incremental streaming sinks ---------- *)
+
+let test_trace_stream_text_csv () =
+  with_trace (fun () ->
+      Trace.configure ();
+      with_temp_file (fun path ->
+          let oc = open_out path in
+          Trace.stream_to Trace.Stream_csv oc;
+          Alcotest.(check bool) "streaming on" true (Trace.streaming ());
+          Trace.set_cycle 4;
+          Trace.emit ~uuid:11 ~rip:0xbeefL Trace.Issue;
+          (* the event is on disk before the run ends *)
+          Trace.stream_stop ();
+          close_out oc;
+          let s = read_file path in
+          Alcotest.(check bool) "csv header" true
+            (contains ~sub:"cycle,kind,core" s);
+          Alcotest.(check bool) "csv row" true
+            (contains ~sub:"4,issue,0,0,11" s));
+      Alcotest.(check bool) "detached" false (Trace.streaming ()))
+
+let test_trace_stream_chrome () =
+  with_trace (fun () ->
+      Trace.configure ();
+      with_temp_file (fun path ->
+          let oc = open_out path in
+          Trace.stream_to Trace.Stream_chrome oc;
+          Trace.set_cycle 1;
+          Trace.emit ~thread:1 ~uuid:1 Trace.Fetch;
+          Trace.emit ~uuid:2 ~tag:"ooo" Trace.Commit;
+          (* disable () must finalize the stream so the JSON is valid *)
+          Trace.disable ();
+          close_out oc;
+          let s = read_file path in
+          Alcotest.(check bool) "has traceEvents" true
+            (contains ~sub:"\"traceEvents\"" s);
+          Alcotest.(check bool) "lazy track metadata" true
+            (contains ~sub:"{\"name\":\"t1:fetch\"}" s);
+          Alcotest.(check bool) "has commit event" true
+            (contains ~sub:"\"commit:ooo\"" s);
+          let bal open_c close_c =
+            String.fold_left
+              (fun acc c ->
+                if c = open_c then acc + 1
+                else if c = close_c then acc - 1
+                else acc)
+              0 s
+          in
+          Alcotest.(check int) "braces balance" 0 (bal '{' '}');
+          Alcotest.(check int) "brackets balance" 0 (bal '[' ']')))
+
+(* events accepted while streaming also land in the ring (stream is a
+   tee, not a diversion), and events rejected by filters reach neither *)
+let test_trace_stream_tee_and_filters () =
+  with_trace (fun () ->
+      Trace.configure ~classes:[ Trace.Retire ] ();
+      with_temp_file (fun path ->
+          let oc = open_out path in
+          Trace.stream_to Trace.Stream_text oc;
+          Trace.set_cycle 2;
+          Trace.emit Trace.Fetch;
+          (* filtered: pipe class *)
+          Trace.emit ~uuid:5 Trace.Commit;
+          Trace.stream_stop ();
+          close_out oc;
+          let s = read_file path in
+          Alcotest.(check bool) "commit streamed" true (contains ~sub:"commit" s);
+          Alcotest.(check bool) "fetch filtered" false (contains ~sub:"fetch" s);
+          Alcotest.(check int) "ring got the same event" 1 (Trace.length ())))
+
+(* ---------- the sampling trigger ---------- *)
+
+let test_trace_sample_trigger () =
+  with_trace (fun () ->
+      Trace.configure ~trigger:Trace.On_sample ();
+      Trace.set_cycle 1;
+      Trace.emit Trace.Fetch;
+      Alcotest.(check int) "closed before first interval" 0 (Trace.length ());
+      (* a mispredict must NOT open an On_sample trigger *)
+      Trace.emit Trace.Mispredict;
+      Alcotest.(check int) "mispredict does not open it" 0 (Trace.length ());
+      Trace.sample_boundary ();
+      Trace.emit Trace.Fetch;
+      Alcotest.(check int) "open after sample_boundary" 1 (Trace.length ());
+      (* latches open across the fast-forward gap to the next interval *)
+      Trace.set_cycle 1000;
+      Trace.emit Trace.Commit;
+      Alcotest.(check int) "stays open" 2 (Trace.length ()))
+
 (* ---------- end to end on the OOO core ---------- *)
 
 let reg = Regs.gpr_of_name
@@ -347,6 +463,13 @@ let suite =
       test_trace_clear_rearms_trigger;
     Alcotest.test_case "trace chrome sink" `Quick test_trace_chrome_sink;
     Alcotest.test_case "trace csv sink" `Quick test_trace_csv_sink;
+    Alcotest.test_case "trace chrome smt tracks" `Quick
+      test_trace_chrome_smt_tracks;
+    Alcotest.test_case "trace stream csv" `Quick test_trace_stream_text_csv;
+    Alcotest.test_case "trace stream chrome" `Quick test_trace_stream_chrome;
+    Alcotest.test_case "trace stream tee + filters" `Quick
+      test_trace_stream_tee_and_filters;
+    Alcotest.test_case "trace sample trigger" `Quick test_trace_sample_trigger;
     Alcotest.test_case "trace ooo end to end" `Quick test_trace_ooo_end_to_end;
     Alcotest.test_case "trace off captures nothing end to end" `Quick
       test_trace_zero_cost_shape;
