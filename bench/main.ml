@@ -798,6 +798,113 @@ let exp_sample () =
   close_out oc;
   Printf.printf "wrote BENCH_sample.json\n%!"
 
+(* Checkpoint-parallel sampling (--sample-jobs): a bare-machine loop
+   sampled three ways — the legacy serial supervisor, the parallel
+   supervisor pinned to one job, and the parallel supervisor fanned
+   across 4 worker domains. The jobs=1 and jobs=4 merged reports must
+   be bit-identical; the speedup budget only applies when the host
+   actually has the cores (recorded as host_cores in the JSON).
+   Writes BENCH_parallel_sample.json for the CI artifact. *)
+let exp_parallel_sample () =
+  banner "Checkpoint-parallel sampled simulation (--sample-jobs)";
+  (* bare machine (no minios kernel): the only checkpointable kind.
+     detail-heavy schedule (80k timed insns per 480k period) so the
+     replayed windows — the part the workers parallelize — dominate
+     wall clock *)
+  let make_domain () =
+    let g = G.create () in
+    G.li g G.rbp Machine.heap_base;
+    G.lii g G.rcx (800_000 * scale);
+    G.label g "top";
+    G.ld g G.rax ~base:G.rbp ();
+    G.addi g G.rax 1;
+    G.st g ~base:G.rbp G.rax ();
+    G.imuli g G.rbx 1103515245;
+    G.addi g G.rbx 12345;
+    G.dec g G.rcx;
+    G.jne g "top";
+    G.ins g Insn.Hlt;
+    let m = Machine.create (G.assemble g) in
+    Domain.create ~core:"ooo" ~config:Config.k8_ptlsim m.Machine.env
+      m.Machine.ctx
+  in
+  let schedule =
+    { Sample.ff_insns = 400_000; warmup_insns = 20_000; measure_insns = 60_000 }
+  in
+  let placement = Sample.Rand_offset 7 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let host_cores = Stdlib.Domain.recommended_domain_count () in
+  Printf.printf "host cores (recommended_domain_count): %d\n%!" host_cores;
+  let _r_serial, t_serial =
+    time (fun () ->
+        Sample.run ~placement ~max_cycles:2_000_000_000 ~schedule
+          (make_domain ()))
+  in
+  Printf.printf "serial supervisor:        %.2f s\n%!" t_serial;
+  let run_par jobs =
+    time (fun () ->
+        Sample.run_parallel ~placement ~max_cycles:2_000_000_000 ~jobs
+          ~schedule (make_domain ()))
+  in
+  let r1, t_j1 = run_par 1 in
+  Printf.printf "parallel, jobs=1:         %.2f s\n%!" t_j1;
+  let r4, t_j4 = run_par 4 in
+  Printf.printf "parallel, jobs=4:         %.2f s\n%!" t_j4;
+  Sample.report stdout r4;
+  let identical = r1 = r4 in
+  let speedup_vs_serial = t_serial /. t_j4 in
+  let speedup_vs_j1 = t_j1 /. t_j4 in
+  Printf.printf "jobs=4 vs serial: %.2fx   jobs=4 vs jobs=1: %.2fx\n"
+    speedup_vs_serial speedup_vs_j1;
+  Printf.printf "jobs=1 vs jobs=4 merged reports: %s\n%!"
+    (if identical then "BIT-IDENTICAL" else "DIFFER (bug!)");
+  (* the >=2x budget needs cores to spread across; on smaller hosts only
+     the equivalence half of the budget is enforceable *)
+  let speedup_applicable = host_cores >= 4 in
+  let pass =
+    identical && ((not speedup_applicable) || speedup_vs_serial >= 2.0)
+  in
+  Printf.printf "budget (bit-identical%s): %s\n%!"
+    (if speedup_applicable then " and >=2x vs serial"
+     else Printf.sprintf " only; >=2x waived, host has %d core(s)" host_cores)
+    (if pass then "PASS" else "FAIL");
+  let oc = open_out "BENCH_parallel_sample.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"parallel_sample\",\n\
+    \  \"scale\": %d,\n\
+    \  \"host_cores\": %d,\n\
+    \  \"placement\": \"%s\",\n\
+    \  \"schedule\": { \"ff_insns\": %d, \"warmup_insns\": %d, \
+     \"measure_insns\": %d },\n\
+    \  \"intervals\": %d,\n\
+    \  \"serial_seconds\": %.3f,\n\
+    \  \"jobs1_seconds\": %.3f,\n\
+    \  \"jobs4_seconds\": %.3f,\n\
+    \  \"speedup_jobs4_vs_serial\": %.2f,\n\
+    \  \"speedup_jobs4_vs_jobs1\": %.2f,\n\
+    \  \"reports_bit_identical\": %b,\n\
+    \  \"sampled\": { \"cpi\": %.6f, \"cpi_mean\": %.6f, \"cpi_ci95\": \
+     %.6f, \"est_cycles\": %.0f },\n\
+    \  \"budget\": { \"min_speedup\": 2.0, \"speedup_applicable\": %b },\n\
+    \  \"pass\": %b\n\
+     }\n"
+    scale host_cores
+    (Sample.placement_to_string placement)
+    schedule.Sample.ff_insns schedule.Sample.warmup_insns
+    schedule.Sample.measure_insns
+    (List.length r4.Sample.intervals)
+    t_serial t_j1 t_j4 speedup_vs_serial speedup_vs_j1 identical
+    r4.Sample.cpi r4.Sample.cpi_mean r4.Sample.cpi_ci95 r4.Sample.est_cycles
+    speedup_applicable pass;
+  close_out oc;
+  Printf.printf "wrote BENCH_parallel_sample.json\n%!";
+  if not identical then exit 1
+
 (* ---------------------------------------------------------------- *)
 
 let experiments =
@@ -818,6 +925,7 @@ let experiments =
     ("cosim", exp_cosim);
     ("sampling", exp_sampling);
     ("sample", exp_sample);
+    ("parallel-sample", exp_parallel_sample);
     ("fuzz", exp_fuzz);
   ]
 

@@ -78,7 +78,13 @@ let setup_trace o =
         | None -> failwith ("unknown trace stream format in " ^ o.t_stream)
       in
       let oc = if path = "-" then stdout else open_out path in
-      Trace.stream_to fmt oc;
+      (* the sink's finalizer owns channel teardown so every exit path —
+         including the Sim_failure unwind — leaves a complete file *)
+      Trace.stream_to
+        ~on_stop:(fun () ->
+          if path <> "-" then close_out oc else flush oc;
+          stream_channel := None)
+        fmt oc;
       stream_channel := Some (path, oc)
     end
   end
@@ -96,10 +102,8 @@ let write_sink spec =
 let finish_trace o stats =
   if !Trace.on then begin
     (match !stream_channel with
-    | Some (path, oc) ->
-      Trace.stream_stop ();
-      if path <> "-" then close_out oc else flush oc;
-      stream_channel := None;
+    | Some (path, _) ->
+      Trace.stream_stop () (* finalizes and closes via on_stop *);
       Printf.printf "trace: streamed %d events to %s\n" (Trace.captured ())
         path
     | None -> ());
@@ -262,6 +266,13 @@ let install_guard g d =
 let catch_sim_failure f =
   try f ()
   with Sim_failure.Sim_failure fail ->
+    (* finalize the incremental trace sink first: the abnormal exit must
+       not leave a truncated stream (a Chrome JSON missing its footer) *)
+    (match !stream_channel with
+    | Some (path, _) ->
+      Trace.stream_stop ();
+      Printf.eprintf "trace: stream to %s finalized after failure\n" path
+    | None -> ());
     prerr_string (Sim_failure.render fail);
     Printf.eprintf
       "optlsim: simulator self-check failed (%s); exiting %d\n"
@@ -318,13 +329,17 @@ type sample_opts = {
   s_warmup : int;
   s_measure : int;
   s_roi : bool;  (* gate on the guest's -startsample/-stopsample region *)
+  s_jobs : int option;  (* checkpoint-parallel workers; None = serial *)
+  s_offset : string;  (* interval placement: fixed | rand:SEED | stratified *)
 }
 
 let sample_requested s =
   s.s_on || s.s_period <> None || s.s_ff <> None || s.s_roi
+  || s.s_jobs <> None || s.s_offset <> ""
 
 (* Validate the --sample flag combination against the rest of the
-   command line and derive the schedule; None = not sampling. *)
+   command line and derive the schedule + interval placement;
+   None = not sampling. *)
 let sample_schedule sample_opts guard_opts ~core ~commands =
   if not (sample_requested sample_opts) then None
   else begin
@@ -335,6 +350,13 @@ let sample_schedule sample_opts guard_opts ~core ~commands =
          guest -startsample/-stopsample ptlcalls to scope it)";
       exit 1
     end;
+    let placement =
+      match Sample.parse_placement sample_opts.s_offset with
+      | Ok p -> p
+      | Error msg ->
+        prerr_endline ("optlsim: " ^ msg);
+        exit 1
+    in
     match
       Sample.check_flags ~core ~ff:sample_opts.s_ff
         ~period:sample_opts.s_period ~warmup:sample_opts.s_warmup
@@ -344,15 +366,31 @@ let sample_schedule sample_opts guard_opts ~core ~commands =
     | Error msg ->
       prerr_endline ("optlsim: " ^ msg);
       exit 1
-    | Ok schedule -> Some schedule
+    | Ok schedule -> Some (schedule, placement)
   end
 
 (* Run the domain under the sampling supervisor and print its report
-   (the sampled replacement for Domain.submit + Domain.run). *)
-let run_sampled sample_opts ~schedule ~max_cycles d =
+   (the sampled replacement for Domain.submit + Domain.run). With
+   --sample-jobs the checkpoint-parallel engine replaces the serial
+   supervisor (even at 1 job, so job counts are comparable). *)
+let run_sampled sample_opts ~tracing ~schedule ~placement ~max_cycles d =
   catch_sim_failure (fun () ->
       let r =
-        Sample.run ~roi:sample_opts.s_roi ~max_cycles ~schedule d
+        match sample_opts.s_jobs with
+        | None ->
+          Sample.run ~roi:sample_opts.s_roi ~placement ~max_cycles ~schedule d
+        | Some jobs ->
+          (match
+             Sample.check_jobs ~jobs
+               ~kernel:(d.Domain.kernel <> None)
+               ~tracing ()
+           with
+          | Error msg ->
+            prerr_endline ("optlsim: " ^ msg);
+            exit 1
+          | Ok () -> ());
+          Sample.run_parallel ~roi:sample_opts.s_roi ~placement ~max_cycles
+            ~jobs ~schedule d
       in
       Sample.report stdout r)
 
@@ -410,10 +448,35 @@ let sample_term =
              -startsample/-stopsample ptlcall region is open (fast-forward \
              and warming continue outside it). Implies $(b,--sample).")
   in
-  let mk s_on s_period s_ff s_warmup s_measure s_roi =
-    { s_on; s_period; s_ff; s_warmup; s_measure; s_roi }
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sample-jobs" ] ~docv:"N"
+          ~doc:
+            "Checkpoint-parallel sampling: one native pass captures a full \
+             checkpoint (architectural state + warmed caches, TLBs, \
+             predictor) at each measured window, then N worker domains \
+             replay the intervals on private state. The merged report is \
+             bit-identical for any N. Needs a bare-machine workload \
+             ($(b,compute --bare)). Implies $(b,--sample).")
   in
-  Term.(const mk $ flag_on $ period $ ff $ warmup $ measure $ roi)
+  let offset =
+    Arg.(
+      value & opt string ""
+      & info [ "sample-offset" ] ~docv:"SPEC"
+          ~doc:
+            "Where each period's measured window sits: fixed (default, \
+             window closes the period), rand:SEED (uniform random offset \
+             per period, breaking phase aliasing), or stratified \
+             (deterministic sweep across the period). Implies \
+             $(b,--sample).")
+  in
+  let mk s_on s_period s_ff s_warmup s_measure s_roi s_jobs s_offset =
+    { s_on; s_period; s_ff; s_warmup; s_measure; s_roi; s_jobs; s_offset }
+  in
+  Term.(
+    const mk $ flag_on $ period $ ff $ warmup $ measure $ roi $ jobs $ offset)
 
 let machine_of_name = function
   | "k8" | "k8-ptlsim" -> Config.k8_ptlsim
@@ -451,7 +514,7 @@ let print_summary d k =
 
 let run_rsync trace_opts guard_opts sample_opts core machine files commands
     max_mcycles =
-  let schedule = sample_schedule sample_opts guard_opts ~core ~commands in
+  let sampled = sample_schedule sample_opts guard_opts ~core ~commands in
   setup_trace trace_opts;
   let fileset = { Fileset.default with Fileset.nfiles = files } in
   let d, k =
@@ -466,8 +529,10 @@ let run_rsync trace_opts guard_opts sample_opts core machine files commands
   in
   install_guard guard_opts d;
   let max_cycles = max_mcycles * 1_000_000 in
-  (match schedule with
-  | Some schedule -> run_sampled sample_opts ~schedule ~max_cycles d
+  (match sampled with
+  | Some (schedule, placement) ->
+    run_sampled sample_opts ~tracing:(trace_requested trace_opts) ~schedule
+      ~placement ~max_cycles d
   | None ->
     Domain.submit d commands;
     catch_sim_failure (fun () -> ignore (Domain.run ~max_cycles d)));
@@ -476,13 +541,13 @@ let run_rsync trace_opts guard_opts sample_opts core machine files commands
   finish_trace trace_opts d.Domain.env.Env.stats
 
 let run_compute trace_opts guard_opts sample_opts core machine commands
-    max_mcycles iters =
-  let schedule = sample_schedule sample_opts guard_opts ~core ~commands in
+    max_mcycles iters bare =
+  let sampled = sample_schedule sample_opts guard_opts ~core ~commands in
   setup_trace trace_opts;
   let g = Gasm.create () in
   Gasm.jmp g "main";
   Gasm.label g "main";
-  Gasm.li g Gasm.rbp Abi.user_heap_base;
+  Gasm.li g Gasm.rbp (if bare then Machine.heap_base else Abi.user_heap_base);
   Gasm.lii g Gasm.rcx iters;
   Gasm.label g "top";
   Gasm.ld g Gasm.rax ~base:Gasm.rbp ();
@@ -492,23 +557,41 @@ let run_compute trace_opts guard_opts sample_opts core machine commands
   Gasm.addi g Gasm.rbx 12345;
   Gasm.dec g Gasm.rcx;
   Gasm.jne g "top";
-  Gasm.sys_marker g 999;
-  Gasm.sys_exit g 0;
-  let env = Env.create () in
-  let ctx = Context.create ~vcpu_id:0 in
-  let k = Kernel.create env ctx in
-  Kernel.register_program k ~name:"init" (Gasm.assemble g);
-  Kernel.boot k;
-  let d = Domain.create ~kernel:k ~core ~config:(machine_of_name machine) env ctx in
+  if bare then
+    (* no kernel to receive syscalls: halt the VCPU to end the run *)
+    Gasm.ins g Insn.Hlt
+  else begin
+    Gasm.sys_marker g 999;
+    Gasm.sys_exit g 0
+  end;
+  let d, k =
+    if bare then begin
+      let m = Machine.create (Gasm.assemble g) in
+      ( Domain.create ~core ~config:(machine_of_name machine) m.Machine.env
+          m.Machine.ctx,
+        None )
+    end
+    else begin
+      let env = Env.create () in
+      let ctx = Context.create ~vcpu_id:0 in
+      let k = Kernel.create env ctx in
+      Kernel.register_program k ~name:"init" (Gasm.assemble g);
+      Kernel.boot k;
+      ( Domain.create ~kernel:k ~core ~config:(machine_of_name machine) env ctx,
+        Some k )
+    end
+  in
   install_guard guard_opts d;
   let max_cycles = max_mcycles * 1_000_000 in
-  (match schedule with
-  | Some schedule -> run_sampled sample_opts ~schedule ~max_cycles d
+  (match sampled with
+  | Some (schedule, placement) ->
+    run_sampled sample_opts ~tracing:(trace_requested trace_opts) ~schedule
+      ~placement ~max_cycles d
   | None ->
     Domain.submit d commands;
     catch_sim_failure (fun () -> ignore (Domain.run ~max_cycles d)));
-  print_summary d (Some k);
-  finish_trace trace_opts env.Env.stats
+  print_summary d k;
+  finish_trace trace_opts d.Domain.env.Env.stats
 
 (* ---------- differential fuzzing (optlsim fuzz) ---------- *)
 
@@ -604,6 +687,16 @@ let iters_arg =
     & opt int 500_000
     & info [ "iters" ] ~doc:"Compute workload loop iterations.")
 
+let bare_arg =
+  Arg.(
+    value & flag
+    & info [ "bare" ]
+        ~doc:
+          "Run the compute workload on a bare machine (no minios kernel): \
+           the loop ends in hlt instead of a syscall. Required for \
+           $(b,--sample-jobs) — host-side kernel state is not \
+           checkpointable.")
+
 let fuzz_machine_arg =
   Arg.(
     value & opt string "tiny"
@@ -688,7 +781,7 @@ let compute_cmd =
   Cmd.v (Cmd.info "compute" ~doc:"Run a synthetic compute workload")
     Term.(
       const run_compute $ trace_term $ guard_term $ sample_term $ core_arg
-      $ machine_arg $ commands_arg $ max_mcycles_arg $ iters_arg)
+      $ machine_arg $ commands_arg $ max_mcycles_arg $ iters_arg $ bare_arg)
 
 let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc:"List registered core models")

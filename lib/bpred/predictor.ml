@@ -289,6 +289,94 @@ let ras_restore t ck =
   t.ras_top <- ck.ck_top;
   t.ras.(ck.ck_top mod Array.length t.ras) <- ck.ck_value
 
+(* ---- checkpointing (sampled-simulation parallel workers) ---- *)
+
+(** Deep copy of every predictor table: direction counters, hybrid
+    chooser and bimodal component, global history, the whole BTB
+    (tags/targets/recency/tick) and the RAS with its cursor. Statistics
+    stay with the owning tree. *)
+type snapshot = {
+  sn_counters : int array;
+  sn_chooser : int array;
+  sn_bimodal : int array;
+  sn_history : int;
+  sn_btb_tags : int64 array;
+  sn_btb_targets : int64 array;
+  sn_btb_lru : int array;
+  sn_btb_tick : int;
+  sn_ras : int64 array;
+  sn_ras_top : int;
+}
+
+let snapshot t =
+  {
+    sn_counters = Array.copy t.counters;
+    sn_chooser = Array.copy t.chooser;
+    sn_bimodal = Array.copy t.bimodal_tbl;
+    sn_history = t.history;
+    sn_btb_tags = Array.copy t.btb_tags;
+    sn_btb_targets = Array.copy t.btb_targets;
+    sn_btb_lru = Array.copy t.btb_lru;
+    sn_btb_tick = t.btb_tick;
+    sn_ras = Array.copy t.ras;
+    sn_ras_top = t.ras_top;
+  }
+
+let restore t ~snapshot =
+  if Array.length snapshot.sn_counters <> Array.length t.counters then
+    invalid_arg "Predictor.restore: geometry mismatch";
+  Array.blit snapshot.sn_counters 0 t.counters 0 (Array.length t.counters);
+  Array.blit snapshot.sn_chooser 0 t.chooser 0 (Array.length t.chooser);
+  Array.blit snapshot.sn_bimodal 0 t.bimodal_tbl 0 (Array.length t.bimodal_tbl);
+  t.history <- snapshot.sn_history;
+  Array.blit snapshot.sn_btb_tags 0 t.btb_tags 0 (Array.length t.btb_tags);
+  Array.blit snapshot.sn_btb_targets 0 t.btb_targets 0
+    (Array.length t.btb_targets);
+  Array.blit snapshot.sn_btb_lru 0 t.btb_lru 0 (Array.length t.btb_lru);
+  t.btb_tick <- snapshot.sn_btb_tick;
+  Array.blit snapshot.sn_ras 0 t.ras 0 (Array.length t.ras);
+  t.ras_top <- snapshot.sn_ras_top
+
+let diff_array note name live snap to_str =
+  if Array.length live <> Array.length snap then
+    note (Printf.sprintf "%s: length %d vs %d" name (Array.length live)
+            (Array.length snap))
+  else
+    Array.iteri
+      (fun i v ->
+        if v <> snap.(i) then
+          note
+            (Printf.sprintf "%s[%d]: %s vs %s" name i (to_str v)
+               (to_str snap.(i))))
+      live
+
+(** Compare the live predictor state against a snapshot; returns one line
+    per mismatch (empty = exact). *)
+let diff t snapshot =
+  let out = ref [] in
+  let note s = out := s :: !out in
+  let istr = string_of_int and lstr = Printf.sprintf "%#Lx" in
+  diff_array note "bpred.counters" t.counters snapshot.sn_counters istr;
+  diff_array note "bpred.chooser" t.chooser snapshot.sn_chooser istr;
+  diff_array note "bpred.bimodal" t.bimodal_tbl snapshot.sn_bimodal istr;
+  if t.history <> snapshot.sn_history then
+    note
+      (Printf.sprintf "bpred.history: %#x vs %#x" t.history
+         snapshot.sn_history);
+  diff_array note "bpred.btb_tags" t.btb_tags snapshot.sn_btb_tags lstr;
+  diff_array note "bpred.btb_targets" t.btb_targets snapshot.sn_btb_targets
+    lstr;
+  diff_array note "bpred.btb_lru" t.btb_lru snapshot.sn_btb_lru istr;
+  if t.btb_tick <> snapshot.sn_btb_tick then
+    note
+      (Printf.sprintf "bpred.btb_tick: %d vs %d" t.btb_tick
+         snapshot.sn_btb_tick);
+  diff_array note "bpred.ras" t.ras snapshot.sn_ras lstr;
+  if t.ras_top <> snapshot.sn_ras_top then
+    note
+      (Printf.sprintf "bpred.ras_top: %d vs %d" t.ras_top snapshot.sn_ras_top);
+  List.rev !out
+
 (* accessors for reports *)
 let predicts t = Stats.value t.s_predicts
 let mispredicts t = Stats.value t.s_mispredicts

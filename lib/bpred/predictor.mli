@@ -59,3 +59,13 @@ val ras_restore : t -> ras_checkpoint -> unit
 
 val predicts : t -> int
 val mispredicts : t -> int
+
+(** Checkpoint of every table: direction counters, chooser, bimodal,
+    global history, BTB (tags/targets/recency/tick) and the RAS with its
+    cursor. Restores are in place; [diff] lists every mismatch between
+    the live state and a snapshot (empty = exact). *)
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot:snapshot -> unit
+val diff : t -> snapshot -> string list

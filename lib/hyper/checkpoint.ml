@@ -3,16 +3,20 @@
     the virtual clock. This is the foundation of the interrupt/DMA
     trace-and-inject methodology of §4.2 ("a checkpoint of the target
     machine's physical memory and register state is captured ... the
-    simulator then starts execution at the checkpoint").
+    simulator then starts execution at the checkpoint"), and of
+    checkpoint-parallel sampled simulation (lib/sample), where every
+    measured interval is replayed from one of these by a worker domain.
 
     Full-system domains with a live minios instance carry host-side
     kernel bookkeeping (continuations) that is deliberately not
-    checkpointable; the trace/inject experiments run on bare-machine
-    workloads, like the paper's device-level replay. *)
+    checkpointable; the trace/inject experiments and parallel sampling
+    run on bare-machine workloads, like the paper's device-level
+    replay. *)
 
 module Env = Ptl_arch.Env
 module Context = Ptl_arch.Context
 module Pm = Ptl_mem.Phys_mem
+module Uarch = Ptl_ooo.Uarch
 
 type t = {
   mem_snapshot : Pm.t;
@@ -38,3 +42,47 @@ let restore t (env : Env.t) (ctx : Context.t) =
   Context.restore ctx ~snapshot:t.ctx_snapshot;
   env.Env.cycle <- t.cycle;
   env.Env.tsc_offset <- t.tsc_offset
+
+(** Every difference between the live machine state and the checkpoint:
+    architectural registers/rip/flags/mode (via {!Context.diff}), dirtied
+    or (de)allocated physical pages, and the virtual clock. Empty =
+    exact. ([Context.restore] bumps the TLB generation on purpose;
+    generations are shoot-down bookkeeping, not architectural state, so
+    they are not compared.) *)
+let diff t (env : Env.t) (ctx : Context.t) =
+  Context.diff ctx t.ctx_snapshot
+  @ List.map
+      (fun mfn -> Printf.sprintf "mem: frame mfn %#x differs" mfn)
+      (Pm.diff env.Env.mem t.mem_snapshot)
+  @ (if env.Env.cycle <> t.cycle then
+       [ Printf.sprintf "cycle: %d vs %d" env.Env.cycle t.cycle ]
+     else [])
+  @
+  if env.Env.tsc_offset <> t.tsc_offset then
+    [
+      Printf.sprintf "tsc_offset: %Ld vs %Ld" env.Env.tsc_offset t.tsc_offset;
+    ]
+  else []
+
+(* ---- full checkpoints: machine + warmed microarchitecture ---- *)
+
+(** A machine checkpoint extended with the warmed {!Ptl_ooo.Uarch}
+    contents (cache tags/LRU + replacement-RNG cursors, TLBs, predictor
+    tables) — what a parallel sampling worker needs to reproduce a
+    measured interval exactly. *)
+type full = { fk_machine : t; fk_uarch : Uarch.snapshot }
+
+let capture_full ~(uarch : Uarch.t) env ctx =
+  { fk_machine = capture env ctx; fk_uarch = Uarch.snapshot uarch }
+
+(** Restore into a (possibly freshly built) machine and a [Uarch.t] of
+    the same configuration. *)
+let restore_full f ~uarch env ctx =
+  restore f.fk_machine env ctx;
+  Uarch.restore uarch ~snapshot:f.fk_uarch
+
+(** Every difference between the live machine + microarchitectural state
+    and the full checkpoint, each line naming the subsystem. Empty =
+    exact round trip. *)
+let diff_full f ~uarch env ctx =
+  diff f.fk_machine env ctx @ Uarch.diff uarch f.fk_uarch

@@ -1,9 +1,31 @@
 (** Domain checkpointing (paper §4.2): capture and restore physical
     memory, VCPU context and the virtual clock of a bare-machine domain.
     Restores are in place, so existing references remain valid — like
-    restarting a domain from a Xen checkpoint. *)
+    restarting a domain from a Xen checkpoint. [full] checkpoints extend
+    this with the warmed {!Ptl_ooo.Uarch} contents for
+    checkpoint-parallel sampled simulation (lib/sample). *)
 
 type t
 
 val capture : Ptl_arch.Env.t -> Ptl_arch.Context.t -> t
 val restore : t -> Ptl_arch.Env.t -> Ptl_arch.Context.t -> unit
+
+(** Every difference between the live machine state and the checkpoint
+    (architectural context, dirtied pages, virtual clock); empty =
+    exact. TLB generations are shoot-down bookkeeping and are not
+    compared. *)
+val diff : t -> Ptl_arch.Env.t -> Ptl_arch.Context.t -> string list
+
+(** Machine checkpoint + warmed microarchitecture (cache tags/LRU with
+    replacement-RNG cursors, TLBs, predictor tables). *)
+type full = { fk_machine : t; fk_uarch : Ptl_ooo.Uarch.snapshot }
+
+val capture_full :
+  uarch:Ptl_ooo.Uarch.t -> Ptl_arch.Env.t -> Ptl_arch.Context.t -> full
+
+val restore_full :
+  full -> uarch:Ptl_ooo.Uarch.t -> Ptl_arch.Env.t -> Ptl_arch.Context.t -> unit
+
+val diff_full :
+  full -> uarch:Ptl_ooo.Uarch.t -> Ptl_arch.Env.t -> Ptl_arch.Context.t ->
+  string list

@@ -283,6 +283,95 @@ let debug_duplicate_tag t =
     !done_
   end
 
+(* ---------- checkpointing (sampled-simulation parallel workers) ---------- *)
+
+(** Deep copy of the tag array, the replacement tick and the replacement
+    RNG cursor — everything a restored cache needs to replay an access
+    stream identically. Statistics counters are deliberately excluded:
+    they belong to the owning {!Ptl_stats.Statstree}. *)
+type snapshot = {
+  sn_lines : (int * bool * int) array array;  (* (tag, dirty, stamp) *)
+  sn_tick : int;
+  sn_rng : Rng.snapshot;
+}
+
+let snapshot t =
+  {
+    sn_lines =
+      Array.map (Array.map (fun l -> (l.tag, l.dirty, l.stamp))) t.lines;
+    sn_tick = t.tick;
+    sn_rng = Rng.snapshot t.rng;
+  }
+
+let restore t ~snapshot =
+  if Array.length snapshot.sn_lines <> t.sets then
+    invalid_arg "Cache.restore: geometry mismatch";
+  Array.iteri
+    (fun s ways ->
+      Array.iteri
+        (fun w (tag, dirty, stamp) ->
+          let l = t.lines.(s).(w) in
+          l.tag <- tag;
+          l.dirty <- dirty;
+          l.stamp <- stamp)
+        ways)
+    snapshot.sn_lines;
+  t.tick <- snapshot.sn_tick;
+  Rng.restore t.rng ~snapshot:snapshot.sn_rng
+
+(** Compare the live cache state against a snapshot; returns one line per
+    mismatch (tag/dirty/LRU-stamp per way, plus the tick and RNG
+    cursors). Empty = exact match. The checkpoint round-trip harness
+    leans on this to prove save/restore is lossless. *)
+let diff t snapshot =
+  let out = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+  if Array.length snapshot.sn_lines <> t.sets then
+    note "%s: snapshot geometry mismatch" t.config.name
+  else begin
+    Array.iteri
+      (fun s ways ->
+        Array.iteri
+          (fun w (tag, dirty, stamp) ->
+            let l = t.lines.(s).(w) in
+            if l.tag <> tag then
+              note "%s set %d way %d: tag %#x vs %#x" t.config.name s w l.tag
+                tag
+            else begin
+              if l.dirty <> dirty then
+                note "%s set %d way %d: dirty %b vs %b" t.config.name s w
+                  l.dirty dirty;
+              if l.stamp <> stamp then
+                note "%s set %d way %d: lru stamp %d vs %d" t.config.name s w
+                  l.stamp stamp
+            end)
+          ways)
+      snapshot.sn_lines;
+    if t.tick <> snapshot.sn_tick then
+      note "%s: tick %d vs %d" t.config.name t.tick snapshot.sn_tick;
+    if not (Rng.equal_snapshot t.rng snapshot.sn_rng) then
+      note "%s: replacement rng state differs" t.config.name
+  end;
+  List.rev !out
+
+(** Planted corruption for checkpoint round-trip self-tests: bump the LRU
+    stamp of the first valid line (returns false when the cache is
+    empty). *)
+let debug_touch_lru t =
+  let done_ = ref false in
+  Array.iter
+    (fun ways ->
+      Array.iter
+        (fun l ->
+          if (not !done_) && l.tag >= 0 then begin
+            t.tick <- t.tick + 1;
+            l.stamp <- t.tick;
+            done_ := true
+          end)
+        ways)
+    t.lines;
+  !done_
+
 (** Configured hit latency (cycles). *)
 let latency t = t.config.latency
 

@@ -75,3 +75,17 @@ val check : t -> string option
     the first valid line into another way of its set. Returns false when
     no set holds a valid line with a free second way. *)
 val debug_duplicate_tag : t -> bool
+
+(** Checkpoint of the tag array, replacement tick and replacement-RNG
+    cursor (statistics stay with the owning tree). Restores are in
+    place; [diff] lists every mismatch between the live state and a
+    snapshot (empty = exact), for the checkpoint round-trip harness. *)
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot:snapshot -> unit
+val diff : t -> snapshot -> string list
+
+(** Planted corruption for round-trip self-tests: refresh the LRU stamp
+    of the first valid line. False when the cache is empty. *)
+val debug_touch_lru : t -> bool

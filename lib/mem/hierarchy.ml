@@ -210,6 +210,62 @@ let invalidate_line t paddr =
   ignore (Cache.invalidate t.l2 paddr);
   Option.iter (fun l3 -> ignore (Cache.invalidate l3 paddr)) t.l3
 
+(* ---------- checkpointing (sampled-simulation parallel workers) ---------- *)
+
+(** Checkpoint of every cache level plus the MSHR table. The coherence
+    callbacks ([remote_penalty] / [remote_write_hit]) are installation
+    state, not contents, and stay with the live hierarchy. *)
+type snapshot = {
+  sn_l1d : Cache.snapshot;
+  sn_l1i : Cache.snapshot;
+  sn_l2 : Cache.snapshot;
+  sn_l3 : Cache.snapshot option;
+  sn_mshr : (int * int) list;  (* (line, ready-cycle), sorted by line *)
+}
+
+let snapshot t =
+  {
+    sn_l1d = Cache.snapshot t.l1d;
+    sn_l1i = Cache.snapshot t.l1i;
+    sn_l2 = Cache.snapshot t.l2;
+    sn_l3 = Option.map Cache.snapshot t.l3;
+    sn_mshr =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.mshr []);
+  }
+
+let restore t ~snapshot =
+  Cache.restore t.l1d ~snapshot:snapshot.sn_l1d;
+  Cache.restore t.l1i ~snapshot:snapshot.sn_l1i;
+  Cache.restore t.l2 ~snapshot:snapshot.sn_l2;
+  (match (t.l3, snapshot.sn_l3) with
+  | Some l3, Some s -> Cache.restore l3 ~snapshot:s
+  | None, None -> ()
+  | _ -> invalid_arg "Hierarchy.restore: l3 presence mismatch");
+  Hashtbl.reset t.mshr;
+  List.iter (fun (k, v) -> Hashtbl.replace t.mshr k v) snapshot.sn_mshr
+
+(** Compare the live hierarchy against a snapshot; returns one line per
+    mismatch across every cache level and the MSHR table. *)
+let diff t snapshot =
+  let mshr_live =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.mshr [])
+  in
+  Cache.diff t.l1d snapshot.sn_l1d
+  @ Cache.diff t.l1i snapshot.sn_l1i
+  @ Cache.diff t.l2 snapshot.sn_l2
+  @ (match (t.l3, snapshot.sn_l3) with
+    | Some l3, Some s -> Cache.diff l3 s
+    | None, None -> []
+    | _ -> [ "L3: presence mismatch" ])
+  @
+  if mshr_live <> snapshot.sn_mshr then
+    [
+      Printf.sprintf "mshr: %d live entries vs %d in snapshot"
+        (List.length mshr_live)
+        (List.length snapshot.sn_mshr);
+    ]
+  else []
+
 (* ---------- guard inspection hooks ---------- *)
 
 let mshr_occupancy t = Hashtbl.length t.mshr

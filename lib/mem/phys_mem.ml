@@ -45,6 +45,24 @@ let alloc_page t =
 
 let allocated_pages t = t.allocated
 
+(** MFNs whose contents differ between two memories, including frames
+    present in only one of them, sorted ascending. Empty = identical
+    contents (a frame of zeroes and an absent frame count as different:
+    allocation state is part of the machine state). *)
+let diff a b =
+  let differing = ref [] in
+  Hashtbl.iter
+    (fun mfn fa ->
+      match Hashtbl.find_opt b.frames mfn with
+      | Some fb -> if not (Bytes.equal fa fb) then differing := mfn :: !differing
+      | None -> differing := mfn :: !differing)
+    a.frames;
+  Hashtbl.iter
+    (fun mfn _ ->
+      if not (Hashtbl.mem a.frames mfn) then differing := mfn :: !differing)
+    b.frames;
+  List.sort_uniq compare !differing
+
 let read8 t paddr =
   Char.code (Bytes.get (frame t (mfn_of_paddr paddr)) (offset_of_paddr paddr))
 

@@ -48,3 +48,8 @@ val copy : t -> t
 
 (** Restore in place from a snapshot (existing references stay valid). *)
 val restore : t -> snapshot:t -> unit
+
+(** MFNs whose contents (or allocation state) differ between two
+    memories, sorted ascending; empty = identical. The checkpoint
+    round-trip harness uses this to detect dirtied pages. *)
+val diff : t -> t -> int list

@@ -196,6 +196,99 @@ let flush_page t vaddr =
   level_flush_page t.l1 vpn;
   Option.iter (fun l2 -> level_flush_page l2 vpn) t.l2
 
+(* ---------- checkpointing (sampled-simulation parallel workers) ---------- *)
+
+type level_snapshot = {
+  ls_tags : int64 array array;
+  ls_data : entry option array array;
+  ls_lru : int array array;
+  ls_tick : int;
+}
+
+(** Deep copy of every level's tag/entry/LRU arrays and recency tick.
+    Entries are immutable records, so sharing them is safe. *)
+type snapshot = {
+  sn_l1 : level_snapshot;
+  sn_l2 : level_snapshot option;
+  sn_pde : level_snapshot option;
+}
+
+let level_snapshot lvl =
+  {
+    ls_tags = Array.map Array.copy lvl.tags;
+    ls_data = Array.map Array.copy lvl.data;
+    ls_lru = Array.map Array.copy lvl.lru;
+    ls_tick = lvl.tick;
+  }
+
+let level_restore lvl s =
+  if Array.length s.ls_tags <> lvl.sets then
+    invalid_arg "Tlb.restore: geometry mismatch";
+  for i = 0 to lvl.sets - 1 do
+    Array.blit s.ls_tags.(i) 0 lvl.tags.(i) 0 lvl.ways;
+    Array.blit s.ls_data.(i) 0 lvl.data.(i) 0 lvl.ways;
+    Array.blit s.ls_lru.(i) 0 lvl.lru.(i) 0 lvl.ways
+  done;
+  lvl.tick <- s.ls_tick
+
+let snapshot t =
+  {
+    sn_l1 = level_snapshot t.l1;
+    sn_l2 = Option.map level_snapshot t.l2;
+    sn_pde = Option.map level_snapshot t.pde;
+  }
+
+let restore t ~snapshot =
+  level_restore t.l1 snapshot.sn_l1;
+  (match (t.l2, snapshot.sn_l2) with
+  | Some lvl, Some s -> level_restore lvl s
+  | None, None -> ()
+  | _ -> invalid_arg "Tlb.restore: l2 presence mismatch");
+  match (t.pde, snapshot.sn_pde) with
+  | Some lvl, Some s -> level_restore lvl s
+  | None, None -> ()
+  | _ -> invalid_arg "Tlb.restore: pde presence mismatch"
+
+let level_diff name lvl s out =
+  let note fmt = Printf.ksprintf (fun str -> out := str :: !out) fmt in
+  if Array.length s.ls_tags <> lvl.sets then
+    note "%s: snapshot geometry mismatch" name
+  else begin
+    for set = 0 to lvl.sets - 1 do
+      for w = 0 to lvl.ways - 1 do
+        if lvl.tags.(set).(w) <> s.ls_tags.(set).(w) then
+          note "%s set %d way %d: vpn %#Lx vs %#Lx" name set w
+            lvl.tags.(set).(w)
+            s.ls_tags.(set).(w)
+        else begin
+          if lvl.data.(set).(w) <> s.ls_data.(set).(w) then
+            note "%s set %d way %d: entry differs" name set w;
+          if lvl.lru.(set).(w) <> s.ls_lru.(set).(w) then
+            note "%s set %d way %d: lru %d vs %d" name set w
+              lvl.lru.(set).(w)
+              s.ls_lru.(set).(w)
+        end
+      done
+    done;
+    if lvl.tick <> s.ls_tick then
+      note "%s: tick %d vs %d" name lvl.tick s.ls_tick
+  end
+
+(** Compare the live TLB state against a snapshot (tags, entries, LRU
+    recency, ticks, every level); returns one line per mismatch. *)
+let diff t snapshot =
+  let out = ref [] in
+  level_diff (t.name ^ ".l1") t.l1 snapshot.sn_l1 out;
+  (match (t.l2, snapshot.sn_l2) with
+  | Some lvl, Some s -> level_diff (t.name ^ ".l2") lvl s out
+  | None, None -> ()
+  | _ -> out := (t.name ^ ".l2: presence mismatch") :: !out);
+  (match (t.pde, snapshot.sn_pde) with
+  | Some lvl, Some s -> level_diff (t.name ^ ".pde") lvl s out
+  | None, None -> ()
+  | _ -> out := (t.name ^ ".pde: presence mismatch") :: !out);
+  List.rev !out
+
 (* ---------- guard inspection hooks ---------- *)
 
 let level_check name lvl =

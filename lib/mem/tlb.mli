@@ -58,3 +58,12 @@ val check : t -> string option
 (** Guard hook: all valid L1/L2 translations as (vpn, entry) pairs, the
     vpn taken from the tag arrays. *)
 val entries : t -> (int64 * entry) list
+
+(** Checkpoint of every level's tags, entries, LRU recency and ticks.
+    Restores are in place; [diff] lists every mismatch between the live
+    state and a snapshot (empty = exact). *)
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot:snapshot -> unit
+val diff : t -> snapshot -> string list

@@ -37,3 +37,42 @@ let create ?(prefix = "ooo") (config : Config.t) stats =
     bpred = Predictor.create ~prefix:(prefix ^ ".bpred") stats config.Config.bpred;
     bbcache = Bbcache.create stats;
   }
+
+(* ---- checkpointing (sampled-simulation parallel workers) ---- *)
+
+(** Checkpoint of the warmed long-lived state: cache tags/LRU (with the
+    replacement-RNG cursors), both TLBs and every predictor table. The
+    decoded-basic-block cache is deliberately excluded — it is state
+    derived purely from guest memory, so a restored worker rebuilds it
+    deterministically as it decodes (the warm-up interval absorbs the
+    cost, exactly like any other core rebuild). *)
+type snapshot = {
+  sn_hierarchy : Hierarchy.snapshot;
+  sn_dtlb : Tlb.snapshot;
+  sn_itlb : Tlb.snapshot;
+  sn_bpred : Predictor.snapshot;
+}
+
+let snapshot t =
+  {
+    sn_hierarchy = Hierarchy.snapshot t.hierarchy;
+    sn_dtlb = Tlb.snapshot t.dtlb;
+    sn_itlb = Tlb.snapshot t.itlb;
+    sn_bpred = Predictor.snapshot t.bpred;
+  }
+
+(** Restore in place into a [t] built from the same {!Config.t} (the
+    geometries must match). *)
+let restore t ~snapshot =
+  Hierarchy.restore t.hierarchy ~snapshot:snapshot.sn_hierarchy;
+  Tlb.restore t.dtlb ~snapshot:snapshot.sn_dtlb;
+  Tlb.restore t.itlb ~snapshot:snapshot.sn_itlb;
+  Predictor.restore t.bpred ~snapshot:snapshot.sn_bpred
+
+(** Every mismatch between the live state and a snapshot, one line per
+    difference with the owning subsystem named (empty = exact). *)
+let diff t snapshot =
+  Hierarchy.diff t.hierarchy snapshot.sn_hierarchy
+  @ Tlb.diff t.dtlb snapshot.sn_dtlb
+  @ Tlb.diff t.itlb snapshot.sn_itlb
+  @ Predictor.diff t.bpred snapshot.sn_bpred

@@ -42,11 +42,14 @@ module Tlb = Ptl_mem.Tlb
 module Pm = Ptl_mem.Phys_mem
 module Pt = Ptl_mem.Pagetable
 module Predictor = Ptl_bpred.Predictor
+module Rng = Ptl_util.Rng
 module Stats = Ptl_stats.Statstree
 module Timelapse = Ptl_stats.Timelapse
 module Trace = Ptl_trace.Trace
 module Uarch = Ptl_ooo.Uarch
+module Registry = Ptl_ooo.Registry
 module Domain = Ptl_hyper.Domain
+module Checkpoint = Ptl_hyper.Checkpoint
 module Ptlcall = Ptl_hyper.Ptlcall
 
 (* ---------------------------------------------------------------- *)
@@ -126,6 +129,78 @@ let check_flags ~core ~ff ~period ~warmup ~measure ~guard_degrade ~fuzz () :
       else Ok (p - warmup - measure)
   in
   Ok { ff_insns = ff; warmup_insns = warmup; measure_insns = measure }
+
+(* ---------------------------------------------------------------- *)
+(* Interval placement                                                *)
+(* ---------------------------------------------------------------- *)
+
+(** Where each period's warm-up + measure window sits within the period.
+    The offset is the number of fast-forwarded instructions *before* the
+    window; the remaining [ff_insns - offset] are fast-forwarded after
+    it, so a period always executes the same instruction budget.
+
+    - [Fixed]: offset = [ff_insns] — the window closes each period, the
+      original (and default) schedule. A workload whose phase length
+      divides the period aliases with this: every window lands on the
+      same phase.
+    - [Rand_offset seed]: a uniformly random offset per period from a
+      dedicated deterministic {!Rng}; breaks phase aliasing (SMARTS'
+      systematic-sampling caveat) while staying reproducible per seed.
+    - [Stratified]: period [i] uses the midpoint of stratum
+      [i mod strata], sweeping the window across the period
+      deterministically with no RNG at all. *)
+type placement = Fixed | Rand_offset of int | Stratified
+
+(** Strata a [Stratified] schedule rotates through. *)
+let strata = 8
+
+let placement_to_string = function
+  | Fixed -> "fixed"
+  | Rand_offset seed -> Printf.sprintf "rand:%d" seed
+  | Stratified -> "stratified"
+
+(** Parse a [--sample-offset] spec: [fixed] (default), [rand:SEED] or
+    [stratified]. *)
+let parse_placement = function
+  | "" | "fixed" -> Ok Fixed
+  | "stratified" -> Ok Stratified
+  | s when String.length s > 5 && String.sub s 0 5 = "rand:" -> (
+    match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
+    | Some seed -> Ok (Rand_offset seed)
+    | None ->
+      Error
+        (Printf.sprintf "--sample-offset %s: SEED must be an integer" s))
+  | "rand" -> Error "--sample-offset rand needs a seed: rand:SEED"
+  | other ->
+    Error
+      (Printf.sprintf
+         "--sample-offset %s: expected fixed, rand:SEED or stratified" other)
+
+(** Offset generator for a run: maps the period index to that period's
+    window offset in [0, ff_insns]. [Rand_offset] placers are stateful —
+    call once per period, in increasing period order — which both the
+    serial and the checkpoint-parallel supervisors do by construction
+    (offsets are always drawn on the single master pass). *)
+let make_placer placement schedule =
+  let ff = schedule.ff_insns in
+  match placement with
+  | Fixed -> fun _ -> ff
+  | Stratified ->
+    fun i ->
+      if ff = 0 then 0 else (((2 * (i mod strata)) + 1) * ff) / (2 * strata)
+  | Rand_offset seed ->
+    let rng = Rng.create seed in
+    fun _ -> if ff = 0 then 0 else Rng.int rng (ff + 1)
+
+(** The first [n] offsets a placement yields (tests and tooling); drawn
+    in period order, so deterministic per seed. *)
+let offsets placement schedule n =
+  let placer = make_placer placement schedule in
+  let out = Array.make (max n 0) 0 in
+  for i = 0 to n - 1 do
+    out.(i) <- placer i
+  done;
+  out
 
 (* ---------------------------------------------------------------- *)
 (* Results                                                           *)
@@ -334,8 +409,8 @@ let drain_commands (d : Domain.t) =
     [-startsample] region is open; fast-forward (and warming) continues
     outside it. Returns the per-interval records and the aggregate CPI
     estimate. *)
-let run ?(roi = false) ?(max_insns = max_int) ?(max_cycles = max_int)
-    ~schedule (d : Domain.t) =
+let run ?(roi = false) ?(placement = Fixed) ?(max_insns = max_int)
+    ?(max_cycles = max_int) ~schedule (d : Domain.t) =
   let env = d.Domain.env and ctx = d.Domain.ctx in
   let stats = env.Env.stats in
   let c_intervals = Stats.counter stats "sample.intervals"
@@ -395,11 +470,19 @@ let run ?(roi = false) ?(max_insns = max_int) ?(max_cycles = max_int)
       ignore (tick ())
     done
   in
+  let placer = make_placer placement schedule in
   let intervals = ref [] in
   let idx = ref 0 in
+  let period_idx = ref 0 in
   while not !finished do
+    (* [off] native instructions lead the window; the remaining
+       [ff_insns - off] trail it, so every period spends the same budget
+       wherever the window lands. Under [Fixed] off = ff_insns and the
+       trailing leg vanishes — byte-identical to the legacy schedule. *)
+    let off = placer !period_idx in
+    incr period_idx;
     let i_ff = ctx.Context.insns_committed in
-    drive_ff schedule.ff_insns;
+    drive_ff off;
     Stats.add c_ff (ctx.Context.insns_committed - i_ff);
     if not !finished then begin
       let i_warm = ctx.Context.insns_committed in
@@ -430,6 +513,11 @@ let run ?(roi = false) ?(max_insns = max_int) ?(max_cycles = max_int)
         Stats.add c_meas_i insns;
         Stats.add c_meas_c cycles
       end
+    end;
+    if (not !finished) && schedule.ff_insns - off > 0 then begin
+      let i_tail = ctx.Context.insns_committed in
+      drive_ff (schedule.ff_insns - off);
+      Stats.add c_ff (ctx.Context.insns_committed - i_tail)
     end
   done;
   remove_warming d;
@@ -441,6 +529,218 @@ let run ?(roi = false) ?(max_insns = max_int) ?(max_cycles = max_int)
     ~total_insns:(ctx.Context.insns_committed - start_insns)
     ~total_cycles:(env.Env.cycle - start_cycle)
     (List.rev !intervals)
+
+(* ---------------------------------------------------------------- *)
+(* Checkpoint-parallel sampling                                      *)
+(* ---------------------------------------------------------------- *)
+
+(** Validate a [--sample-jobs] request. [kernel] says whether the domain
+    hosts a minios instance; [tracing] whether an event trace is armed.
+    Mirrors {!check_flags}: [Error] with a user-ranked message. *)
+let check_jobs ~jobs ~kernel ~tracing () : (unit, string) Stdlib.result =
+  if jobs < 1 then Error "--sample-jobs must be at least 1"
+  else if kernel then
+    Error
+      "--sample-jobs needs a bare-machine workload: kernel-hosted domains \
+       carry host-side minios state (processes, descriptors, pending \
+       events) that cannot be checkpointed (use compute --bare)"
+  else if tracing && jobs > 1 then
+    Error
+      "--sample-jobs above 1 cannot be combined with --trace/--trace-stream: \
+       the event ring is process-global and parallel workers would \
+       interleave in it"
+  else Ok ()
+
+(** Replay one measured interval from a full checkpoint on completely
+    private state: a fresh physical memory + context + {!Uarch} +
+    {!Stats} tree are built, the checkpoint restored into them, and a
+    private core instance drives warm-up then measure. Nothing here
+    touches the master domain, so any number of these can run on
+    separate {!Stdlib.Domain}s at once; determinism follows because the
+    result is a pure function of the checkpoint and the schedule.
+    Returns [None] when the guest halts before committing a single
+    measured instruction. *)
+let replay_interval ~core_name ~config ~schedule ~index (ck : Checkpoint.full)
+    =
+  let stats = Stats.create () in
+  let env = Env.create ~stats () in
+  let ctx = Context.create ~vcpu_id:0 in
+  let uarch = Uarch.create ~prefix:core_name config stats in
+  Checkpoint.restore_full ck ~uarch env ctx;
+  let inst = Registry.build ~uarch core_name config env [| ctx |] in
+  let halted () =
+    (not ctx.Context.running)
+    && (not (Context.interruptible ctx))
+    && inst.Registry.idle ()
+  in
+  let drive n =
+    let target = ctx.Context.insns_committed + n in
+    while (not (halted ())) && ctx.Context.insns_committed < target do
+      inst.Registry.step ()
+    done
+  in
+  drive schedule.warmup_insns;
+  let before = Stats.snapshot stats ~cycle:env.Env.cycle in
+  let i0 = ctx.Context.insns_committed in
+  drive schedule.measure_insns;
+  let after = Stats.snapshot stats ~cycle:env.Env.cycle in
+  let insns = ctx.Context.insns_committed - i0 in
+  let cycles = after.Stats.cycle - before.Stats.cycle in
+  if insns > 0 then
+    Some
+      {
+        iv_index = index;
+        iv_insns = insns;
+        iv_cycles = cycles;
+        iv_cpi = float_of_int cycles /. float_of_int insns;
+        iv_before = before;
+        iv_after = after;
+      }
+  else None
+
+(** Checkpoint-parallel sampled run.
+
+    The master pass drives the whole workload on the native core with
+    functional warming (including through the windows — under parallel
+    sampling the master never runs the timed core), capturing a
+    {!Checkpoint.full} (architectural state + warmed caches, TLBs and
+    predictor) at the start of every warm-up+measure window. The
+    measured intervals are then replayed from those checkpoints by
+    [jobs] worker {!Stdlib.Domain}s pulling indices from a shared
+    {!Atomic} cursor, each on fully private state ({!replay_interval}).
+
+    Results are merged by capture index, and every interval is a pure
+    function of its checkpoint, so the merged report is bit-identical
+    for any [jobs] and any completion order; [jobs = 1] runs the exact
+    same replay path inline. ROI gating works as in {!run}: offsets and
+    windows only advance while the region is open.
+
+    Raises [Invalid_argument] for kernel-hosted domains — host-side
+    minios state is not checkpointable ({!check_jobs} reports the same
+    condition as a CLI error). *)
+let run_parallel ?(roi = false) ?(placement = Fixed) ?(max_insns = max_int)
+    ?(max_cycles = max_int) ?(jobs = 1) ~schedule (d : Domain.t) =
+  if jobs < 1 then invalid_arg "Sample.run_parallel: jobs must be >= 1";
+  if d.Domain.kernel <> None then
+    invalid_arg
+      "Sample.run_parallel: kernel-hosted domains are not checkpointable";
+  let env = d.Domain.env and ctx = d.Domain.ctx in
+  let stats = env.Env.stats in
+  let c_intervals = Stats.counter stats "sample.intervals"
+  and c_ff = Stats.counter stats "sample.ff_insns"
+  and c_ckpt = Stats.counter stats "sample.checkpoints"
+  and c_meas_i = Stats.counter stats "sample.measured_insns"
+  and c_meas_c = Stats.counter stats "sample.measured_cycles" in
+  let uarch =
+    match d.Domain.uarch with
+    | Some u -> u
+    | None ->
+      let u = Uarch.create ~prefix:d.Domain.core_name d.Domain.config stats in
+      Domain.set_uarch d u;
+      u
+  in
+  install_warming d uarch;
+  if not roi then d.Domain.sample_roi <- true;
+  let start_cycle = env.Env.cycle
+  and start_insns = ctx.Context.insns_committed in
+  let finished = ref false in
+  let out_of_budget () =
+    ctx.Context.insns_committed - start_insns >= max_insns
+    || env.Env.cycle - start_cycle >= max_cycles
+  in
+  let tick () =
+    drain_commands d;
+    if d.Domain.killed || out_of_budget () then begin
+      finished := true;
+      false
+    end
+    else if Domain.drive_once d then true
+    else begin
+      finished := true;
+      false
+    end
+  in
+  let drive_ff n =
+    Domain.enter_native d;
+    let remaining = ref n in
+    let last = ref ctx.Context.insns_committed in
+    while (not !finished) && (!remaining > 0 || (roi && not d.Domain.sample_roi))
+    do
+      if tick () then begin
+        let now = ctx.Context.insns_committed in
+        if d.Domain.sample_roi then remaining := !remaining - (now - !last);
+        last := now
+      end
+    done
+  in
+  let placer = make_placer placement schedule in
+  let window = schedule.warmup_insns + schedule.measure_insns in
+  let checkpoints = ref [] (* newest first; reversed below *) in
+  let idx = ref 0 in
+  let period_idx = ref 0 in
+  while not !finished do
+    let off = placer !period_idx in
+    incr period_idx;
+    let i_ff = ctx.Context.insns_committed in
+    drive_ff off;
+    Stats.add c_ff (ctx.Context.insns_committed - i_ff);
+    if not !finished then begin
+      checkpoints := Checkpoint.capture_full ~uarch env ctx :: !checkpoints;
+      incr idx;
+      Stats.incr c_ckpt;
+      (* advance natively through the window so the next period starts
+         from sequential state; the workers will re-execute it timed *)
+      drive_ff window
+    end;
+    if (not !finished) && schedule.ff_insns - off > 0 then begin
+      let i_tail = ctx.Context.insns_committed in
+      drive_ff (schedule.ff_insns - off);
+      Stats.add c_ff (ctx.Context.insns_committed - i_tail)
+    end
+  done;
+  remove_warming d;
+  Domain.enter_native d;
+  (match d.Domain.timelapse with
+  | Some tl -> Timelapse.finish tl ~cycle:env.Env.cycle
+  | None -> ());
+  let cks = Array.of_list (List.rev !checkpoints) in
+  let n = Array.length cks in
+  let results = Array.make n None in
+  let core_name = d.Domain.core_name and config = d.Domain.config in
+  let next = Atomic.make 0 in
+  (* Workers steal the next un-replayed interval; each writes only its
+     own cell of [results], published to the master by [Domain.join]. *)
+  let worker () =
+    let continue = ref true in
+    while !continue do
+      let i = Atomic.fetch_and_add next 1 in
+      if i >= n then continue := false
+      else
+        results.(i) <-
+          replay_interval ~core_name ~config ~schedule ~index:i cks.(i)
+    done
+  in
+  if jobs = 1 then worker ()
+  else begin
+    let doms =
+      Array.init (jobs - 1) (fun _ -> Stdlib.Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Stdlib.Domain.join doms
+  end;
+  (* merge in capture order: independent of job count and completion
+     order, so the report is bit-identical across --sample-jobs *)
+  let intervals = Array.to_list results |> List.filter_map Fun.id in
+  List.iter
+    (fun iv ->
+      Stats.incr c_intervals;
+      Stats.add c_meas_i iv.iv_insns;
+      Stats.add c_meas_c iv.iv_cycles)
+    intervals;
+  aggregate
+    ~total_insns:(ctx.Context.insns_committed - start_insns)
+    ~total_cycles:(env.Env.cycle - start_cycle)
+    intervals
 
 (* ---------------------------------------------------------------- *)
 (* Reporting                                                         *)

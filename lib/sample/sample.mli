@@ -42,6 +42,33 @@ val check_flags :
   unit ->
   (schedule, string) result
 
+(** Where each period's warm-up + measure window sits within the period:
+    [Fixed] closes every period with the window (the legacy schedule,
+    prone to phase aliasing), [Rand_offset seed] draws a uniform offset
+    per period from a dedicated deterministic RNG, [Stratified] sweeps
+    the window across [strata] evenly spaced positions. The offset is
+    the number of fast-forwarded instructions before the window; the
+    remaining [ff_insns - offset] follow it. *)
+type placement = Fixed | Rand_offset of int | Stratified
+
+(** Strata a [Stratified] schedule rotates through. *)
+val strata : int
+
+val placement_to_string : placement -> string
+
+(** Parse a [--sample-offset] spec: ["fixed"] (or [""]), ["rand:SEED"]
+    or ["stratified"]. *)
+val parse_placement : string -> (placement, string) result
+
+(** Offset generator: period index -> offset in [\[0, ff_insns\]].
+    [Rand_offset] placers are stateful — call once per period in
+    increasing order. *)
+val make_placer : placement -> schedule -> int -> int
+
+(** First [n] offsets a placement yields, in period order
+    (deterministic per seed). *)
+val offsets : placement -> schedule -> int -> int array
+
 (** One measured interval: its snapshot pair and the instruction /
     cycle deltas between them. *)
 type interval = {
@@ -86,8 +113,53 @@ val remove_warming : Ptl_hyper.Domain.t -> unit
     interval. *)
 val run :
   ?roi:bool ->
+  ?placement:placement ->
   ?max_insns:int ->
   ?max_cycles:int ->
+  schedule:schedule ->
+  Ptl_hyper.Domain.t ->
+  result
+
+(** Validate a [--sample-jobs] request ([kernel]: domain hosts a minios
+    instance; [tracing]: an event trace is armed). Parallel sampling
+    needs bare-machine workloads (host-side kernel state is not
+    checkpointable) and jobs > 1 cannot share the process-global trace
+    ring. *)
+val check_jobs :
+  jobs:int ->
+  kernel:bool ->
+  tracing:bool ->
+  unit ->
+  (unit, string) Stdlib.result
+
+(** Replay one measured interval from a full checkpoint on completely
+    private state (fresh memory, context, {!Ptl_ooo.Uarch} and stats
+    tree) — safe to run on any {!Stdlib.Domain}; a pure function of the
+    checkpoint and schedule. [None] if the guest halts before committing
+    a measured instruction. Exposed for tests; {!run_parallel} is the
+    driver. *)
+val replay_interval :
+  core_name:string ->
+  config:Ptl_ooo.Config.t ->
+  schedule:schedule ->
+  index:int ->
+  Ptl_hyper.Checkpoint.full ->
+  interval option
+
+(** Checkpoint-parallel sampled run: one native master pass (functional
+    warming throughout) captures a {!Ptl_hyper.Checkpoint.full} at the
+    start of every warm-up+measure window; [jobs] worker
+    {!Stdlib.Domain}s then replay the intervals on private state and the
+    results merge by capture index. The merged report is bit-identical
+    for any [jobs] value and any completion order ([jobs = 1] runs the
+    same replay path inline). Raises [Invalid_argument] on
+    kernel-hosted domains — see {!check_jobs}. *)
+val run_parallel :
+  ?roi:bool ->
+  ?placement:placement ->
+  ?max_insns:int ->
+  ?max_cycles:int ->
+  ?jobs:int ->
   schedule:schedule ->
   Ptl_hyper.Domain.t ->
   result

@@ -521,10 +521,14 @@ let stream_format_of_name = function
     track metadata lazily, the first time each (core, track) appears.
     [stream_stop] (or [disable]) finalizes the sink — for Chrome that
     writes the closing bracket, so the file is valid JSON only after it
-    runs. The caller keeps ownership of [oc] and closes it afterwards. *)
-let stream_to fmt oc =
+    runs. The caller keeps ownership of [oc]; [on_stop] runs exactly
+    once, after the format finalizer, whichever path tears the sink
+    down — pass a closure that closes [oc] so abnormal exits
+    ({!Ptl_util.Failure.Sim_failure} unwinds) cannot leave a truncated
+    file behind. *)
+let stream_to ?on_stop fmt oc =
   close_stream ();
-  match fmt with
+  (match fmt with
   | Stream_text ->
     st.stream <-
       Some
@@ -563,7 +567,16 @@ let stream_to fmt oc =
       Some
         (fun () ->
           output_string oc "\n],\"displayTimeUnit\":\"ms\"}\n";
-          flush oc)
+          flush oc));
+  match on_stop with
+  | None -> ()
+  | Some f ->
+    let fin = st.stream_close in
+    st.stream_close <-
+      Some
+        (fun () ->
+          (match fin with Some g -> g () | None -> ());
+          f ())
 
 (** Finalize and detach the streaming sink, if any. Idempotent. *)
 let stream_stop () = close_stream ()

@@ -173,8 +173,11 @@ val stream_format_of_name : string -> stream_format option
     and a trace longer than the ring survives wraparound. Replaces any
     sink already installed (finalizing it first). Call {!stream_stop} (or
     {!disable}) before closing the channel — the Chrome writer emits its
-    closing bracket there. The caller keeps ownership of the channel. *)
-val stream_to : stream_format -> out_channel -> unit
+    closing bracket there. The caller keeps ownership of the channel;
+    [on_stop] runs exactly once after the format finalizer on whichever
+    path tears the sink down (pass a closure closing the channel so
+    abnormal exits cannot leave a truncated file). *)
+val stream_to : ?on_stop:(unit -> unit) -> stream_format -> out_channel -> unit
 
 (** Finalize and detach the streaming sink, if any. Idempotent. *)
 val stream_stop : unit -> unit

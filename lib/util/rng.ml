@@ -54,3 +54,22 @@ let float t =
 let choose t arr =
   if Array.length arr = 0 then invalid_arg "Rng.choose: empty array";
   arr.(int t (Array.length arr))
+
+(* ---- checkpointing ---- *)
+
+(** The four xoshiro state words, so a generator mid-stream can be
+    checkpointed and resumed exactly (sampled-simulation checkpoints
+    carry the cache-replacement RNG cursors). *)
+type snapshot = { sn0 : int64; sn1 : int64; sn2 : int64; sn3 : int64 }
+
+let snapshot t = { sn0 = t.s0; sn1 = t.s1; sn2 = t.s2; sn3 = t.s3 }
+
+let restore t ~snapshot =
+  t.s0 <- snapshot.sn0;
+  t.s1 <- snapshot.sn1;
+  t.s2 <- snapshot.sn2;
+  t.s3 <- snapshot.sn3
+
+(** Structural equality of the generator state with a snapshot. *)
+let equal_snapshot t s =
+  t.s0 = s.sn0 && t.s1 = s.sn1 && t.s2 = s.sn2 && t.s3 = s.sn3

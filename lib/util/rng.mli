@@ -18,3 +18,11 @@ val float : t -> float
 
 (** Uniform element of a non-empty array. *)
 val choose : t -> 'a array -> 'a
+
+(** Checkpoint of the generator state (the four xoshiro words), so
+    mid-stream generators resume exactly across save/restore. *)
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot:snapshot -> unit
+val equal_snapshot : t -> snapshot -> bool

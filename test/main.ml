@@ -25,6 +25,7 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("guard", Test_guard.suite);
       ("sample", Test_sample.suite);
+      ("checkpoint", Test_checkpoint.suite);
     ]
   with e ->
     Printf.eprintf

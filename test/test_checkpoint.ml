@@ -1,0 +1,156 @@
+(* Checkpoint round-trip property tests (lib/hyper/checkpoint full
+   checkpoints): capturing a warmed bare machine, running on, restoring
+   and diffing must be lossless — and a single planted mutation in any
+   checkpointed subsystem (cache LRU, TLB entry, predictor counter,
+   architectural register, guest memory page) must be detected by
+   [diff_full] with the owning subsystem named, then healed by
+   [restore_full]. *)
+
+module Machine = Ptl_arch.Machine
+module Env = Ptl_arch.Env
+module Context = Ptl_arch.Context
+module Insn = Ptl_isa.Insn
+module Regs = Ptl_isa.Regs
+module W64 = Ptl_util.W64
+module Config = Ptl_ooo.Config
+module Uarch = Ptl_ooo.Uarch
+module Hierarchy = Ptl_mem.Hierarchy
+module Cache = Ptl_mem.Cache
+module Tlb = Ptl_mem.Tlb
+module Predictor = Ptl_bpred.Predictor
+module Domain = Ptl_hyper.Domain
+module Checkpoint = Ptl_hyper.Checkpoint
+module Sample = Ptl_sample.Sample
+module G = Ptl_workloads.Gasm
+
+(* A bare machine (no minios kernel) running the standard 4-insn
+   arithmetic loop, ending in hlt; the only kind of domain full
+   checkpoints support. *)
+let bare_loop ?(core = "ooo") ~iters () =
+  let g = G.create () in
+  G.li g G.rbp Machine.heap_base;
+  G.lii g G.rbx 0;
+  G.lii g G.rcx iters;
+  G.label g "top";
+  G.ld g G.rax ~base:G.rbp ();
+  G.addi g G.rax 1;
+  G.st g ~base:G.rbp G.rax ();
+  G.add g G.rbx G.rcx;
+  G.addi g G.rbx 3;
+  G.dec g G.rcx;
+  G.jne g "top";
+  G.ins g Insn.Hlt;
+  let m = Machine.create (G.assemble g) in
+  (Domain.create ~core ~config:Config.tiny m.Machine.env m.Machine.ctx, m)
+
+(* Drive natively with functional warming for ~[insns] instructions so
+   every checkpointed structure (cache tags/LRU, TLBs, predictor) holds
+   real content before we snapshot it. *)
+let warmed_machine ?(insns = 20_000) () =
+  let d, m = bare_loop ~iters:200_000 () in
+  let u = Uarch.create ~prefix:"ooo" Config.tiny d.Domain.env.Env.stats in
+  Domain.set_uarch d u;
+  Sample.install_warming d u;
+  Domain.enter_native d;
+  let target = d.Domain.ctx.Context.insns_committed + insns in
+  let alive = ref true in
+  while !alive && d.Domain.ctx.Context.insns_committed < target do
+    alive := Domain.drive_once d
+  done;
+  Sample.remove_warming d;
+  (d, u, m)
+
+let no_diff name diff =
+  Alcotest.(check (list string)) name [] diff
+
+let contains line needle =
+  let nl = String.length needle and ll = String.length line in
+  let rec go i = i + nl <= ll && (String.sub line i nl = needle || go (i + 1)) in
+  go 0
+
+(* capture -> run on -> restore -> diff must be empty; and the restored
+   machine must re-run to the same architectural result *)
+let test_round_trip () =
+  let d, u, _ = warmed_machine () in
+  let env = d.Domain.env and ctx = d.Domain.ctx in
+  let ck = Checkpoint.capture_full ~uarch:u env ctx in
+  no_diff "clean immediately after capture"
+    (Checkpoint.diff_full ck ~uarch:u env ctx);
+  (* run forward: the live state must drift away from the checkpoint *)
+  let target = ctx.Context.insns_committed + 5_000 in
+  let alive = ref true in
+  while !alive && ctx.Context.insns_committed < target do
+    alive := Domain.drive_once d
+  done;
+  Alcotest.(check bool) "drifted after running" true
+    (Checkpoint.diff_full ck ~uarch:u env ctx <> []);
+  let rbx_first =
+    let budget = ref 2_000_000 in
+    while Domain.drive_once d && !budget > 0 do decr budget done;
+    Context.gpr ctx G.rbx
+  in
+  Checkpoint.restore_full ck ~uarch:u env ctx;
+  no_diff "exact after restore" (Checkpoint.diff_full ck ~uarch:u env ctx);
+  (* replay from the checkpoint: same architectural end state *)
+  let budget = ref 2_000_000 in
+  while Domain.drive_once d && !budget > 0 do decr budget done;
+  Alcotest.(check int64) "replay reaches the same result" rbx_first
+    (Context.gpr ctx G.rbx)
+
+(* one planted mutation per checkpointed subsystem; each must be
+   detected (with the subsystem named) and healed by restore_full *)
+let test_planted_mutations () =
+  let d, u, m = warmed_machine () in
+  let env = d.Domain.env and ctx = d.Domain.ctx in
+  let ck = Checkpoint.capture_full ~uarch:u env ctx in
+  no_diff "clean baseline" (Checkpoint.diff_full ck ~uarch:u env ctx);
+  let plant name mutate needle =
+    mutate ();
+    let diff = Checkpoint.diff_full ck ~uarch:u env ctx in
+    Alcotest.(check bool) (name ^ ": detected") true (diff <> []);
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: diff names %s (got: %s)" name needle
+         (String.concat " | " diff))
+      true
+      (List.exists (fun line -> contains line needle) diff);
+    Checkpoint.restore_full ck ~uarch:u env ctx;
+    no_diff (name ^ ": healed by restore")
+      (Checkpoint.diff_full ck ~uarch:u env ctx)
+  in
+  plant "cache LRU"
+    (fun () ->
+      Alcotest.(check bool) "a valid line to touch" true
+        (Cache.debug_touch_lru u.Uarch.hierarchy.Hierarchy.l1d))
+    "L1D";
+  plant "TLB entry"
+    (fun () ->
+      Tlb.insert u.Uarch.dtlb 0x7bcd_e123L
+        { Tlb.vpn = 0L; mfn = 0x999; writable = true; user = true; nx = false })
+    "dtlb";
+  plant "predictor counter"
+    (fun () ->
+      Predictor.warm_cond u.Uarch.bpred ~rip:0x40_0040L ~taken:true;
+      (* a saturated counter plus an unchanged history can absorb one
+         update; the opposite direction is then guaranteed to move *)
+      if Checkpoint.diff_full ck ~uarch:u env ctx = [] then
+        Predictor.warm_cond u.Uarch.bpred ~rip:0x40_0040L ~taken:false)
+    "bpred";
+  plant "architectural register"
+    (fun () ->
+      Context.set_gpr ctx Regs.r8
+        (Int64.logxor (Context.gpr ctx Regs.r8) 0xDEAD_BEEFL))
+    "r8";
+  plant "dirty page"
+    (fun () ->
+      let vaddr = Machine.heap_base in
+      let old = Machine.read_mem m ~vaddr ~size:W64.B1 in
+      Machine.write_mem m ~vaddr ~size:W64.B1
+        ~value:(Int64.logxor old 0xFFL))
+    "mem: frame"
+
+let suite =
+  [
+    Alcotest.test_case "full round trip is lossless" `Quick test_round_trip;
+    Alcotest.test_case "planted mutations are detected" `Quick
+      test_planted_mutations;
+  ]

@@ -17,6 +17,9 @@ module Ptlcall = Ptl_hyper.Ptlcall
 module Kernel = Ptl_kernel.Kernel
 module Env = Ptl_arch.Env
 module Context = Ptl_arch.Context
+module Machine = Ptl_arch.Machine
+module Insn = Ptl_isa.Insn
+module Ooo = Ptl_ooo.Ooo_core
 module G = Ptl_workloads.Gasm
 
 (* ---------- flag validation ---------- *)
@@ -253,6 +256,217 @@ let test_roi_gated_sampling () =
     true
     (r.Sample.measured_insns <= (4 * roi_iters) + 8)
 
+(* ---------- interval placement ---------- *)
+
+let test_placement_parse () =
+  let ok spec expect =
+    match Sample.parse_placement spec with
+    | Ok p ->
+      Alcotest.(check string) ("parse " ^ spec) expect
+        (Sample.placement_to_string p)
+    | Error e -> Alcotest.failf "parse %s rejected: %s" spec e
+  in
+  ok "" "fixed";
+  ok "fixed" "fixed";
+  ok "stratified" "stratified";
+  ok "rand:123" "rand:123";
+  ok "rand:-7" "rand:-7";
+  let rejects spec =
+    Alcotest.(check bool) ("reject " ^ spec) true
+      (Result.is_error (Sample.parse_placement spec))
+  in
+  rejects "rand";
+  rejects "rand:";
+  rejects "rand:xyz";
+  rejects "bogus"
+
+let test_placement_offsets () =
+  let schedule =
+    { Sample.ff_insns = 10_000; warmup_insns = 500; measure_insns = 700 }
+  in
+  let n = 64 in
+  let bounds name offs =
+    Array.iter
+      (fun o ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s offset %d in [0, ff]" name o)
+          true
+          (0 <= o && o <= schedule.Sample.ff_insns))
+      offs
+  in
+  let fixed = Sample.offsets Sample.Fixed schedule n in
+  Array.iter (fun o -> Alcotest.(check int) "fixed = ff" 10_000 o) fixed;
+  let seed = Test_seed.seed + 5 in
+  let r1 = Sample.offsets (Sample.Rand_offset seed) schedule n in
+  let r2 = Sample.offsets (Sample.Rand_offset seed) schedule n in
+  bounds "rand" r1;
+  Alcotest.(check bool) "rand per-seed deterministic" true (r1 = r2);
+  Alcotest.(check bool) "rand differs across seeds" true
+    (r1 <> Sample.offsets (Sample.Rand_offset (seed + 1)) schedule n);
+  Alcotest.(check bool) "rand offsets actually vary" true
+    (Array.exists (fun o -> o <> r1.(0)) r1);
+  let s = Sample.offsets Sample.Stratified schedule n in
+  bounds "stratified" s;
+  for i = 0 to Sample.strata - 2 do
+    Alcotest.(check bool) "strata sweep ascends" true (s.(i) < s.(i + 1))
+  done;
+  Alcotest.(check int) "strata cycle repeats" s.(0) s.(Sample.strata);
+  (* windows never overlap: each period's window fits before the next
+     period starts, for every placement *)
+  let no_overlap name offs =
+    let window =
+      schedule.Sample.warmup_insns + schedule.Sample.measure_insns
+    in
+    let period = Sample.period schedule in
+    let last_end = ref 0 in
+    Array.iteri
+      (fun i o ->
+        let start = (i * period) + o in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s window %d disjoint from previous" name i)
+          true
+          (start >= !last_end);
+        last_end := start + window)
+      offs
+  in
+  no_overlap "fixed" fixed;
+  no_overlap "rand" r1;
+  no_overlap "stratified" s
+
+(* ---------- checkpoint-parallel sampling ---------- *)
+
+let test_check_jobs () =
+  let ok name r =
+    Alcotest.(check bool) name true (Result.is_ok r)
+  and rejects name r =
+    Alcotest.(check bool) name true (Result.is_error r)
+  in
+  ok "bare, no trace" (Sample.check_jobs ~jobs:4 ~kernel:false ~tracing:false ());
+  ok "1 job tolerates tracing"
+    (Sample.check_jobs ~jobs:1 ~kernel:false ~tracing:true ());
+  rejects "jobs < 1" (Sample.check_jobs ~jobs:0 ~kernel:false ~tracing:false ());
+  rejects "kernel domain"
+    (Sample.check_jobs ~jobs:2 ~kernel:true ~tracing:false ());
+  rejects "tracing with jobs > 1"
+    (Sample.check_jobs ~jobs:2 ~kernel:false ~tracing:true ());
+  (* and the engine itself refuses kernel-hosted domains *)
+  let d, _, _ = loop_domain ~iters:100 () in
+  Alcotest.check_raises "run_parallel rejects kernel domains"
+    (Invalid_argument
+       "Sample.run_parallel: kernel-hosted domains are not checkpointable")
+    (fun () -> ignore (Sample.run_parallel ~schedule:small_schedule d))
+
+let render_report r =
+  let path = Filename.temp_file "optlsim_sample" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Sample.report oc r;
+      close_out oc;
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic)))
+
+(* serial ≡ parallel: 1 worker vs 4 workers over the same checkpoints
+   must produce byte-identical per-interval snapshot pairs, aggregates
+   and rendered reports, regardless of scheduling and completion order *)
+let test_parallel_equivalence () =
+  let schedule =
+    { Sample.ff_insns = 6_000; warmup_insns = 800; measure_insns = 1_200 }
+  in
+  let placement = Sample.Rand_offset (Test_seed.seed + 11) in
+  let run jobs =
+    let d, _ = Test_checkpoint.bare_loop ~iters:20_000 () in
+    Sample.run_parallel ~placement ~jobs ~schedule d
+  in
+  let a = run 1 and b = run 4 in
+  Alcotest.(check bool) "several intervals" true
+    (List.length a.Sample.intervals >= 5);
+  let strip r =
+    List.map
+      (fun iv ->
+        ( iv.Sample.iv_index,
+          iv.Sample.iv_insns,
+          iv.Sample.iv_cycles,
+          iv.Sample.iv_before,
+          iv.Sample.iv_after ))
+      r.Sample.intervals
+  in
+  (* snapshot records contain the full counter arrays and paths, so this
+     is a byte-identical comparison of every per-interval statistic *)
+  Alcotest.(check bool) "identical per-interval snapshot pairs" true
+    (strip a = strip b);
+  Alcotest.(check bool) "identical aggregates" true
+    (a.Sample.cpi = b.Sample.cpi
+    && a.Sample.cpi_mean = b.Sample.cpi_mean
+    && a.Sample.cpi_ci95 = b.Sample.cpi_ci95
+    && a.Sample.est_cycles = b.Sample.est_cycles
+    && a.Sample.total_insns = b.Sample.total_insns
+    && a.Sample.total_cycles = b.Sample.total_cycles);
+  Alcotest.(check string) "identical rendered reports" (render_report a)
+    (render_report b)
+
+(* random offsets beat the fixed schedule on a workload whose phase
+   length divides the sampling period (SMARTS' aliasing caveat): the
+   fixed window always lands on the same phase, the random ones mix *)
+let test_placement_antialias () =
+  let phase_a = 100 and phase_b = 100 in
+  let iter_len = phase_a + phase_b + 2 (* dec + jne *) in
+  let iters = 120 in
+  let build () =
+    let g = G.create () in
+    G.lii g G.rbx 3;
+    G.lii g G.rcx iters;
+    G.label g "top";
+    (* phase A: independent single-cycle adds (low CPI) *)
+    for _ = 1 to phase_a do
+      G.addi g G.rax 1
+    done;
+    (* phase B: dependent multiply chain (latency-bound, high CPI) *)
+    for _ = 1 to phase_b do
+      G.imul g G.rbx G.rbx
+    done;
+    G.dec g G.rcx;
+    G.jne g "top";
+    G.ins g Insn.Hlt;
+    G.assemble g
+  in
+  (* ground truth: the whole workload in full detail on the OOO core *)
+  let truth =
+    let m = Machine.create (build ()) in
+    let core = Ooo.create Config.tiny m.Machine.env [| m.Machine.ctx |] in
+    let cycles = Ooo.run core ~max_cycles:10_000_000 in
+    float_of_int cycles /. float_of_int (Ooo.insns core)
+  in
+  let sampled placement =
+    let m = Machine.create (build ()) in
+    let d =
+      Domain.create ~core:"ooo" ~config:Config.tiny m.Machine.env
+        m.Machine.ctx
+    in
+    let schedule =
+      (* period = 4 aliasing workload iterations *)
+      {
+        Sample.ff_insns = (4 * iter_len) - 70;
+        warmup_insns = 30;
+        measure_insns = 40;
+      }
+    in
+    let r = Sample.run_parallel ~placement ~jobs:1 ~schedule d in
+    Alcotest.(check bool) "intervals measured" true (r.Sample.intervals <> []);
+    r.Sample.cpi
+  in
+  let err cpi = abs_float (cpi -. truth) /. truth in
+  let e_fixed = err (sampled Sample.Fixed) in
+  let e_rand = err (sampled (Sample.Rand_offset (Test_seed.seed + 23))) in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "random offsets reduce aliasing error (fixed %.1f%%, rand %.1f%%)"
+       (100.0 *. e_fixed) (100.0 *. e_rand))
+    true (e_rand < e_fixed)
+
 let suite =
   [
     Alcotest.test_case "flag validation" `Quick test_check_flags;
@@ -265,4 +479,11 @@ let suite =
     Alcotest.test_case "cpi accuracy" `Quick test_sampled_cpi_accuracy;
     Alcotest.test_case "roi ptlcall parse" `Quick test_roi_ptlcall_parse;
     Alcotest.test_case "roi-gated sampling" `Quick test_roi_gated_sampling;
+    Alcotest.test_case "placement parse" `Quick test_placement_parse;
+    Alcotest.test_case "placement offsets" `Quick test_placement_offsets;
+    Alcotest.test_case "jobs validation" `Quick test_check_jobs;
+    Alcotest.test_case "serial = parallel (1 vs 4 jobs)" `Quick
+      test_parallel_equivalence;
+    Alcotest.test_case "random offsets beat aliasing" `Quick
+      test_placement_antialias;
   ]

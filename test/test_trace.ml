@@ -326,6 +326,47 @@ let test_trace_stream_tee_and_filters () =
           Alcotest.(check bool) "fetch filtered" false (contains ~sub:"fetch" s);
           Alcotest.(check int) "ring got the same event" 1 (Trace.length ())))
 
+(* regression: a run dying on the Sim_failure exit path must still leave
+   a complete stream. The driver finalizes via stream_stop before
+   exiting; the on_stop hook owns channel teardown and must run exactly
+   once, after the format footer, however the sink is torn down. *)
+let test_trace_stream_finalized_on_failure () =
+  with_trace (fun () ->
+      Trace.configure ();
+      with_temp_file (fun path ->
+          let oc = open_out path in
+          let stops = ref 0 in
+          Trace.stream_to
+            ~on_stop:(fun () ->
+              incr stops;
+              close_out oc)
+            Trace.Stream_chrome oc;
+          Trace.set_cycle 7;
+          Trace.emit ~uuid:1 Trace.Fetch;
+          Trace.emit ~uuid:1 ~tag:"ooo" Trace.Commit;
+          (* the simulated crash: an exception unwinds out of the drive
+             loop and the driver finalizes the sink before exiting *)
+          (try raise Exit with Exit -> Trace.stream_stop ());
+          Alcotest.(check int) "on_stop ran once" 1 !stops;
+          Alcotest.(check bool) "sink detached" false (Trace.streaming ());
+          (* idempotent: a later stream_stop/disable must not re-run it *)
+          Trace.stream_stop ();
+          Trace.disable ();
+          Alcotest.(check int) "on_stop not re-run" 1 !stops;
+          let s = read_file path in
+          Alcotest.(check bool) "chrome footer written" true
+            (contains ~sub:"\"displayTimeUnit\"" s);
+          let bal open_c close_c =
+            String.fold_left
+              (fun acc c ->
+                if c = open_c then acc + 1
+                else if c = close_c then acc - 1
+                else acc)
+              0 s
+          in
+          Alcotest.(check int) "braces balance" 0 (bal '{' '}');
+          Alcotest.(check int) "brackets balance" 0 (bal '[' ']')))
+
 (* ---------- the sampling trigger ---------- *)
 
 let test_trace_sample_trigger () =
@@ -469,6 +510,8 @@ let suite =
     Alcotest.test_case "trace stream chrome" `Quick test_trace_stream_chrome;
     Alcotest.test_case "trace stream tee + filters" `Quick
       test_trace_stream_tee_and_filters;
+    Alcotest.test_case "trace stream finalized on failure" `Quick
+      test_trace_stream_finalized_on_failure;
     Alcotest.test_case "trace sample trigger" `Quick test_trace_sample_trigger;
     Alcotest.test_case "trace ooo end to end" `Quick test_trace_ooo_end_to_end;
     Alcotest.test_case "trace off captures nothing end to end" `Quick
