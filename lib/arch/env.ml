@@ -23,9 +23,9 @@ type t = {
   mutable rdpmc : int -> int64;
 }
 
-let create ?stats () =
+let create ?stats ?mem () =
   let stats = match stats with Some s -> s | None -> Ptl_stats.Statstree.create () in
-  let mem = Ptl_mem.Phys_mem.create () in
+  let mem = match mem with Some m -> m | None -> Ptl_mem.Phys_mem.create () in
   {
     mem;
     stats;

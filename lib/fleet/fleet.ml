@@ -1,0 +1,416 @@
+(** The distributed sampling fleet: [optlsim serve] exposes a durable
+    interval store ({!Ptl_store.Store}) over a Unix-domain-socket work
+    queue; any number of [optlsim work] processes lease intervals,
+    replay them from the shared base + delta checkpoints, and stream
+    results back. The server merges by capture index, so the merged
+    report is byte-identical to a serial [--sample] run for any worker
+    count and any completion order — the paper's cluster-distributed
+    PTLsim/X workflow (capture once, replay anywhere, deterministically).
+
+    Fault model: a worker that dies or wedges mid-lease loses nothing —
+    its leases re-queue (on disconnect, or after [lease_timeout]) and
+    another worker replays them. Replay is a pure function of
+    (checkpoint, schedule, config), so a straggler's duplicate result is
+    bit-identical and the first completion simply wins. Results are also
+    written to the store's (checkpoint, config-digest) cache, making
+    repeated runs of the same store + config free. *)
+
+module Sample = Ptl_sample.Sample
+module Store = Ptl_store.Store
+module Config = Ptl_ooo.Config
+
+(* ---------------------------------------------------------------- *)
+(* Wire protocol                                                     *)
+(* ---------------------------------------------------------------- *)
+
+(** Strict one-request-one-reply protocol, client speaks first. Frames
+    are a 4-byte big-endian payload length + a [Marshal] payload (plain
+    data only — {!Config.t}, {!Sample.interval} and friends carry no
+    closures). *)
+type request =
+  | Hello of { worker : string }
+  | Lease
+  | Done of { index : int; interval : Sample.interval option }
+
+type reply =
+  | Welcome of {
+      dir : string;  (** store directory; the worker opens it itself *)
+      core : string;
+      config : Config.t;
+      schedule : Sample.schedule;
+      count : int;
+    }
+  | Work of { index : int }
+  | Drain  (** nothing to hand out now, leases outstanding — retry *)
+  | Finished
+  | Ack
+
+let rec write_all fd b pos len =
+  if len > 0 then begin
+    let n = Unix.write fd b pos len in
+    write_all fd b (pos + n) (len - n)
+  end
+
+let rec read_all fd b pos len =
+  if len > 0 then begin
+    let n = Unix.read fd b pos len in
+    if n = 0 then raise End_of_file;
+    read_all fd b (pos + n) (len - n)
+  end
+
+let send fd v =
+  let payload = Marshal.to_bytes v [] in
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 (Int32.of_int (Bytes.length payload));
+  write_all fd hdr 0 4;
+  write_all fd payload 0 (Bytes.length payload)
+
+let recv fd =
+  let hdr = Bytes.create 4 in
+  read_all fd hdr 0 4;
+  let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+  let payload = Bytes.create len in
+  read_all fd payload 0 len;
+  Marshal.from_bytes payload 0
+
+(* a peer vanishing mid-exchange is a routine fleet event, not a crash *)
+let ignore_sigpipe () =
+  if Sys.os_type = "Unix" then
+    ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+
+(* ---------------------------------------------------------------- *)
+(* Flag validation (CLI front line, mirrors Sample.check_flags)       *)
+(* ---------------------------------------------------------------- *)
+
+(* conservative sun_path budget; real limits are 104-108 bytes *)
+let max_socket_path = 100
+
+let check_socket_path ~flag path =
+  if path = "" then
+    Error (Printf.sprintf "%s is required: the fleet meets at a unix socket" flag)
+  else if String.length path > max_socket_path then
+    Error
+      (Printf.sprintf
+         "%s path is %d bytes; unix socket paths are limited to %d \
+          (use a shorter path, e.g. under /tmp)"
+         flag (String.length path) max_socket_path)
+  else Ok ()
+
+let check_capture ~store ~jobs () =
+  if store = "" then
+    Error "--store is required: capture writes the durable interval store there"
+  else if jobs <> None then
+    Error
+      "--sample-jobs cannot be combined with capture: capture is the \
+       master pass only — attach workers afterwards with serve/work, or \
+       use replay --jobs for in-process parallelism"
+  else Ok ()
+
+let check_serve ~store ~socket ~lease_timeout () =
+  if store = "" then
+    Error "--store is required: serve hands out intervals from an existing store (run capture first)"
+  else
+    match check_socket_path ~flag:"--socket" socket with
+    | Error _ as e -> e
+    | Ok () ->
+      if lease_timeout <= 0.0 then
+        Error
+          "--lease-timeout must be positive: it bounds how long a dead \
+           worker can sit on an interval before it is re-queued"
+      else Ok ()
+
+let check_work ~connect () = check_socket_path ~flag:"--connect" connect
+
+let check_replay ~store ~jobs () =
+  if store = "" then
+    Error "--store is required: replay consumes an existing store (run capture first)"
+  else if jobs < 0 then
+    Error "--jobs must be at least 1 (or 0 to auto-detect host cores)"
+  else Ok ()
+
+(* ---------------------------------------------------------------- *)
+(* Server                                                            *)
+(* ---------------------------------------------------------------- *)
+
+type served = {
+  sv_result : Sample.result;  (** merged by capture index *)
+  sv_cached : int;  (** intervals answered from the result cache *)
+  sv_replayed : int;  (** intervals replayed by workers this run *)
+  sv_requeued : int;  (** leases re-queued (worker death or timeout) *)
+  sv_workers : int;  (** distinct workers that said Hello *)
+}
+
+let merge (m : Store.manifest) results =
+  let intervals = Array.to_list results |> List.filter_map Fun.id in
+  Sample.aggregate ~total_insns:m.Store.m_total_insns
+    ~total_cycles:m.Store.m_total_cycles intervals
+
+(** Serve [store] at unix socket [socket] until every interval is
+    decided; returns the merged result. Single-threaded select loop:
+    the server only shuffles indices and (small, already-replayed)
+    interval records, the workers do the simulation. *)
+let serve ?(lease_timeout = 30.) ?(log = fun _ -> ()) ~socket store =
+  ignore_sigpipe ();
+  let m = Store.manifest store in
+  let digest = m.Store.m_config_digest in
+  let count = m.Store.m_count in
+  let results = Array.make count None in
+  let cached = Store.cached_results store ~config_digest:digest in
+  List.iter (fun (i, iv) -> results.(i) <- iv) cached;
+  let q = Lease_queue.create ~count ~cached:(List.map fst cached) in
+  if cached <> [] then
+    log
+      (Printf.sprintf "serve: %d/%d interval(s) already in the result cache"
+         (List.length cached) count);
+  let requeued = ref 0 and replayed = ref 0 in
+  let workers = Hashtbl.create 8 in
+  if Sys.file_exists socket then Sys.remove socket;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+  Unix.listen listen_fd 16;
+  let clients : (Unix.file_descr, string) Hashtbl.t = Hashtbl.create 8 in
+  let drop fd =
+    let lost = Lease_queue.drop_owner q fd in
+    if lost <> [] then begin
+      requeued := !requeued + List.length lost;
+      log
+        (Printf.sprintf "serve: worker %s gone, re-queued interval(s) %s"
+           (try Hashtbl.find clients fd with Not_found -> "?")
+           (String.concat "," (List.map string_of_int lost)))
+    end;
+    Hashtbl.remove clients fd;
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  let reply fd r = try send fd r with Unix.Unix_error _ | Sys_error _ -> drop fd in
+  let handle fd =
+    match recv fd with
+    | exception (End_of_file | Unix.Unix_error _ | Failure _) -> drop fd
+    | Hello { worker } ->
+      Hashtbl.replace clients fd worker;
+      Hashtbl.replace workers worker ();
+      log (Printf.sprintf "serve: worker %s joined" worker);
+      reply fd
+        (Welcome
+           {
+             dir = Store.dir store;
+             core = m.Store.m_core;
+             config = m.Store.m_config;
+             schedule = Store.schedule m;
+             count;
+           })
+    | Lease ->
+      (match
+         Lease_queue.lease q ~owner:fd ~now:(Unix.gettimeofday ())
+           ~timeout:lease_timeout
+       with
+      | Some i -> reply fd (Work { index = i })
+      | None -> reply fd (if Lease_queue.finished q then Finished else Drain))
+    | Done { index; interval } ->
+      if Lease_queue.complete q index then begin
+        results.(index) <- interval;
+        incr replayed;
+        (match Store.put_result store ~config_digest:digest ~index interval with
+        | Ok () -> ()
+        | Error e ->
+          log (Printf.sprintf "serve: result cache write failed: %s"
+                 (Store.error_to_string e)));
+        log
+          (Printf.sprintf "serve: interval %d done by %s (%d/%d)" index
+             (try Hashtbl.find clients fd with Not_found -> "?")
+             (Lease_queue.decided_count q) count)
+      end;
+      reply fd Ack
+  in
+  while not (Lease_queue.finished q) do
+    let stale = Lease_queue.expire q ~now:(Unix.gettimeofday ()) in
+    if stale <> [] then begin
+      requeued := !requeued + List.length stale;
+      log
+        (Printf.sprintf "serve: lease timeout, re-queued interval(s) %s"
+           (String.concat "," (List.map string_of_int stale)))
+    end;
+    let fds =
+      listen_fd :: Hashtbl.fold (fun fd _ acc -> fd :: acc) clients []
+    in
+    let readable, _, _ =
+      Unix.select fds [] [] (min 0.25 (lease_timeout /. 4.))
+    in
+    List.iter
+      (fun fd ->
+        if fd = listen_fd then begin
+          let c, _ = Unix.accept listen_fd in
+          Hashtbl.replace clients c "?"
+        end
+        else if Hashtbl.mem clients fd then handle fd)
+      readable
+  done;
+  Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) clients;
+  Unix.close listen_fd;
+  (try Sys.remove socket with Sys_error _ -> ());
+  {
+    sv_result = merge m results;
+    sv_cached = List.length cached;
+    sv_replayed = !replayed;
+    sv_requeued = !requeued;
+    sv_workers = Hashtbl.length workers;
+  }
+
+(* ---------------------------------------------------------------- *)
+(* Worker                                                            *)
+(* ---------------------------------------------------------------- *)
+
+let store_err r =
+  match r with Ok v -> Ok v | Error e -> Error (Store.error_to_string e)
+
+let rec connect_retry path tries =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> Ok fd
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    if tries <= 1 then
+      Error
+        (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e))
+    else begin
+      Unix.sleepf 0.2;
+      connect_retry path (tries - 1)
+    end
+
+(** One worker process: connect to a server at [connect], lease
+    intervals, replay each from the store's base + delta checkpoints,
+    stream results back until the server says Finished (or vanishes —
+    the run is complete from the worker's point of view either way).
+    Returns the number of intervals this worker replayed. *)
+let work ?(retries = 50) ?(log = fun _ -> ()) ~connect () :
+    (int, string) result =
+  ignore_sigpipe ();
+  let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v in
+  let* fd = connect_retry connect retries in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let me = Printf.sprintf "pid-%d" (Unix.getpid ()) in
+      send fd (Hello { worker = me });
+      match recv fd with
+      | Work _ | Drain | Finished | Ack ->
+        Error "unexpected greeting from server (protocol mismatch?)"
+      | Welcome { dir; core; config; schedule; count = _ } ->
+        let* store = store_err (Store.open_store ~dir) in
+        let* base = store_err (Store.load_base store) in
+        log (Printf.sprintf "work: %s attached to %s" me dir);
+        let replayed = ref 0 in
+        let rec loop () =
+          send fd Lease;
+          match recv fd with
+          | Work { index } ->
+            let* d = store_err (Store.load_interval store index) in
+            let interval =
+              Sample.replay_delta ~core_name:core ~config ~schedule ~index
+                ~base d
+            in
+            send fd (Done { index; interval });
+            (match recv fd with
+            | Ack ->
+              incr replayed;
+              log (Printf.sprintf "work: %s replayed interval %d" me index);
+              loop ()
+            | Finished | Welcome _ | Work _ | Drain -> Ok !replayed)
+          | Drain ->
+            Unix.sleepf 0.05;
+            loop ()
+          | Finished -> Ok !replayed
+          | Welcome _ | Ack -> Ok !replayed
+        in
+        (* the server closing on us means the run finished elsewhere —
+           a normal shutdown for a straggler, not an error *)
+        (match loop () with
+        | exception (End_of_file | Unix.Unix_error _) -> Ok !replayed
+        | r -> r))
+
+(* ---------------------------------------------------------------- *)
+(* Local replay (optlsim replay: consume a store without a fleet)     *)
+(* ---------------------------------------------------------------- *)
+
+type replayed = {
+  rp_result : Sample.result;
+  rp_cached : int;  (** intervals answered from the result cache *)
+  rp_replayed : int;  (** intervals replayed this run *)
+}
+
+(** Replay every interval of [store] in this process ([jobs] worker
+    {!Stdlib.Domain}s; 1 = inline), using and refilling the result
+    cache. Byte-identical to {!serve} + workers and to the original
+    serial [--sample] run. *)
+let replay ?(jobs = 1) ?(log = fun _ -> ()) store :
+    (replayed, Store.error) result =
+  let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v in
+  let m = Store.manifest store in
+  let digest = m.Store.m_config_digest in
+  let count = m.Store.m_count in
+  let schedule = Store.schedule m in
+  let results = Array.make count None in
+  let cached = Store.cached_results store ~config_digest:digest in
+  List.iter (fun (i, iv) -> results.(i) <- iv) cached;
+  let hit = Array.make count false in
+  List.iter (fun (i, _) -> hit.(i) <- true) cached;
+  let miss =
+    Array.of_list
+      (List.filter (fun i -> not hit.(i)) (List.init count Fun.id))
+  in
+  let* () =
+    if Array.length miss = 0 then Ok ()
+    else begin
+      let* base = Store.load_base store in
+      log
+        (Printf.sprintf "replay: %d cached, %d to replay on %d job(s)"
+           (List.length cached) (Array.length miss)
+           (max 1 (min jobs (Array.length miss))));
+      let out = Array.make (Array.length miss) (Ok None) in
+      let cursor = Atomic.make 0 in
+      let worker () =
+        let rec go () =
+          let k = Atomic.fetch_and_add cursor 1 in
+          if k < Array.length miss then begin
+            let index = miss.(k) in
+            (out.(k) <-
+               (match Store.load_interval store index with
+               | Error _ as e -> e
+               | Ok d ->
+                 Ok
+                   (Sample.replay_delta ~core_name:m.Store.m_core
+                      ~config:m.Store.m_config ~schedule ~index ~base d)));
+            go ()
+          end
+        in
+        go ()
+      in
+      let jobs = max 1 (min jobs (Array.length miss)) in
+      let doms =
+        Array.init (jobs - 1) (fun _ -> Stdlib.Domain.spawn worker)
+      in
+      worker ();
+      Array.iter Stdlib.Domain.join doms;
+      let first_err = ref None in
+      Array.iteri
+        (fun k r ->
+          match r with
+          | Ok iv ->
+            results.(miss.(k)) <- iv;
+            (match
+               Store.put_result store ~config_digest:digest ~index:miss.(k) iv
+             with
+            | Ok () -> ()
+            | Error e ->
+              log (Printf.sprintf "replay: result cache write failed: %s"
+                     (Store.error_to_string e)))
+          | Error e -> if !first_err = None then first_err := Some e)
+        out;
+      match !first_err with Some e -> Error e | None -> Ok ()
+    end
+  in
+  Ok
+    {
+      rp_result = merge m results;
+      rp_cached = List.length cached;
+      rp_replayed = Array.length miss;
+    }

@@ -86,3 +86,84 @@ let restore_full f ~uarch env ctx =
     exact round trip. *)
 let diff_full f ~uarch env ctx =
   diff f.fk_machine env ctx @ Uarch.diff uarch f.fk_uarch
+
+(* ---- delta checkpoints: base image + per-interval footprints ---- *)
+
+(** The master image a run of delta checkpoints is relative to: a deep
+    copy of guest memory plus the warmed {!Uarch} snapshot at capture
+    time. Immutable once captured, so any number of replay workers (on
+    any number of {!Stdlib.Domain}s or processes) share one base. *)
+type base = { bk_mem : Pm.t; bk_uarch : Uarch.snapshot }
+
+(** Capture the base image and arm the environment's dirty-page
+    tracking: subsequent {!capture_delta}s record only pages touched
+    since this call. *)
+let capture_base ~(uarch : Uarch.t) (env : Env.t) =
+  let b = { bk_mem = Pm.copy env.Env.mem; bk_uarch = Uarch.snapshot uarch } in
+  Pm.clear_dirty env.Env.mem;
+  b
+
+(** A checkpoint expressed against a {!base}: the dirty pages since the
+    base was captured, the (small) architectural context, the virtual
+    clock, and the microarchitectural components that changed. Capture
+    cost scales with the interval's footprint, not guest memory size. *)
+type delta = {
+  dk_pages : Pm.delta;
+  dk_ctx : Context.t;
+  dk_cycle : int;
+  dk_tsc_offset : int64;
+  dk_uarch : Uarch.delta;
+}
+
+let capture_delta ~(base : base) ~(uarch : Uarch.t) (env : Env.t)
+    (ctx : Context.t) =
+  {
+    dk_pages = Pm.delta env.Env.mem;
+    dk_ctx = Context.copy ctx;
+    dk_cycle = env.Env.cycle;
+    dk_tsc_offset = env.Env.tsc_offset;
+    dk_uarch = Uarch.delta uarch ~base:base.bk_uarch;
+  }
+
+(** Guest memory pages a delta carries (its footprint). *)
+let delta_pages d = Pm.delta_pages d.dk_pages
+
+(** Serialized page payload of a delta, against {!full_page_bytes} for
+    the full image it replaces. *)
+let delta_page_bytes d = Pm.delta_bytes d.dk_pages
+
+(** Page payload of a full checkpoint of [env]'s memory. *)
+let full_page_bytes (env : Env.t) =
+  Pm.allocated_pages env.Env.mem * Pm.page_size
+
+(** A private physical memory reproducing the delta's capture point:
+    a copy-on-write clone of the base overlaid with the dirty pages.
+    O(frames + footprint), not O(guest bytes). *)
+let clone_mem ~(base : base) (d : delta) =
+  let mem = Pm.clone_cow base.bk_mem in
+  Pm.apply_delta mem d.dk_pages;
+  mem
+
+(** Restore a delta checkpoint in place into a machine + [Uarch.t] of
+    the same configuration (the memory is rebuilt from the base plus
+    the delta's pages; prefer {!clone_mem} + {!Ptl_arch.Env.create}
+    [?mem] when building fresh worker state, which shares the base
+    copy-on-write instead of copying it). *)
+let restore_delta ~(base : base) (d : delta) ~uarch (env : Env.t)
+    (ctx : Context.t) =
+  Pm.restore env.Env.mem ~snapshot:base.bk_mem;
+  Pm.apply_delta env.Env.mem d.dk_pages;
+  Context.restore ctx ~snapshot:d.dk_ctx;
+  env.Env.cycle <- d.dk_cycle;
+  env.Env.tsc_offset <- d.dk_tsc_offset;
+  Uarch.restore_delta uarch ~base:base.bk_uarch ~delta:d.dk_uarch
+
+(** Restore a delta's microarchitectural and context/clock state into
+    freshly built worker state whose memory already came from
+    {!clone_mem}. *)
+let restore_delta_into ~(base : base) (d : delta) ~uarch (env : Env.t)
+    (ctx : Context.t) =
+  Context.restore ctx ~snapshot:d.dk_ctx;
+  env.Env.cycle <- d.dk_cycle;
+  env.Env.tsc_offset <- d.dk_tsc_offset;
+  Uarch.restore_delta uarch ~base:base.bk_uarch ~delta:d.dk_uarch

@@ -29,3 +29,57 @@ val restore_full :
 val diff_full :
   full -> uarch:Ptl_ooo.Uarch.t -> Ptl_arch.Env.t -> Ptl_arch.Context.t ->
   string list
+
+(** {2 Delta checkpoints}
+
+    One {!base} image per run (deep memory copy + warmed
+    {!Ptl_ooo.Uarch} snapshot), then a cheap {!delta} per interval:
+    dirty pages since the base, the architectural context, the virtual
+    clock, and only the microarchitectural components that changed.
+    Capture cost scales with the interval's footprint, not guest
+    memory size; workers rebuild private state from [base + delta]
+    sharing the base copy-on-write. *)
+
+(** Immutable once captured; safe to share across domains/processes. *)
+type base = { bk_mem : Ptl_mem.Phys_mem.t; bk_uarch : Ptl_ooo.Uarch.snapshot }
+
+(** Capture the base image and arm dirty-page tracking: subsequent
+    {!capture_delta}s record only pages touched after this call. *)
+val capture_base : uarch:Ptl_ooo.Uarch.t -> Ptl_arch.Env.t -> base
+
+type delta = {
+  dk_pages : Ptl_mem.Phys_mem.delta;
+  dk_ctx : Ptl_arch.Context.t;
+  dk_cycle : int;
+  dk_tsc_offset : int64;
+  dk_uarch : Ptl_ooo.Uarch.delta;
+}
+
+val capture_delta :
+  base:base -> uarch:Ptl_ooo.Uarch.t -> Ptl_arch.Env.t ->
+  Ptl_arch.Context.t -> delta
+
+(** Guest memory pages a delta carries (its footprint). *)
+val delta_pages : delta -> int
+
+(** Serialized page payload of a delta / of a full image of [env]'s
+    memory — the apples-to-apples capture-cost comparison. *)
+val delta_page_bytes : delta -> int
+
+val full_page_bytes : Ptl_arch.Env.t -> int
+
+(** Private memory reproducing the delta's capture point: a
+    copy-on-write clone of the base overlaid with the dirty pages;
+    O(frames + footprint), not O(guest bytes). *)
+val clone_mem : base:base -> delta -> Ptl_mem.Phys_mem.t
+
+(** Restore in place, rebuilding memory from base + delta. *)
+val restore_delta :
+  base:base -> delta -> uarch:Ptl_ooo.Uarch.t -> Ptl_arch.Env.t ->
+  Ptl_arch.Context.t -> unit
+
+(** Restore context/clock/uarch into worker state whose memory already
+    came from {!clone_mem}. *)
+val restore_delta_into :
+  base:base -> delta -> uarch:Ptl_ooo.Uarch.t -> Ptl_arch.Env.t ->
+  Ptl_arch.Context.t -> unit

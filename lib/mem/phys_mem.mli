@@ -18,7 +18,9 @@ val paddr_of_mfn : int -> int
 
 val page_exists : t -> int -> bool
 
-(** Frame backing an MFN, allocating a zeroed frame on first touch. *)
+(** Frame backing an MFN, allocating a zeroed frame on first touch. The
+    returned bytes may be written, so the frame counts as dirty and any
+    copy-on-write sharing is broken first. *)
 val frame : t -> int -> Bytes.t
 
 (** Allocate a fresh frame; returns its MFN. *)
@@ -53,3 +55,41 @@ val restore : t -> snapshot:t -> unit
     memories, sorted ascending; empty = identical. The checkpoint
     round-trip harness uses this to detect dirtied pages. *)
 val diff : t -> t -> int list
+
+(** {2 Delta checkpointing}
+
+    Pages written or allocated since the last {!clear_dirty} are
+    tracked, so a checkpoint can serialize only the footprint an
+    interval touched. {!clone_cow} shares a base image copy-on-write so
+    replay workers rebuild a private memory in O(frames) pointer copies
+    instead of O(bytes). *)
+
+(** Forget the dirty set: subsequent {!delta}s are relative to now. *)
+val clear_dirty : t -> unit
+
+(** Pages written or allocated since {!clear_dirty}. *)
+val dirty_count : t -> int
+
+(** Dirty pages (deep-copied, sorted by MFN) plus allocator state:
+    everything needed to rebuild this memory from the base image the
+    dirty set is relative to. *)
+type delta
+
+val delta : t -> delta
+
+(** Number of pages a delta carries. *)
+val delta_pages : delta -> int
+
+(** Serialized size of a delta's page payloads ([delta_pages] x
+    [page_size]); compare against [allocated_pages x page_size]. *)
+val delta_bytes : delta -> int
+
+(** Overlay a delta onto a clone/restore of the base it was captured
+    against. Page bytes are copied in, so one delta may be shared. *)
+val apply_delta : t -> delta -> unit
+
+(** A memory sharing the base's frame bytes copy-on-write. The base
+    must not be mutated afterwards; clones never write through the
+    sharing, so one base may back any number of clones on any number
+    of domains. *)
+val clone_cow : t -> t

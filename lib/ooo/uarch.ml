@@ -76,3 +76,39 @@ let diff t snapshot =
   @ Tlb.diff t.dtlb snapshot.sn_dtlb
   @ Tlb.diff t.itlb snapshot.sn_itlb
   @ Predictor.diff t.bpred snapshot.sn_bpred
+
+(* ---- delta snapshots (cheap per-interval checkpoints) ---- *)
+
+(** A snapshot expressed relative to a base snapshot: each component is
+    present only if it changed since the base. Cache/TLB/predictor
+    snapshots are plain data, so "changed" is structural inequality —
+    the same snapshot-diff machinery the checkpoint round-trip harness
+    trusts, reduced to a boolean. Per-interval capture cost then scales
+    with what the interval perturbed, and a long-stable component
+    (e.g. a saturated predictor) serializes as [None]. *)
+type delta = {
+  d_hierarchy : Hierarchy.snapshot option;
+  d_dtlb : Tlb.snapshot option;
+  d_itlb : Tlb.snapshot option;
+  d_bpred : Predictor.snapshot option;
+}
+
+let delta t ~base =
+  let keep changed v = if changed then Some v else None in
+  let sn = snapshot t in
+  {
+    d_hierarchy = keep (sn.sn_hierarchy <> base.sn_hierarchy) sn.sn_hierarchy;
+    d_dtlb = keep (sn.sn_dtlb <> base.sn_dtlb) sn.sn_dtlb;
+    d_itlb = keep (sn.sn_itlb <> base.sn_itlb) sn.sn_itlb;
+    d_bpred = keep (sn.sn_bpred <> base.sn_bpred) sn.sn_bpred;
+  }
+
+(** Restore the state [delta] was captured from: each component comes
+    from the delta when it changed, from [base] otherwise. *)
+let restore_delta t ~base ~delta =
+  Hierarchy.restore t.hierarchy
+    ~snapshot:(Option.value delta.d_hierarchy ~default:base.sn_hierarchy);
+  Tlb.restore t.dtlb ~snapshot:(Option.value delta.d_dtlb ~default:base.sn_dtlb);
+  Tlb.restore t.itlb ~snapshot:(Option.value delta.d_itlb ~default:base.sn_itlb);
+  Predictor.restore t.bpred
+    ~snapshot:(Option.value delta.d_bpred ~default:base.sn_bpred)

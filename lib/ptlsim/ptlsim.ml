@@ -21,6 +21,7 @@ module Rng = Ptl_util.Rng
 module Ring = Ptl_util.Ring
 module Bitops = Ptl_util.Bitops
 module Tablefmt = Ptl_util.Tablefmt
+module Crc32 = Ptl_util.Crc32
 
 (* statistics (PTLstats) *)
 module Statstree = Ptl_stats.Statstree
@@ -91,6 +92,11 @@ module Guard = Ptl_guard.Guard
 
 (* sampled simulation (fast-forward + periodic detail) *)
 module Sample = Ptl_sample.Sample
+
+(* durable interval store + distributed sampling fleet *)
+module Store = Ptl_store.Store
+module Lease_queue = Ptl_fleet.Lease_queue
+module Fleet = Ptl_fleet.Fleet
 
 (* differential fuzzing *)
 module Fuzzgen = Ptl_fuzz.Fuzzgen

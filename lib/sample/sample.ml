@@ -551,23 +551,12 @@ let check_jobs ~jobs ~kernel ~tracing () : (unit, string) Stdlib.result =
        interleave in it"
   else Ok ()
 
-(** Replay one measured interval from a full checkpoint on completely
-    private state: a fresh physical memory + context + {!Uarch} +
-    {!Stats} tree are built, the checkpoint restored into them, and a
-    private core instance drives warm-up then measure. Nothing here
-    touches the master domain, so any number of these can run on
-    separate {!Stdlib.Domain}s at once; determinism follows because the
-    result is a pure function of the checkpoint and the schedule.
-    Returns [None] when the guest halts before committing a single
-    measured instruction. *)
-let replay_interval ~core_name ~config ~schedule ~index (ck : Checkpoint.full)
-    =
-  let stats = Stats.create () in
-  let env = Env.create ~stats () in
-  let ctx = Context.create ~vcpu_id:0 in
-  let uarch = Uarch.create ~prefix:core_name config stats in
-  Checkpoint.restore_full ck ~uarch env ctx;
-  let inst = Registry.build ~uarch core_name config env [| ctx |] in
+(* Drive a freshly restored private core through warm-up + measure and
+   package the measured window. Shared by the full-checkpoint and
+   delta-checkpoint replay paths; determinism follows because the
+   result is a pure function of the restored state and the schedule. *)
+let replay_measure ~inst ~stats ~(env : Env.t) ~(ctx : Context.t) ~schedule
+    ~index =
   let halted () =
     (not ctx.Context.running)
     && (not (Context.interruptible ctx))
@@ -598,39 +587,79 @@ let replay_interval ~core_name ~config ~schedule ~index (ck : Checkpoint.full)
       }
   else None
 
-(** Checkpoint-parallel sampled run.
+(** Replay one measured interval from a full checkpoint on completely
+    private state: a fresh physical memory + context + {!Uarch} +
+    {!Stats} tree are built, the checkpoint restored into them, and a
+    private core instance drives warm-up then measure. Nothing here
+    touches the master domain, so any number of these can run on
+    separate {!Stdlib.Domain}s at once; determinism follows because the
+    result is a pure function of the checkpoint and the schedule.
+    Returns [None] when the guest halts before committing a single
+    measured instruction. *)
+let replay_interval ~core_name ~config ~schedule ~index (ck : Checkpoint.full)
+    =
+  let stats = Stats.create () in
+  let env = Env.create ~stats () in
+  let ctx = Context.create ~vcpu_id:0 in
+  let uarch = Uarch.create ~prefix:core_name config stats in
+  Checkpoint.restore_full ck ~uarch env ctx;
+  let inst = Registry.build ~uarch core_name config env [| ctx |] in
+  replay_measure ~inst ~stats ~env ~ctx ~schedule ~index
 
-    The master pass drives the whole workload on the native core with
-    functional warming (including through the windows — under parallel
-    sampling the master never runs the timed core), capturing a
-    {!Checkpoint.full} (architectural state + warmed caches, TLBs and
-    predictor) at the start of every warm-up+measure window. The
-    measured intervals are then replayed from those checkpoints by
-    [jobs] worker {!Stdlib.Domain}s pulling indices from a shared
-    {!Atomic} cursor, each on fully private state ({!replay_interval}).
+(** Replay one measured interval from a delta checkpoint. The private
+    memory is a copy-on-write clone of the shared base image overlaid
+    with the interval's dirty pages — O(frames + footprint) to build —
+    and the private {!Uarch} restores from [base + changed components].
+    Restored state is identical to what {!replay_interval} sees from a
+    full checkpoint of the same moment, so the interval record is too. *)
+let replay_delta ~core_name ~config ~schedule ~index
+    ~(base : Checkpoint.base) (d : Checkpoint.delta) =
+  let stats = Stats.create () in
+  let mem = Checkpoint.clone_mem ~base d in
+  let env = Env.create ~stats ~mem () in
+  let ctx = Context.create ~vcpu_id:0 in
+  let uarch = Uarch.create ~prefix:core_name config stats in
+  Checkpoint.restore_delta_into ~base d ~uarch env ctx;
+  let inst = Registry.build ~uarch core_name config env [| ctx |] in
+  replay_measure ~inst ~stats ~env ~ctx ~schedule ~index
 
-    Results are merged by capture index, and every interval is a pure
-    function of its checkpoint, so the merged report is bit-identical
-    for any [jobs] and any completion order; [jobs = 1] runs the exact
-    same replay path inline. ROI gating works as in {!run}: offsets and
-    windows only advance while the region is open.
+(** What one master capture pass produced: the shared base image, one
+    delta checkpoint per measured window, the whole-run totals, and the
+    capture-cost accounting (delta vs full page payloads). This is what
+    [optlsim capture] spills into a durable store (lib/store) and what
+    {!run_parallel} replays in-process. *)
+type capture_run = {
+  cr_base : Checkpoint.base;
+  cr_deltas : Checkpoint.delta array;  (** by capture index *)
+  cr_insns : int;  (** instructions committed during the pass *)
+  cr_cycles : int;  (** virtual cycles elapsed during the pass *)
+  cr_delta_bytes : int;  (** page payload actually captured *)
+  cr_full_bytes : int;  (** what full per-window images would have cost *)
+}
+
+(** The master pass of checkpoint-parallel sampling: drive the whole
+    workload on the native core with functional warming (the master
+    never runs the timed core), capture a {!Checkpoint.base} up front
+    and a cheap {!Checkpoint.delta} — dirty pages + changed
+    microarchitectural components only — at the start of every
+    warm-up+measure window. The windows themselves are advanced
+    natively; replaying them timed is the workers' job ({!replay_delta},
+    in-process via {!run_parallel} or from a durable store via
+    lib/fleet). ROI gating as in {!run}.
 
     Raises [Invalid_argument] for kernel-hosted domains — host-side
     minios state is not checkpointable ({!check_jobs} reports the same
     condition as a CLI error). *)
-let run_parallel ?(roi = false) ?(placement = Fixed) ?(max_insns = max_int)
-    ?(max_cycles = max_int) ?(jobs = 1) ~schedule (d : Domain.t) =
-  if jobs < 1 then invalid_arg "Sample.run_parallel: jobs must be >= 1";
+let run_capture ?(roi = false) ?(placement = Fixed) ?(max_insns = max_int)
+    ?(max_cycles = max_int) ~schedule (d : Domain.t) =
   if d.Domain.kernel <> None then
     invalid_arg
-      "Sample.run_parallel: kernel-hosted domains are not checkpointable";
+      "Sample.run_capture: kernel-hosted domains are not checkpointable";
   let env = d.Domain.env and ctx = d.Domain.ctx in
   let stats = env.Env.stats in
-  let c_intervals = Stats.counter stats "sample.intervals"
-  and c_ff = Stats.counter stats "sample.ff_insns"
+  let c_ff = Stats.counter stats "sample.ff_insns"
   and c_ckpt = Stats.counter stats "sample.checkpoints"
-  and c_meas_i = Stats.counter stats "sample.measured_insns"
-  and c_meas_c = Stats.counter stats "sample.measured_cycles" in
+  and c_ckpt_pages = Stats.counter stats "sample.checkpoint_pages" in
   let uarch =
     match d.Domain.uarch with
     | Some u -> u
@@ -673,10 +702,11 @@ let run_parallel ?(roi = false) ?(placement = Fixed) ?(max_insns = max_int)
       end
     done
   in
+  let base = Checkpoint.capture_base ~uarch env in
   let placer = make_placer placement schedule in
   let window = schedule.warmup_insns + schedule.measure_insns in
-  let checkpoints = ref [] (* newest first; reversed below *) in
-  let idx = ref 0 in
+  let deltas = ref [] (* newest first; reversed below *) in
+  let delta_bytes = ref 0 and full_bytes = ref 0 in
   let period_idx = ref 0 in
   while not !finished do
     let off = placer !period_idx in
@@ -685,9 +715,12 @@ let run_parallel ?(roi = false) ?(placement = Fixed) ?(max_insns = max_int)
     drive_ff off;
     Stats.add c_ff (ctx.Context.insns_committed - i_ff);
     if not !finished then begin
-      checkpoints := Checkpoint.capture_full ~uarch env ctx :: !checkpoints;
-      incr idx;
+      let dk = Checkpoint.capture_delta ~base ~uarch env ctx in
+      deltas := dk :: !deltas;
+      delta_bytes := !delta_bytes + Checkpoint.delta_page_bytes dk;
+      full_bytes := !full_bytes + Checkpoint.full_page_bytes env;
       Stats.incr c_ckpt;
+      Stats.add c_ckpt_pages (Checkpoint.delta_pages dk);
       (* advance natively through the window so the next period starts
          from sequential state; the workers will re-execute it timed *)
       drive_ff window
@@ -703,10 +736,26 @@ let run_parallel ?(roi = false) ?(placement = Fixed) ?(max_insns = max_int)
   (match d.Domain.timelapse with
   | Some tl -> Timelapse.finish tl ~cycle:env.Env.cycle
   | None -> ());
-  let cks = Array.of_list (List.rev !checkpoints) in
-  let n = Array.length cks in
+  {
+    cr_base = base;
+    cr_deltas = Array.of_list (List.rev !deltas);
+    cr_insns = ctx.Context.insns_committed - start_insns;
+    cr_cycles = env.Env.cycle - start_cycle;
+    cr_delta_bytes = !delta_bytes;
+    cr_full_bytes = !full_bytes;
+  }
+
+(** Replay every interval of a capture on [jobs] worker
+    {!Stdlib.Domain}s pulling indices from a shared {!Atomic} cursor,
+    each on fully private state ({!replay_delta}). The result array is
+    indexed by capture index, so it is bit-identical for any [jobs] and
+    any completion order; [jobs = 1] runs the same replay path inline. *)
+let replay_capture ~core_name ~config ~schedule ?(jobs = 1)
+    (cr : capture_run) =
+  if jobs < 1 then invalid_arg "Sample.replay_capture: jobs must be >= 1";
+  let n = Array.length cr.cr_deltas in
   let results = Array.make n None in
-  let core_name = d.Domain.core_name and config = d.Domain.config in
+  let base = cr.cr_base in
   let next = Atomic.make 0 in
   (* Workers steal the next un-replayed interval; each writes only its
      own cell of [results], published to the master by [Domain.join]. *)
@@ -717,7 +766,8 @@ let run_parallel ?(roi = false) ?(placement = Fixed) ?(max_insns = max_int)
       if i >= n then continue := false
       else
         results.(i) <-
-          replay_interval ~core_name ~config ~schedule ~index:i cks.(i)
+          replay_delta ~core_name ~config ~schedule ~index:i ~base
+            cr.cr_deltas.(i)
     done
   in
   if jobs = 1 then worker ()
@@ -728,6 +778,28 @@ let run_parallel ?(roi = false) ?(placement = Fixed) ?(max_insns = max_int)
     worker ();
     Array.iter Stdlib.Domain.join doms
   end;
+  results
+
+(** Checkpoint-parallel sampled run: {!run_capture} followed by
+    {!replay_capture}, with results merged by capture index — the
+    merged report is bit-identical for any [jobs] value and any
+    completion order. Raises [Invalid_argument] for kernel-hosted
+    domains — see {!check_jobs}. *)
+let run_parallel ?(roi = false) ?(placement = Fixed) ?(max_insns = max_int)
+    ?(max_cycles = max_int) ?(jobs = 1) ~schedule (d : Domain.t) =
+  if jobs < 1 then invalid_arg "Sample.run_parallel: jobs must be >= 1";
+  if d.Domain.kernel <> None then
+    invalid_arg
+      "Sample.run_parallel: kernel-hosted domains are not checkpointable";
+  let stats = d.Domain.env.Env.stats in
+  let c_intervals = Stats.counter stats "sample.intervals"
+  and c_meas_i = Stats.counter stats "sample.measured_insns"
+  and c_meas_c = Stats.counter stats "sample.measured_cycles" in
+  let cr = run_capture ~roi ~placement ~max_insns ~max_cycles ~schedule d in
+  let results =
+    replay_capture ~core_name:d.Domain.core_name ~config:d.Domain.config
+      ~schedule ~jobs cr
+  in
   (* merge in capture order: independent of job count and completion
      order, so the report is bit-identical across --sample-jobs *)
   let intervals = Array.to_list results |> List.filter_map Fun.id in
@@ -737,10 +809,7 @@ let run_parallel ?(roi = false) ?(placement = Fixed) ?(max_insns = max_int)
       Stats.add c_meas_i iv.iv_insns;
       Stats.add c_meas_c iv.iv_cycles)
     intervals;
-  aggregate
-    ~total_insns:(ctx.Context.insns_committed - start_insns)
-    ~total_cycles:(env.Env.cycle - start_cycle)
-    intervals
+  aggregate ~total_insns:cr.cr_insns ~total_cycles:cr.cr_cycles intervals
 
 (* ---------------------------------------------------------------- *)
 (* Reporting                                                         *)

@@ -146,6 +146,58 @@ val replay_interval :
   Ptl_hyper.Checkpoint.full ->
   interval option
 
+(** Replay one measured interval from a delta checkpoint: private
+    memory is a copy-on-write clone of the shared base image overlaid
+    with the interval's dirty pages, the private {!Ptl_ooo.Uarch}
+    restores from base + changed components. Restored state — and so
+    the interval record — is identical to a full-checkpoint replay of
+    the same moment. *)
+val replay_delta :
+  core_name:string ->
+  config:Ptl_ooo.Config.t ->
+  schedule:schedule ->
+  index:int ->
+  base:Ptl_hyper.Checkpoint.base ->
+  Ptl_hyper.Checkpoint.delta ->
+  interval option
+
+(** One master capture pass: shared base image, one delta checkpoint
+    per measured window (by capture index), whole-run totals, and the
+    capture-cost accounting (delta vs full page payloads). *)
+type capture_run = {
+  cr_base : Ptl_hyper.Checkpoint.base;
+  cr_deltas : Ptl_hyper.Checkpoint.delta array;
+  cr_insns : int;
+  cr_cycles : int;
+  cr_delta_bytes : int;
+  cr_full_bytes : int;
+}
+
+(** The master pass of checkpoint-parallel sampling: native execution
+    with functional warming, a {!Ptl_hyper.Checkpoint.base} captured up
+    front and a cheap delta at the start of every warm-up+measure
+    window (the windows advance natively; workers replay them timed).
+    Raises [Invalid_argument] on kernel-hosted domains. *)
+val run_capture :
+  ?roi:bool ->
+  ?placement:placement ->
+  ?max_insns:int ->
+  ?max_cycles:int ->
+  schedule:schedule ->
+  Ptl_hyper.Domain.t ->
+  capture_run
+
+(** Replay every captured interval on [jobs] worker {!Stdlib.Domain}s
+    (default 1 = inline), returning results by capture index —
+    bit-identical for any [jobs] and completion order. *)
+val replay_capture :
+  core_name:string ->
+  config:Ptl_ooo.Config.t ->
+  schedule:schedule ->
+  ?jobs:int ->
+  capture_run ->
+  interval option array
+
 (** Checkpoint-parallel sampled run: one native master pass (functional
     warming throughout) captures a {!Ptl_hyper.Checkpoint.full} at the
     start of every warm-up+measure window; [jobs] worker

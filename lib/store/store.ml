@@ -1,0 +1,349 @@
+(** The durable interval store: a versioned, checksummed on-disk home
+    for one sampled-simulation capture, so interval sets outlive the
+    master process, runs are resumable, and worker *processes* — local
+    or across a shared filesystem, exactly like the paper's
+    cluster-distributed PTLsim/X checkpoint workflow — can replay
+    measured intervals long after the capture pass exited.
+
+    A store is a directory:
+
+    {v
+    MANIFEST            workload/core/config/schedule identity + totals
+    base                shared base image (guest memory + warmed uarch)
+    interval-NNNNNN     one delta checkpoint per measured window
+    result-DIGEST-NNNNNN  cached replay results, keyed by config digest
+    v}
+
+    Intervals are keyed by [(workload digest, schedule, capture
+    index)]: the manifest pins the first two, the file name carries the
+    index. Every file is framed by a fixed header — magic, format
+    version, a record-kind tag, payload length and a CRC-32 of the
+    payload — so truncation, bit rot and version skew are each rejected
+    with a typed {!error} before a corrupt checkpoint can poison a
+    replay. The result cache makes repeated runs of the same
+    [(checkpoint, config)] pair free.
+
+    Payloads are [Marshal]-encoded plain data (no closures: flags []),
+    written by the same binary family that reads them — the usual
+    OCaml-marshal compatibility contract, guarded by the explicit
+    format version in the header. *)
+
+module Checkpoint = Ptl_hyper.Checkpoint
+module Sample = Ptl_sample.Sample
+module Config = Ptl_ooo.Config
+module Crc32 = Ptl_util.Crc32
+
+(* ---------------------------------------------------------------- *)
+(* Errors                                                            *)
+(* ---------------------------------------------------------------- *)
+
+type error =
+  | E_io of { path : string; reason : string }
+  | E_bad_magic of { path : string }
+  | E_bad_version of { path : string; found : int; expected : int }
+  | E_bad_kind of { path : string; found : char; expected : char }
+  | E_truncated of { path : string; wanted : int; got : int }
+  | E_checksum of { path : string; stored : int32; computed : int32 }
+  | E_bad_index of { index : int; count : int }
+  | E_mismatch of { path : string; field : string; found : string; expected : string }
+
+let error_to_string = function
+  | E_io { path; reason } -> Printf.sprintf "store: %s: %s" path reason
+  | E_bad_magic { path } ->
+    Printf.sprintf "store: %s: not an optlsim store file (bad magic)" path
+  | E_bad_version { path; found; expected } ->
+    Printf.sprintf
+      "store: %s: format version %d, this build reads version %d \
+       (re-capture the store)"
+      path found expected
+  | E_bad_kind { path; found; expected } ->
+    Printf.sprintf "store: %s: record kind %C where %C was expected" path
+      found expected
+  | E_truncated { path; wanted; got } ->
+    Printf.sprintf "store: %s: truncated (%d payload bytes of %d)" path got
+      wanted
+  | E_checksum { path; stored; computed } ->
+    Printf.sprintf
+      "store: %s: payload checksum mismatch (stored %08lx, computed %08lx) \
+       — file is corrupt"
+      path stored computed
+  | E_bad_index { index; count } ->
+    Printf.sprintf "store: interval index %d out of range (store holds %d)"
+      index count
+  | E_mismatch { path; field; found; expected } ->
+    Printf.sprintf "store: %s: %s is %s, expected %s" path field found
+      expected
+
+let ( let* ) r f = match r with Error _ as e -> e | Ok x -> f x
+
+(* ---------------------------------------------------------------- *)
+(* Framed, checksummed records                                       *)
+(* ---------------------------------------------------------------- *)
+
+let magic = "OPTLSTOR"
+let version = 1
+
+(* magic(8) + version(2 LE) + kind(1) + payload length(8 LE) + crc(4 LE) *)
+let header_size = 8 + 2 + 1 + 8 + 4
+
+let kind_manifest = 'M'
+let kind_base = 'B'
+let kind_interval = 'I'
+let kind_result = 'R'
+
+let write_record ~path ~kind payload =
+  try
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    let hdr = Buffer.create header_size in
+    Buffer.add_string hdr magic;
+    Buffer.add_uint16_le hdr version;
+    Buffer.add_char hdr kind;
+    Buffer.add_int64_le hdr (Int64.of_int (String.length payload));
+    Buffer.add_int32_le hdr (Crc32.string payload);
+    Buffer.output_buffer oc hdr;
+    output_string oc payload;
+    close_out oc;
+    Sys.rename tmp path;
+    Ok ()
+  with Sys_error reason -> Error (E_io { path; reason })
+
+let read_record ~path ~kind =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let size = in_channel_length ic in
+        let raw = really_input_string ic size in
+        raw)
+  with
+  | exception Sys_error reason -> Error (E_io { path; reason })
+  | raw ->
+    if String.length raw < header_size then
+      Error (E_truncated { path; wanted = header_size; got = String.length raw })
+    else if String.sub raw 0 8 <> magic then Error (E_bad_magic { path })
+    else begin
+      let found_version = String.get_uint16_le raw 8 in
+      if found_version <> version then
+        Error (E_bad_version { path; found = found_version; expected = version })
+      else begin
+        let found_kind = raw.[10] in
+        if found_kind <> kind then
+          Error (E_bad_kind { path; found = found_kind; expected = kind })
+        else begin
+          let len = Int64.to_int (String.get_int64_le raw 11) in
+          let got = String.length raw - header_size in
+          if got <> len then Error (E_truncated { path; wanted = len; got })
+          else begin
+            let stored = String.get_int32_le raw 19 in
+            let computed = Crc32.update Crc32.empty raw ~pos:header_size ~len in
+            if stored <> computed then
+              Error (E_checksum { path; stored; computed })
+            else Ok (String.sub raw header_size len)
+          end
+        end
+      end
+    end
+
+let marshal v = Marshal.to_string v []
+
+let write_value ~path ~kind v = write_record ~path ~kind (marshal v)
+
+(* The kind tag is checked before unmarshaling, so a payload can only be
+   decoded at the type it was encoded at. *)
+let read_value ~path ~kind =
+  let* payload = read_record ~path ~kind in
+  match Marshal.from_string payload 0 with
+  | v -> Ok v
+  | exception Failure reason -> Error (E_io { path; reason })
+
+(* ---------------------------------------------------------------- *)
+(* Digests                                                           *)
+(* ---------------------------------------------------------------- *)
+
+(** Hex digest of any plain-data value (workload programs, configs). *)
+let digest_value v = Digest.to_hex (Digest.string (marshal v))
+
+(** Digest identifying a machine configuration — the result-cache key:
+    replaying the same checkpoint under the same config is free. *)
+let config_digest (c : Config.t) = digest_value c
+
+(* ---------------------------------------------------------------- *)
+(* Manifest and layout                                               *)
+(* ---------------------------------------------------------------- *)
+
+type manifest = {
+  m_workload : string;  (** hex digest of the captured workload *)
+  m_core : string;  (** core model the capture warmed for *)
+  m_config : Config.t;
+  m_config_digest : string;
+  m_ff : int;
+  m_warmup : int;
+  m_measure : int;
+  m_placement : string;  (** parseable by {!Sample.parse_placement} *)
+  m_count : int;  (** intervals in the store *)
+  m_total_insns : int;  (** master-pass totals, for the merged report *)
+  m_total_cycles : int;
+  m_delta_bytes : int;  (** page payload captured as deltas *)
+  m_full_bytes : int;  (** what full per-window images would have cost *)
+}
+
+let schedule m =
+  { Sample.ff_insns = m.m_ff; warmup_insns = m.m_warmup; measure_insns = m.m_measure }
+
+type t = { dir : string; manifest : manifest }
+
+let manifest t = t.manifest
+let dir t = t.dir
+let manifest_path dir = Filename.concat dir "MANIFEST"
+let base_path dir = Filename.concat dir "base"
+
+let interval_name index = Printf.sprintf "interval-%06d" index
+let interval_path t index = Filename.concat t.dir (interval_name index)
+
+(* Result-cache file names carry a digest prefix for humans; the full
+   digest inside the payload is what is actually verified. *)
+let result_name ~config_digest index =
+  Printf.sprintf "result-%s-%06d" (String.sub config_digest 0 12) index
+
+let result_path t ~config_digest index =
+  Filename.concat t.dir (result_name ~config_digest index)
+
+(** What a result-cache record stores: the full config digest it was
+    replayed under plus the interval (None = the guest halted before
+    committing a measured instruction — also worth caching). *)
+type stored_result = {
+  sr_config_digest : string;
+  sr_index : int;
+  sr_interval : Sample.interval option;
+}
+
+(* ---------------------------------------------------------------- *)
+(* Writing a store                                                   *)
+(* ---------------------------------------------------------------- *)
+
+let mkdir_p dir =
+  let rec mk d =
+    if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      mk (Filename.dirname d);
+      try Sys.mkdir d 0o755 with Sys_error _ -> ()
+    end
+  in
+  mk dir;
+  if Sys.file_exists dir && Sys.is_directory dir then Ok ()
+  else Error (E_io { path = dir; reason = "cannot create store directory" })
+
+(** Spill a finished capture pass into [dir]. The manifest is written
+    last, so a crashed capture leaves a store that {!open_store}
+    rejects instead of a silently short one. *)
+let create ~dir ~workload ~core ~(schedule : Sample.schedule) ~placement
+    (cr : Sample.capture_run) ~(config : Config.t) =
+  let* () = mkdir_p dir in
+  let* () = write_value ~path:(base_path dir) ~kind:kind_base cr.Sample.cr_base in
+  let count = Array.length cr.Sample.cr_deltas in
+  let rec write_intervals i =
+    if i >= count then Ok ()
+    else
+      let path = Filename.concat dir (interval_name i) in
+      let* () = write_value ~path ~kind:kind_interval cr.Sample.cr_deltas.(i) in
+      write_intervals (i + 1)
+  in
+  let* () = write_intervals 0 in
+  let m =
+    {
+      m_workload = workload;
+      m_core = core;
+      m_config = config;
+      m_config_digest = config_digest config;
+      m_ff = schedule.Sample.ff_insns;
+      m_warmup = schedule.Sample.warmup_insns;
+      m_measure = schedule.Sample.measure_insns;
+      m_placement = placement;
+      m_count = count;
+      m_total_insns = cr.Sample.cr_insns;
+      m_total_cycles = cr.Sample.cr_cycles;
+      m_delta_bytes = cr.Sample.cr_delta_bytes;
+      m_full_bytes = cr.Sample.cr_full_bytes;
+    }
+  in
+  let* () = write_value ~path:(manifest_path dir) ~kind:kind_manifest m in
+  Ok { dir; manifest = m }
+
+(* ---------------------------------------------------------------- *)
+(* Reading a store                                                   *)
+(* ---------------------------------------------------------------- *)
+
+let open_store ~dir =
+  let* (m : manifest) =
+    read_value ~path:(manifest_path dir) ~kind:kind_manifest
+  in
+  Ok { dir; manifest = m }
+
+let load_base t : (Checkpoint.base, error) result =
+  read_value ~path:(base_path t.dir) ~kind:kind_base
+
+let load_interval t index : (Checkpoint.delta, error) result =
+  if index < 0 || index >= t.manifest.m_count then
+    Error (E_bad_index { index; count = t.manifest.m_count })
+  else read_value ~path:(interval_path t index) ~kind:kind_interval
+
+(* ---------------------------------------------------------------- *)
+(* Result cache                                                      *)
+(* ---------------------------------------------------------------- *)
+
+let put_result t ~config_digest ~index (iv : Sample.interval option) =
+  if index < 0 || index >= t.manifest.m_count then
+    Error (E_bad_index { index; count = t.manifest.m_count })
+  else
+    write_value
+      ~path:(result_path t ~config_digest index)
+      ~kind:kind_result
+      { sr_config_digest = config_digest; sr_index = index; sr_interval = iv }
+
+(** [Ok None] = not cached (including an unreadable or mismatched cache
+    entry: the cache is an optimization, so a bad entry means "replay
+    again", never "fail the run"). *)
+let get_result t ~config_digest ~index :
+    (Sample.interval option option, error) result =
+  if index < 0 || index >= t.manifest.m_count then
+    Error (E_bad_index { index; count = t.manifest.m_count })
+  else begin
+    let path = result_path t ~config_digest index in
+    if not (Sys.file_exists path) then Ok None
+    else
+      match read_value ~path ~kind:kind_result with
+      | Error _ -> Ok None
+      | Ok (sr : stored_result) ->
+        if sr.sr_config_digest = config_digest && sr.sr_index = index then
+          Ok (Some sr.sr_interval)
+        else Ok None
+  end
+
+(** Every cached result for [config_digest], by index — what a server
+    preloads so repeated runs of the same (store, config) are free. *)
+let cached_results t ~config_digest =
+  let rec scan i acc =
+    if i >= t.manifest.m_count then List.rev acc
+    else
+      match get_result t ~config_digest ~index:i with
+      | Ok (Some iv) -> scan (i + 1) ((i, iv) :: acc)
+      | Ok None | Error _ -> scan (i + 1) acc
+  in
+  scan 0 []
+
+(* ---------------------------------------------------------------- *)
+(* Reporting                                                         *)
+(* ---------------------------------------------------------------- *)
+
+(** One-paragraph description of a store (CLI [capture]/[serve] logs). *)
+let describe t =
+  let m = t.manifest in
+  Printf.sprintf
+    "store %s: %d interval(s), workload %s, core %s, schedule \
+     ff=%d/warmup=%d/measure=%d, placement %s, capture %d bytes as deltas \
+     (full images: %d bytes)"
+    t.dir m.m_count
+    (String.sub m.m_workload 0 (min 12 (String.length m.m_workload)))
+    m.m_core m.m_ff m.m_warmup m.m_measure m.m_placement m.m_delta_bytes
+    m.m_full_bytes

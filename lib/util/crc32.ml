@@ -1,0 +1,36 @@
+(** CRC-32 (IEEE 802.3, the zlib/PNG polynomial), table-driven, pure
+    OCaml. The durable interval store (lib/store) checksums every
+    payload with this so bit rot and truncation are detected before a
+    corrupt checkpoint can silently poison a replay. *)
+
+(* Reflected polynomial 0xEDB88320; the classic 256-entry table,
+   computed once at module load. *)
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+(** Fold [len] bytes of [s] starting at [pos] into a running CRC
+    (start from {!empty}; the stored value is the finalized CRC). *)
+let update crc s ~pos ~len =
+  let table = Lazy.force table in
+  let c = ref (Int32.lognot crc) in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code (String.unsafe_get s i)))) 0xFFl)
+    in
+    c := Int32.logxor (Array.unsafe_get table idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.lognot !c
+
+let empty = 0l
+
+(** CRC-32 of a whole string. *)
+let string s = update empty s ~pos:0 ~len:(String.length s)

@@ -1,0 +1,13 @@
+(** CRC-32 (IEEE 802.3, the zlib/PNG polynomial), table-driven. Used by
+    the durable interval store to checksum every on-disk payload. *)
+
+(** The CRC of the empty string; the accumulator to start from. *)
+val empty : int32
+
+(** Fold [len] bytes of [s] at [pos] into a running CRC. Chaining
+    [update] calls over consecutive slices equals {!string} of their
+    concatenation. *)
+val update : int32 -> string -> pos:int -> len:int -> int32
+
+(** CRC-32 of a whole string. *)
+val string : string -> int32

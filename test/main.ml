@@ -26,6 +26,8 @@ let () =
       ("guard", Test_guard.suite);
       ("sample", Test_sample.suite);
       ("checkpoint", Test_checkpoint.suite);
+      ("store", Test_store.suite);
+      ("fleet", Test_fleet.suite);
     ]
   with e ->
     Printf.eprintf

@@ -148,9 +148,69 @@ let test_planted_mutations () =
         ~value:(Int64.logxor old 0xFFL))
     "mem: frame"
 
+(* drive the domain natively for ~[insns] more instructions *)
+let drive d ~insns =
+  let ctx = d.Domain.ctx in
+  let target = ctx.Context.insns_committed + insns in
+  let alive = ref true in
+  while !alive && ctx.Context.insns_committed < target do
+    alive := Domain.drive_once d
+  done
+
+(* delta checkpoints: base + delta must restore the capture moment
+   exactly (verified against a full checkpoint taken at the same
+   instant), with a footprint well under the full image *)
+let test_delta_round_trip () =
+  let d, u, _ = warmed_machine () in
+  let env = d.Domain.env and ctx = d.Domain.ctx in
+  let base = Checkpoint.capture_base ~uarch:u env in
+  drive d ~insns:4_000;
+  let dk = Checkpoint.capture_delta ~base ~uarch:u env ctx in
+  let full = Checkpoint.capture_full ~uarch:u env ctx in
+  Alcotest.(check bool) "delta has a footprint" true
+    (Checkpoint.delta_pages dk > 0);
+  Alcotest.(check bool) "delta smaller than the full image" true
+    (Checkpoint.delta_page_bytes dk < Checkpoint.full_page_bytes env);
+  drive d ~insns:4_000;
+  Alcotest.(check bool) "drifted past the capture point" true
+    (Checkpoint.diff_full full ~uarch:u env ctx <> []);
+  Checkpoint.restore_delta ~base dk ~uarch:u env ctx;
+  no_diff "base + delta restores exactly"
+    (Checkpoint.diff_full full ~uarch:u env ctx)
+
+(* the worker-side rebuild path (lib/sample replay_delta, lib/fleet):
+   a copy-on-write clone of the base overlaid with the delta, plus
+   fresh context/uarch, must equal the capture moment exactly *)
+let test_delta_clone_worker_state () =
+  let d, u, _ = warmed_machine () in
+  let env = d.Domain.env and ctx = d.Domain.ctx in
+  let base = Checkpoint.capture_base ~uarch:u env in
+  drive d ~insns:4_000;
+  let dk = Checkpoint.capture_delta ~base ~uarch:u env ctx in
+  let full = Checkpoint.capture_full ~uarch:u env ctx in
+  let stats = Ptl_stats.Statstree.create () in
+  let mem = Checkpoint.clone_mem ~base dk in
+  let wenv = Env.create ~stats ~mem () in
+  let wctx = Context.create ~vcpu_id:0 in
+  let wu = Uarch.create ~prefix:"ooo" Config.tiny stats in
+  Checkpoint.restore_delta_into ~base dk ~uarch:wu wenv wctx;
+  no_diff "fresh worker state equals the capture moment"
+    (Checkpoint.diff_full full ~uarch:wu wenv wctx);
+  (* and the worker's writes never leak into the shared base image *)
+  let probe = Int64.to_int Machine.heap_base in
+  let before = Ptl_mem.Phys_mem.read64 base.Checkpoint.bk_mem probe in
+  Ptl_mem.Phys_mem.write64 wenv.Env.mem probe
+    (Int64.logxor before 0xDEAD_BEEFL);
+  Alcotest.(check int64) "base image untouched by worker writes" before
+    (Ptl_mem.Phys_mem.read64 base.Checkpoint.bk_mem probe)
+
 let suite =
   [
     Alcotest.test_case "full round trip is lossless" `Quick test_round_trip;
     Alcotest.test_case "planted mutations are detected" `Quick
       test_planted_mutations;
+    Alcotest.test_case "delta round trip is lossless" `Quick
+      test_delta_round_trip;
+    Alcotest.test_case "delta clone rebuilds worker state" `Quick
+      test_delta_clone_worker_state;
   ]

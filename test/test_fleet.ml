@@ -1,0 +1,200 @@
+(* Fleet tests (lib/fleet): lease bookkeeping (timeouts, worker death,
+   stragglers) as pure unit tests, flag validation, and an end-to-end
+   serve/work run over a real unix socket — including a worker that
+   dies mid-lease — whose merged result must be bit-identical to an
+   in-process replay of the same capture. *)
+
+module Sample = Ptl_sample.Sample
+module Store = Ptl_store.Store
+module Fleet = Ptl_fleet.Fleet
+module Lq = Ptl_fleet.Lease_queue
+module Config = Ptl_ooo.Config
+
+(* ---- lease queue ---- *)
+
+let test_lease_queue_basics () =
+  let q = Lq.create ~count:4 ~cached:[ 2 ] in
+  Alcotest.(check int) "cached pre-decided" 1 (Lq.decided_count q);
+  Alcotest.(check int) "rest pending" 3 (Lq.pending q);
+  let l1 = Lq.lease q ~owner:"a" ~now:0.0 ~timeout:10.0 in
+  let l2 = Lq.lease q ~owner:"b" ~now:0.0 ~timeout:10.0 in
+  Alcotest.(check (option int)) "first lease" (Some 0) l1;
+  Alcotest.(check (option int)) "second lease skips cached later" (Some 1) l2;
+  Alcotest.(check int) "two leased" 2 (Lq.leased q);
+  Alcotest.(check bool) "complete decides" true (Lq.complete q 0);
+  Alcotest.(check bool) "duplicate completion ignored" false (Lq.complete q 0);
+  Alcotest.(check bool) "cached index never re-decided" false (Lq.complete q 2);
+  Alcotest.(check (option int)) "third lease" (Some 3)
+    (Lq.lease q ~owner:"a" ~now:1.0 ~timeout:10.0);
+  Alcotest.(check (option int)) "drained" None
+    (Lq.lease q ~owner:"a" ~now:1.0 ~timeout:10.0);
+  Alcotest.(check bool) "not finished while leases open" false (Lq.finished q);
+  ignore (Lq.complete q 1);
+  ignore (Lq.complete q 3);
+  Alcotest.(check bool) "finished" true (Lq.finished q)
+
+let test_lease_queue_timeout () =
+  let q = Lq.create ~count:2 ~cached:[] in
+  ignore (Lq.lease q ~owner:"w" ~now:0.0 ~timeout:5.0);
+  Alcotest.(check (list int)) "nothing stale yet" [] (Lq.expire q ~now:4.0);
+  Alcotest.(check (list int)) "lease expires" [ 0 ] (Lq.expire q ~now:6.0);
+  (* the expired index is handed out again *)
+  Alcotest.(check (option int)) "re-leased after expiry" (Some 1)
+    (Lq.lease q ~owner:"v" ~now:6.0 ~timeout:5.0);
+  Alcotest.(check (option int)) "requeued index comes back" (Some 0)
+    (Lq.lease q ~owner:"v" ~now:6.0 ~timeout:5.0)
+
+let test_lease_queue_worker_death () =
+  let q = Lq.create ~count:3 ~cached:[] in
+  ignore (Lq.lease q ~owner:"victim" ~now:0.0 ~timeout:60.0);
+  ignore (Lq.lease q ~owner:"victim" ~now:0.0 ~timeout:60.0);
+  ignore (Lq.lease q ~owner:"survivor" ~now:0.0 ~timeout:60.0);
+  Alcotest.(check (list int)) "victim's leases re-queue" [ 0; 1 ]
+    (Lq.drop_owner q "victim");
+  Alcotest.(check int) "survivor keeps its lease" 1 (Lq.leased q);
+  (* straggler: the victim's result for a re-queued index still lands
+     first — the later worker's duplicate must be ignored *)
+  Alcotest.(check bool) "straggler completion wins" true (Lq.complete q 0);
+  Alcotest.(check (option int)) "lease skips the decided index" (Some 1)
+    (Lq.lease q ~owner:"survivor" ~now:1.0 ~timeout:60.0)
+
+(* ---- flag validation ---- *)
+
+let check_err name = function
+  | Error (_ : string) -> ()
+  | Ok _ -> Alcotest.fail (name ^ ": accepted a contradictory flag combo")
+
+let test_check_flags () =
+  check_err "capture without store" (Fleet.check_capture ~store:"" ~jobs:None ());
+  check_err "capture with --sample-jobs"
+    (Fleet.check_capture ~store:"/tmp/s" ~jobs:(Some 4) ());
+  Alcotest.(check bool) "capture ok" true
+    (Fleet.check_capture ~store:"/tmp/s" ~jobs:None () = Ok ());
+  check_err "serve without store"
+    (Fleet.check_serve ~store:"" ~socket:"/tmp/s.sock" ~lease_timeout:30.0 ());
+  check_err "serve without socket"
+    (Fleet.check_serve ~store:"/tmp/s" ~socket:"" ~lease_timeout:30.0 ());
+  check_err "serve with absurd socket path"
+    (Fleet.check_serve ~store:"/tmp/s" ~socket:(String.make 200 'x')
+       ~lease_timeout:30.0 ());
+  check_err "serve with nonpositive lease timeout"
+    (Fleet.check_serve ~store:"/tmp/s" ~socket:"/tmp/s.sock"
+       ~lease_timeout:0.0 ());
+  Alcotest.(check bool) "serve ok" true
+    (Fleet.check_serve ~store:"/tmp/s" ~socket:"/tmp/s.sock"
+       ~lease_timeout:30.0 ()
+    = Ok ());
+  check_err "work without connect" (Fleet.check_work ~connect:"" ());
+  check_err "replay without store" (Fleet.check_replay ~store:"" ~jobs:1 ());
+  check_err "replay with negative jobs"
+    (Fleet.check_replay ~store:"/tmp/s" ~jobs:(-1) ());
+  Alcotest.(check bool) "replay jobs=0 means auto-detect" true
+    (Fleet.check_replay ~store:"/tmp/s" ~jobs:0 () = Ok ())
+
+(* ---- end to end over a real socket ---- *)
+
+let schedule =
+  { Sample.ff_insns = 6_000; warmup_insns = 800; measure_insns = 1_200 }
+
+let fresh_paths () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "optlsim_fleet_test_%d" (Unix.getpid ()))
+  in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  (dir, dir ^ ".sock")
+
+let connect_when_up path =
+  let rec go tries =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> fd
+    | exception Unix.Unix_error (_, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if tries <= 0 then Alcotest.fail "server never came up"
+      else begin
+        Unix.sleepf 0.05;
+        go (tries - 1)
+      end
+  in
+  go 200
+
+(* serve + one worker, with a second "worker" that leases an interval
+   and dies without delivering: the lease must re-queue and the merged
+   result must still be bit-identical to an in-process replay *)
+let test_fleet_end_to_end () =
+  let d, _ = Test_checkpoint.bare_loop ~iters:20_000 () in
+  let cr = Sample.run_capture ~schedule d in
+  let count = Array.length cr.Sample.cr_deltas in
+  Alcotest.(check bool) "several intervals" true (count >= 5);
+  let expected =
+    let ivs =
+      Sample.replay_capture ~core_name:"ooo" ~config:Config.tiny ~schedule cr
+    in
+    Sample.aggregate ~total_insns:cr.Sample.cr_insns
+      ~total_cycles:cr.Sample.cr_cycles
+      (Array.to_list ivs |> List.filter_map Fun.id)
+  in
+  let dir, sock = fresh_paths () in
+  let store =
+    match
+      Store.create ~dir ~workload:"fleet-test" ~core:"ooo" ~schedule
+        ~placement:"fixed" cr ~config:Config.tiny
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.fail (Store.error_to_string e)
+  in
+  let server =
+    Stdlib.Domain.spawn (fun () ->
+        Fleet.serve ~lease_timeout:60.0 ~socket:sock store)
+  in
+  (* the victim: lease interval 0, then vanish without delivering *)
+  let fd = connect_when_up sock in
+  Fleet.send fd (Fleet.Hello { worker = "victim" });
+  (match (Fleet.recv fd : Fleet.reply) with
+  | Fleet.Welcome { count = advertised; _ } ->
+    Alcotest.(check int) "welcome advertises the store" count advertised
+  | _ -> Alcotest.fail "expected Welcome");
+  Fleet.send fd Fleet.Lease;
+  (match (Fleet.recv fd : Fleet.reply) with
+  | Fleet.Work _ -> ()
+  | _ -> Alcotest.fail "expected a lease");
+  Unix.close fd;
+  (* a real worker drains the queue, including the re-queued interval *)
+  let replayed =
+    match Fleet.work ~retries:10 ~connect:sock () with
+    | Ok n -> n
+    | Error msg -> Alcotest.fail msg
+  in
+  let sv = Stdlib.Domain.join server in
+  Alcotest.(check int) "worker replayed everything" count replayed;
+  Alcotest.(check int) "server merged everything" count sv.Fleet.sv_replayed;
+  Alcotest.(check bool) "victim's lease was re-queued" true
+    (sv.Fleet.sv_requeued >= 1);
+  Alcotest.(check bool) "merged result bit-identical to local replay" true
+    (sv.Fleet.sv_result = expected);
+  (* the run populated the (checkpoint, config) cache: a re-serve with
+     no workers at all finishes instantly from cache, same answer *)
+  let sv2 = Fleet.serve ~lease_timeout:60.0 ~socket:sock store in
+  Alcotest.(check int) "everything from cache" count sv2.Fleet.sv_cached;
+  Alcotest.(check int) "nothing replayed" 0 sv2.Fleet.sv_replayed;
+  Alcotest.(check bool) "cached result identical" true
+    (sv2.Fleet.sv_result = expected);
+  (* and the in-process consumer agrees too *)
+  match Fleet.replay ~jobs:1 store with
+  | Ok rp ->
+    Alcotest.(check bool) "replay result identical" true
+      (rp.Fleet.rp_result = expected)
+  | Error e -> Alcotest.fail (Store.error_to_string e)
+
+let suite =
+  [
+    Alcotest.test_case "lease queue basics" `Quick test_lease_queue_basics;
+    Alcotest.test_case "lease queue timeout" `Quick test_lease_queue_timeout;
+    Alcotest.test_case "lease queue worker death" `Quick
+      test_lease_queue_worker_death;
+    Alcotest.test_case "flag validation" `Quick test_check_flags;
+    Alcotest.test_case "fleet end to end (with worker death)" `Quick
+      test_fleet_end_to_end;
+  ]

@@ -322,9 +322,70 @@ let prop_coherence_invariants =
         ops;
       Coherence.check_invariants d)
 
+(* dirty-page tracking: writes (and allocating reads) dirty a page,
+   plain reads of existing pages do not, and a delta carries exactly
+   the touched footprint *)
+let test_phys_dirty_tracking () =
+  let m = Phys_mem.create () in
+  Phys_mem.write64 m 0x1000 0xAAL;
+  Phys_mem.write64 m 0x5000 0xBBL;
+  let base = Phys_mem.copy m in
+  Phys_mem.clear_dirty m;
+  Alcotest.(check int) "clean after clear_dirty" 0 (Phys_mem.dirty_count m);
+  ignore (Phys_mem.read64 m 0x1000);
+  Alcotest.(check int) "plain read stays clean" 0 (Phys_mem.dirty_count m);
+  Phys_mem.write8 m 0x5004 0xCC;
+  Alcotest.(check int) "write dirties one page" 1 (Phys_mem.dirty_count m);
+  (* a read that allocates a zero page is allocation-state mutation *)
+  ignore (Phys_mem.read64 m 0x9000);
+  Alcotest.(check int) "allocating read dirties" 2 (Phys_mem.dirty_count m);
+  let d = Phys_mem.delta m in
+  Alcotest.(check int) "delta carries the footprint" 2
+    (Phys_mem.delta_pages d);
+  Alcotest.(check int) "delta bytes = pages x page_size"
+    (2 * Phys_mem.page_size) (Phys_mem.delta_bytes d);
+  (* base + delta rebuilds the live contents, drift afterwards or not *)
+  Phys_mem.write64 m 0x1000 0xDDL;
+  let rebuilt = Phys_mem.clone_cow base in
+  Phys_mem.apply_delta rebuilt d;
+  Alcotest.(check int64) "rebuilt dirty page" 0x000000CC000000BBL
+    (Phys_mem.read64 rebuilt 0x5000);
+  Alcotest.(check int64) "rebuilt clean page (pre-delta content)" 0xAAL
+    (Phys_mem.read64 rebuilt 0x1000);
+  Alcotest.(check int64) "rebuilt allocated-by-read page" 0L
+    (Phys_mem.read64 rebuilt 0x9000);
+  Alcotest.(check int) "rebuilt allocation count"
+    (Phys_mem.allocated_pages m) (Phys_mem.allocated_pages rebuilt)
+
+(* copy-on-write clones: reads share the base's bytes, a write copies
+   the frame privately and never leaks back into the base *)
+let test_phys_clone_cow () =
+  let base = Phys_mem.create () in
+  Phys_mem.write64 base 0x1000 0x1111L;
+  Phys_mem.write64 base 0x2000 0x2222L;
+  let c1 = Phys_mem.clone_cow base in
+  let c2 = Phys_mem.clone_cow base in
+  Alcotest.(check int64) "clone reads base content" 0x1111L
+    (Phys_mem.read64 c1 0x1000);
+  Phys_mem.write64 c1 0x1000 0xDEADL;
+  Alcotest.(check int64) "clone write is private" 0xDEADL
+    (Phys_mem.read64 c1 0x1000);
+  Alcotest.(check int64) "base unchanged" 0x1111L
+    (Phys_mem.read64 base 0x1000);
+  Alcotest.(check int64) "sibling clone unchanged" 0x1111L
+    (Phys_mem.read64 c2 0x1000);
+  (* the unwritten page is still shared verbatim *)
+  Alcotest.(check int64) "unwritten page shared" 0x2222L
+    (Phys_mem.read64 c1 0x2000);
+  Alcotest.(check (list int)) "clone diffs only the written page"
+    [ Phys_mem.mfn_of_paddr 0x1000 ]
+    (Phys_mem.diff c1 base)
+
 let suite =
   [
     Alcotest.test_case "phys rw" `Quick test_phys_rw;
+    Alcotest.test_case "phys dirty tracking" `Quick test_phys_dirty_tracking;
+    Alcotest.test_case "phys clone cow" `Quick test_phys_clone_cow;
     Alcotest.test_case "phys cross page" `Quick test_phys_cross_page;
     Alcotest.test_case "phys alloc/copy/restore" `Quick test_phys_alloc_copy;
     Alcotest.test_case "walk ok" `Quick test_walk_ok;

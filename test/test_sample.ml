@@ -467,6 +467,32 @@ let test_placement_antialias () =
        (100.0 *. e_fixed) (100.0 *. e_rand))
     true (e_rand < e_fixed)
 
+(* delta capture accounting: the master pass spends far fewer bytes on
+   delta checkpoints than full per-window images would cost, and the
+   deltas replay deterministically *)
+let test_capture_delta_footprint () =
+  let schedule =
+    { Sample.ff_insns = 6_000; warmup_insns = 800; measure_insns = 1_200 }
+  in
+  let d, _ = Test_checkpoint.bare_loop ~iters:20_000 () in
+  let cr = Sample.run_capture ~schedule d in
+  Alcotest.(check bool) "several intervals" true
+    (Array.length cr.Sample.cr_deltas >= 5);
+  Alcotest.(check bool)
+    (Printf.sprintf "delta bytes (%d) well under full bytes (%d)"
+       cr.Sample.cr_delta_bytes cr.Sample.cr_full_bytes)
+    true
+    (cr.Sample.cr_delta_bytes * 2 < cr.Sample.cr_full_bytes);
+  (* replaying the same delta twice is bit-identical (pure function of
+     checkpoint + schedule) *)
+  let replay () =
+    Sample.replay_delta ~core_name:"ooo" ~config:Config.tiny ~schedule
+      ~index:2 ~base:cr.Sample.cr_base cr.Sample.cr_deltas.(2)
+  in
+  let a = replay () and b = replay () in
+  Alcotest.(check bool) "interval measured" true (a <> None);
+  Alcotest.(check bool) "delta replay deterministic" true (a = b)
+
 let suite =
   [
     Alcotest.test_case "flag validation" `Quick test_check_flags;
@@ -484,6 +510,8 @@ let suite =
     Alcotest.test_case "jobs validation" `Quick test_check_jobs;
     Alcotest.test_case "serial = parallel (1 vs 4 jobs)" `Quick
       test_parallel_equivalence;
+    Alcotest.test_case "delta capture footprint" `Quick
+      test_capture_delta_footprint;
     Alcotest.test_case "random offsets beat aliasing" `Quick
       test_placement_antialias;
   ]

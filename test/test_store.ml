@@ -1,0 +1,225 @@
+(* Durable interval store tests (lib/store): a capture round-trips
+   through disk byte-for-byte (replaying a disk-loaded base + delta
+   equals replaying the in-memory one), and every corruption mode —
+   truncation, bit rot, wrong magic, wrong version, wrong record kind,
+   out-of-range index — is rejected with the right typed error instead
+   of a crash or a silently wrong replay. *)
+
+module Sample = Ptl_sample.Sample
+module Store = Ptl_store.Store
+module Config = Ptl_ooo.Config
+
+let schedule =
+  { Sample.ff_insns = 6_000; warmup_insns = 800; measure_insns = 1_200 }
+
+(* one small capture, shared by every test (read-only apart from the
+   per-test scratch copies) *)
+let capture =
+  lazy
+    (let d, _ = Test_checkpoint.bare_loop ~iters:20_000 () in
+     Sample.run_capture ~schedule d)
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "optlsim_store_test_%d_%d" (Unix.getpid ()) !n)
+    in
+    if Sys.file_exists dir then
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    dir
+
+let make_store () =
+  let cr = Lazy.force capture in
+  match
+    Store.create ~dir:(fresh_dir ()) ~workload:"test-workload" ~core:"ooo"
+      ~schedule ~placement:"fixed" cr ~config:Config.tiny
+  with
+  | Ok s -> s
+  | Error e -> Alcotest.fail (Store.error_to_string e)
+
+let err_name = function
+  | Store.E_io _ -> "io"
+  | Store.E_bad_magic _ -> "bad_magic"
+  | Store.E_bad_version _ -> "bad_version"
+  | Store.E_bad_kind _ -> "bad_kind"
+  | Store.E_truncated _ -> "truncated"
+  | Store.E_checksum _ -> "checksum"
+  | Store.E_bad_index _ -> "bad_index"
+  | Store.E_mismatch _ -> "mismatch"
+
+let check_error name expected = function
+  | Ok _ -> Alcotest.fail (name ^ ": accepted corrupt data")
+  | Error e ->
+    Alcotest.(check string) name expected (err_name e);
+    (* every error renders a diagnostic *)
+    Alcotest.(check bool) (name ^ ": message") true
+      (String.length (Store.error_to_string e) > 0)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* round trip: manifest survives reopen, and a disk-loaded base + delta
+   replays to the same interval record as the in-memory capture *)
+let test_round_trip () =
+  let cr = Lazy.force capture in
+  let st = make_store () in
+  let st =
+    match Store.open_store ~dir:(Store.dir st) with
+    | Ok s -> s
+    | Error e -> Alcotest.fail (Store.error_to_string e)
+  in
+  let m = Store.manifest st in
+  Alcotest.(check int) "interval count" (Array.length cr.Sample.cr_deltas)
+    m.Store.m_count;
+  Alcotest.(check string) "workload digest" "test-workload" m.Store.m_workload;
+  Alcotest.(check bool) "delta accounting recorded" true
+    (m.Store.m_delta_bytes > 0
+    && m.Store.m_delta_bytes < m.Store.m_full_bytes);
+  Alcotest.(check bool) "schedule survives" true (Store.schedule m = schedule);
+  let base =
+    match Store.load_base st with
+    | Ok b -> b
+    | Error e -> Alcotest.fail (Store.error_to_string e)
+  in
+  let dk =
+    match Store.load_interval st 1 with
+    | Ok d -> d
+    | Error e -> Alcotest.fail (Store.error_to_string e)
+  in
+  let from_disk =
+    Sample.replay_delta ~core_name:"ooo" ~config:Config.tiny ~schedule
+      ~index:1 ~base dk
+  in
+  let from_memory =
+    Sample.replay_delta ~core_name:"ooo" ~config:Config.tiny ~schedule
+      ~index:1 ~base:cr.Sample.cr_base cr.Sample.cr_deltas.(1)
+  in
+  Alcotest.(check bool) "interval measured" true (from_disk <> None);
+  Alcotest.(check bool) "disk replay = memory replay" true
+    (from_disk = from_memory)
+
+let test_bad_index () =
+  let st = make_store () in
+  let m = Store.manifest st in
+  check_error "index past the end" "bad_index"
+    (Store.load_interval st m.Store.m_count);
+  check_error "negative index" "bad_index" (Store.load_interval st (-1))
+
+let test_truncation () =
+  let st = make_store () in
+  let path = Store.interval_path st 0 in
+  let raw = read_file path in
+  (* cut mid-payload *)
+  write_file path (String.sub raw 0 (String.length raw - 7));
+  check_error "truncated payload" "truncated" (Store.load_interval st 0);
+  (* cut mid-header *)
+  write_file path (String.sub raw 0 5);
+  check_error "truncated header" "truncated" (Store.load_interval st 0)
+
+let test_bit_flip () =
+  let st = make_store () in
+  let path = Store.interval_path st 0 in
+  let raw = read_file path in
+  let b = Bytes.of_string raw in
+  (* flip one payload bit, well past the header *)
+  let pos = Bytes.length b - 11 in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x10));
+  write_file path (Bytes.to_string b);
+  check_error "payload bit flip" "checksum" (Store.load_interval st 0)
+
+let test_bad_magic_and_version () =
+  let st = make_store () in
+  let path = Store.interval_path st 0 in
+  let raw = read_file path in
+  let b = Bytes.of_string raw in
+  Bytes.set b 0 'X';
+  write_file path (Bytes.to_string b);
+  check_error "bad magic" "bad_magic" (Store.load_interval st 0);
+  let b = Bytes.of_string raw in
+  (* version field is the little-endian u16 at offset 8 *)
+  Bytes.set_uint16_le b 8 99;
+  write_file path (Bytes.to_string b);
+  check_error "future version" "bad_version" (Store.load_interval st 0)
+
+let test_bad_kind () =
+  let st = make_store () in
+  (* a well-formed record of the wrong kind: the base image where an
+     interval is expected *)
+  let base_raw = read_file (Store.base_path (Store.dir st)) in
+  write_file (Store.interval_path st 0) base_raw;
+  check_error "kind confusion" "bad_kind" (Store.load_interval st 0)
+
+let test_missing_manifest () =
+  match Store.open_store ~dir:(fresh_dir ()) with
+  | Ok _ -> Alcotest.fail "opened a store with no manifest"
+  | Error (Store.E_io _) -> ()
+  | Error e ->
+    Alcotest.fail ("expected E_io, got " ^ Store.error_to_string e)
+
+(* the result cache: hits round-trip, config digests partition the
+   cache, and a corrupt cache entry means "replay again", never a
+   failure or a wrong answer *)
+let test_result_cache () =
+  let st = make_store () in
+  let digest = (Store.manifest st).Store.m_config_digest in
+  let iv =
+    let cr = Lazy.force capture in
+    Sample.replay_delta ~core_name:"ooo" ~config:Config.tiny ~schedule
+      ~index:0 ~base:cr.Sample.cr_base cr.Sample.cr_deltas.(0)
+  in
+  (match Store.get_result st ~config_digest:digest ~index:0 with
+  | Ok None -> ()
+  | Ok (Some _) -> Alcotest.fail "cache hit before any put"
+  | Error e -> Alcotest.fail (Store.error_to_string e));
+  (match Store.put_result st ~config_digest:digest ~index:0 iv with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Store.error_to_string e));
+  (match Store.get_result st ~config_digest:digest ~index:0 with
+  | Ok (Some cached) ->
+    Alcotest.(check bool) "cached result identical" true (cached = iv)
+  | Ok None -> Alcotest.fail "cache miss after put"
+  | Error e -> Alcotest.fail (Store.error_to_string e));
+  (* a different config digest is a different cache universe *)
+  let other = Store.config_digest { Config.tiny with Config.rob_size = 9 } in
+  (match Store.get_result st ~config_digest:other ~index:0 with
+  | Ok None -> ()
+  | Ok (Some _) -> Alcotest.fail "cache leaked across config digests"
+  | Error e -> Alcotest.fail (Store.error_to_string e));
+  Alcotest.(check int) "cached_results finds the one entry" 1
+    (List.length (Store.cached_results st ~config_digest:digest));
+  (* corrupt the cache entry: fail-open to a replay, not an error *)
+  let path = Store.result_path st ~config_digest:digest 0 in
+  let raw = read_file path in
+  write_file path (String.sub raw 0 (String.length raw - 3));
+  (match Store.get_result st ~config_digest:digest ~index:0 with
+  | Ok None -> ()
+  | Ok (Some _) -> Alcotest.fail "corrupt cache entry served"
+  | Error e ->
+    Alcotest.fail ("corrupt cache should fail open: " ^ Store.error_to_string e));
+  check_error "put_result range check" "bad_index"
+    (Store.put_result st ~config_digest:digest ~index:999 iv)
+
+let suite =
+  [
+    Alcotest.test_case "round trip through disk" `Quick test_round_trip;
+    Alcotest.test_case "bad index" `Quick test_bad_index;
+    Alcotest.test_case "truncation rejected" `Quick test_truncation;
+    Alcotest.test_case "bit flip rejected" `Quick test_bit_flip;
+    Alcotest.test_case "bad magic / version rejected" `Quick
+      test_bad_magic_and_version;
+    Alcotest.test_case "record kind confusion rejected" `Quick test_bad_kind;
+    Alcotest.test_case "missing manifest rejected" `Quick
+      test_missing_manifest;
+    Alcotest.test_case "result cache" `Quick test_result_cache;
+  ]
