@@ -37,6 +37,8 @@ module Trace = Ptl_trace.Trace
 module Sample = Ptl_sample.Sample
 module Store = Ptl_store.Store
 module Fleet = Ptl_fleet.Fleet
+module Sweep = Ptl_sweep.Sweep
+module Paired = Ptl_stats.Paired
 
 let scale =
   match Sys.getenv_opt "OPTLSIM_SCALE" with
@@ -1079,6 +1081,167 @@ let exp_fleet () =
   if not (identical && delta_shrinks) then exit 1
 
 (* ---------------------------------------------------------------- *)
+(* Matched-pair design-space sweep: paired vs independent CIs         *)
+(* ---------------------------------------------------------------- *)
+
+(* Plant a small memory-latency delta and show that matched pairs
+   (every leg replaying the *same* captured intervals — common random
+   numbers) resolve it while independent runs at the same interval
+   budget cannot. The workload alternates cache-friendly phases (one
+   hot line) with memory-hostile phases (64-byte stride over a region
+   twice the tiny config's L2), so the per-interval CPIs have a large
+   workload variance that swamps the planted delta in the independent
+   formula but cancels exactly in the per-interval differences.
+   Writes BENCH_sweep.json for the CI artifact. *)
+let exp_sweep () =
+  banner "Matched-pair design-space sweep (paired vs independent CIs)";
+  let make_domain () =
+    let g = G.create () in
+    G.li g G.rbp Machine.heap_base;
+    G.lii g G.rdx (24 * scale);
+    G.label g "phase";
+    (* friendly: hammer one line *)
+    G.lii g G.rcx 3_000;
+    G.label g "fr";
+    G.ld g G.rax ~base:G.rbp ();
+    G.addi g G.rax 1;
+    G.st g ~base:G.rbp G.rax ();
+    G.dec g G.rcx;
+    G.jne g "fr";
+    (* hostile: stride over 128 KB (the tiny L2 holds 64 KB) *)
+    G.li g G.rsi Machine.heap_base;
+    G.lii g G.rcx 2_048;
+    G.label g "ho";
+    G.ld g G.rax ~base:G.rsi ();
+    G.addi g G.rsi 64;
+    G.dec g G.rcx;
+    G.jne g "ho";
+    G.dec g G.rdx;
+    G.jne g "phase";
+    G.ins g Insn.Hlt;
+    let m = Machine.create (G.assemble g) in
+    Domain.create ~core:"ooo" ~config:Config.tiny m.Machine.env m.Machine.ctx
+  in
+  let schedule =
+    { Sample.ff_insns = 30_000; warmup_insns = 1_000; measure_insns = 2_000 }
+  in
+  let placement = Sample.Rand_offset 11 in
+  let cr =
+    Sample.run_capture ~placement ~max_cycles:2_000_000_000 ~schedule
+      (make_domain ())
+  in
+  let dir = Filename.temp_file "optlsim_sweep" "" in
+  Sys.remove dir;
+  let store =
+    match
+      Store.create ~dir ~workload:"bench-sweep" ~core:"ooo" ~schedule
+        ~placement:(Sample.placement_to_string placement) cr
+        ~config:Config.tiny
+    with
+    | Ok s -> s
+    | Error e -> failwith (Store.error_to_string e)
+  in
+  let intervals = Array.length cr.Sample.cr_deltas in
+  Printf.printf "capture: %d interval(s) into %s\n%!" intervals dir;
+  (* the planted delta: tiny's memory is 40 cycles away; the legs move
+     it +/-2 cycles, a few percent of CPI on this workload *)
+  let spec_text = "mem.latency=38,42" in
+  let spec =
+    match Sweep.parse spec_text with
+    | Ok s -> s
+    | Error e -> failwith (Sweep.error_to_string e)
+  in
+  let run () =
+    match Sweep.run ~jobs:1 store spec with
+    | Ok r -> r
+    | Error msg -> failwith msg
+  in
+  let r1 = run () in
+  let r2 = run () in
+  Sweep.render stdout r1;
+  let rendered_identical = Sweep.render_string r1 = Sweep.render_string r2 in
+  let cached_rerun =
+    List.for_all (fun rk -> rk.Sweep.rk.Sweep.lr_replayed = 0) r2.Sweep.rep_ranked
+  in
+  let legs = List.filter (fun rk -> not rk.Sweep.rk_base) r1.Sweep.rep_ranked in
+  let best = List.hd r1.Sweep.rep_ranked in
+  let better_first = best.Sweep.rk.Sweep.lr_leg.Sweep.l_name = "mem.latency=38" in
+  let paired_resolve =
+    List.for_all (fun rk -> Paired.paired_excludes_zero rk.Sweep.rk_vs_base) legs
+  in
+  let indep_blind =
+    List.for_all
+      (fun rk -> not (Paired.indep_excludes_zero rk.Sweep.rk_vs_base))
+      legs
+  in
+  let base_cpi = r1.Sweep.rep_base.Sweep.lr_result.Sample.cpi in
+  let planted_pct rk =
+    100.0 *. Float.abs rk.Sweep.rk_vs_base.Paired.delta_mean /. base_cpi
+  in
+  List.iter
+    (fun rk ->
+      let cmp = rk.Sweep.rk_vs_base in
+      Printf.printf
+        "%s: dCPI %+.4f (%.1f%% of base), paired CI %.4f %s zero, \
+         independent CI %.4f %s zero (%.1fx tighter)\n%!"
+        rk.Sweep.rk.Sweep.lr_leg.Sweep.l_name cmp.Paired.delta_mean
+        (planted_pct rk) cmp.Paired.delta_ci95
+        (if Paired.paired_excludes_zero cmp then "EXCLUDES" else "includes")
+        cmp.Paired.indep_ci95
+        (if Paired.indep_excludes_zero cmp then "EXCLUDES" else "includes")
+        (cmp.Paired.indep_ci95 /. Float.max 1e-9 cmp.Paired.delta_ci95))
+    legs;
+  let pass =
+    better_first && paired_resolve && indep_blind && rendered_identical
+    && cached_rerun
+  in
+  Printf.printf
+    "budget (planted-better leg first, paired CIs exclude zero, \
+     independent CIs do not, cached re-run byte-identical): %s\n%!"
+    (if pass then "PASS" else "FAIL");
+  let leg_json rk =
+    let cmp = rk.Sweep.rk_vs_base in
+    Printf.sprintf
+      "{ \"leg\": \"%s\", \"rank\": %d, \"cpi\": %.6f, \"delta_mean\": \
+       %.6f, \"delta_pct_of_base\": %.3f, \"paired_ci95\": %.6f, \
+       \"indep_ci95\": %.6f, \"pairs\": %d, \"verdict\": \"%s\", \
+       \"paired_excludes_zero\": %b, \"indep_excludes_zero\": %b }"
+      rk.Sweep.rk.Sweep.lr_leg.Sweep.l_name rk.Sweep.rk_rank
+      rk.Sweep.rk.Sweep.lr_result.Sample.cpi cmp.Paired.delta_mean
+      (planted_pct rk) cmp.Paired.delta_ci95 cmp.Paired.indep_ci95
+      cmp.Paired.n
+      (Paired.verdict_to_string rk.Sweep.rk_verdict)
+      (Paired.paired_excludes_zero cmp)
+      (Paired.indep_excludes_zero cmp)
+  in
+  let oc = open_out "BENCH_sweep.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"sweep\",\n\
+    \  \"scale\": %d,\n\
+    \  \"spec\": \"%s\",\n\
+    \  \"schedule\": { \"ff_insns\": %d, \"warmup_insns\": %d, \
+     \"measure_insns\": %d },\n\
+    \  \"intervals\": %d,\n\
+    \  \"base_cpi\": %.6f,\n\
+    \  \"legs\": [\n    %s\n  ],\n\
+    \  \"better_leg_ranked_first\": %b,\n\
+    \  \"paired_cis_exclude_zero\": %b,\n\
+    \  \"independent_cis_include_zero\": %b,\n\
+    \  \"cached_rerun_byte_identical\": %b,\n\
+    \  \"pass\": %b\n\
+     }\n"
+    scale spec_text schedule.Sample.ff_insns schedule.Sample.warmup_insns
+    schedule.Sample.measure_insns intervals base_cpi
+    (String.concat ",\n    " (List.map leg_json legs))
+    better_first paired_resolve indep_blind
+    (rendered_identical && cached_rerun)
+    pass;
+  close_out oc;
+  Printf.printf "wrote BENCH_sweep.json\n%!";
+  if not pass then exit 1
+
+(* ---------------------------------------------------------------- *)
 
 let experiments =
   [
@@ -1100,6 +1263,7 @@ let experiments =
     ("sample", exp_sample);
     ("parallel-sample", exp_parallel_sample);
     ("fleet", exp_fleet);
+    ("sweep", exp_sweep);
     ("fuzz", exp_fuzz);
   ]
 

@@ -783,6 +783,35 @@ let run_replay_cmd store_dir jobs quiet =
       Printf.eprintf "replay: %d from cache, %d replayed on %d job(s)\n%!"
         rp.Fleet.rp_cached rp.Fleet.rp_replayed jobs)
 
+(* sweep: every leg of a design-space spec over the same store, with
+   matched-pair statistics against the store's own configuration *)
+let run_sweep_cmd trace_opts guard_opts sample_opts store_dir spec_text jobs
+    quiet =
+  (match
+     Sweep.check_flags ~store:store_dir ~spec:spec_text ~jobs
+       ~guard_degrade:guard_opts.g_degrade
+       ~tracing:(trace_requested trace_opts)
+       ~sampling:(sample_requested sample_opts) ~fuzz:false ()
+   with
+  | Error msg -> fleet_err msg
+  | Ok () -> ());
+  match Sweep.parse spec_text with
+  | Error e -> fleet_err (Sweep.error_to_string e)
+  | Ok spec -> (
+    let jobs =
+      if jobs = 0 then Stdlib.Domain.recommended_domain_count () else jobs
+    in
+    match Store.open_store ~dir:store_dir with
+    | Error e -> fleet_err (Store.error_to_string e)
+    | Ok store -> (
+      let log = fleet_log quiet in
+      log (Store.describe store);
+      match catch_sim_failure (fun () -> Sweep.run ~jobs ~log store spec) with
+      | Error msg -> fleet_err msg
+      | Ok report ->
+        Sweep.render stdout report;
+        flush stdout))
+
 let store_arg =
   Arg.(
     value & opt string ""
@@ -987,6 +1016,33 @@ let work_cmd =
     Term.(
       const run_work_cmd $ connect_arg $ connect_retries_arg $ fleet_quiet_arg)
 
+let sweep_spec_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "sweep" ] ~docv:"SPEC"
+        ~doc:
+          "Design-space spec: axes $(i,KEY=V1,V2,...) separated by a \
+           standalone $(b,x), e.g. \"cache.l2.size=256k,1m,4m x \
+           bpred=gshare,hybrid\". The cross product of the axes gives the \
+           legs; run $(b,sweep) with an unknown key to list the known \
+           ones.")
+
+let sweep_cmd =
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Replay every leg of a design-space spec over the same captured \
+          interval store and rank the legs with matched-pair statistics: \
+          per-interval CPI deltas against the store's own configuration \
+          give paired 95% confidence intervals (common random numbers — \
+          far tighter than independent runs), plus win/loss/tie verdicts \
+          and a Pareto frontier over CPI, L1D MPKI and an area proxy. \
+          Results land in the store's per-config result cache, so \
+          re-running a sweep (or widening it) only pays for new legs.")
+    Term.(
+      const run_sweep_cmd $ trace_term $ guard_term $ sample_term $ store_arg
+      $ sweep_spec_arg $ replay_jobs_arg $ fleet_quiet_arg)
+
 let replay_cmd =
   Cmd.v
     (Cmd.info "replay"
@@ -1011,5 +1067,5 @@ let () =
           (Cmd.info "optlsim" ~doc:"Cycle-accurate full-system x86-64-style simulator")
           [
             rsync_cmd; compute_cmd; fuzz_cmd; capture_cmd; serve_cmd;
-            work_cmd; replay_cmd; stats_cmd;
+            work_cmd; replay_cmd; sweep_cmd; stats_cmd;
           ]))

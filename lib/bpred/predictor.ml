@@ -322,6 +322,17 @@ let snapshot t =
     sn_ras_top = t.ras_top;
   }
 
+(** Whether [snapshot] came from a predictor of this configuration
+    (every table the same size) — the precondition of {!restore}. *)
+let fits t snapshot =
+  Array.length snapshot.sn_counters = Array.length t.counters
+  && Array.length snapshot.sn_chooser = Array.length t.chooser
+  && Array.length snapshot.sn_bimodal = Array.length t.bimodal_tbl
+  && Array.length snapshot.sn_btb_tags = Array.length t.btb_tags
+  && Array.length snapshot.sn_btb_targets = Array.length t.btb_targets
+  && Array.length snapshot.sn_btb_lru = Array.length t.btb_lru
+  && Array.length snapshot.sn_ras = Array.length t.ras
+
 let restore t ~snapshot =
   if Array.length snapshot.sn_counters <> Array.length t.counters then
     invalid_arg "Predictor.restore: geometry mismatch";

@@ -67,5 +67,10 @@ val mispredicts : t -> int
 type snapshot
 
 val snapshot : t -> snapshot
+
+(** Whether a snapshot came from a predictor of this configuration
+    (every table the same size): the precondition of {!restore}. *)
+val fits : t -> snapshot -> bool
+
 val restore : t -> snapshot:snapshot -> unit
 val diff : t -> snapshot -> string list

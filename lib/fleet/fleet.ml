@@ -148,11 +148,14 @@ let merge (m : Store.manifest) results =
 (** Serve [store] at unix socket [socket] until every interval is
     decided; returns the merged result. Single-threaded select loop:
     the server only shuffles indices and (small, already-replayed)
-    interval records, the workers do the simulation. *)
-let serve ?(lease_timeout = 30.) ?(log = fun _ -> ()) ~socket store =
+    interval records, the workers do the simulation. [config] overrides
+    the manifest's machine configuration (a sweep leg replayed over the
+    same checkpoints); results then cache under that config's digest. *)
+let serve ?(lease_timeout = 30.) ?(log = fun _ -> ()) ?config ~socket store =
   ignore_sigpipe ();
   let m = Store.manifest store in
-  let digest = m.Store.m_config_digest in
+  let config = Option.value config ~default:m.Store.m_config in
+  let digest = Store.config_digest config in
   let count = m.Store.m_count in
   let results = Array.make count None in
   let cached = Store.cached_results store ~config_digest:digest in
@@ -194,7 +197,7 @@ let serve ?(lease_timeout = 30.) ?(log = fun _ -> ()) ~socket store =
            {
              dir = Store.dir store;
              core = m.Store.m_core;
-             config = m.Store.m_config;
+             config;
              schedule = Store.schedule m;
              count;
            })
@@ -340,12 +343,15 @@ type replayed = {
 (** Replay every interval of [store] in this process ([jobs] worker
     {!Stdlib.Domain}s; 1 = inline), using and refilling the result
     cache. Byte-identical to {!serve} + workers and to the original
-    serial [--sample] run. *)
-let replay ?(jobs = 1) ?(log = fun _ -> ()) store :
+    serial [--sample] run. [config] overrides the manifest's machine
+    configuration — the sweep engine's per-leg entry point: every leg
+    replays the same checkpoints, cached under its own config digest. *)
+let replay ?(jobs = 1) ?(log = fun _ -> ()) ?config store :
     (replayed, Store.error) result =
   let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v in
   let m = Store.manifest store in
-  let digest = m.Store.m_config_digest in
+  let config = Option.value config ~default:m.Store.m_config in
+  let digest = Store.config_digest config in
   let count = m.Store.m_count in
   let schedule = Store.schedule m in
   let results = Array.make count None in
@@ -377,8 +383,8 @@ let replay ?(jobs = 1) ?(log = fun _ -> ()) store :
                | Error _ as e -> e
                | Ok d ->
                  Ok
-                   (Sample.replay_delta ~core_name:m.Store.m_core
-                      ~config:m.Store.m_config ~schedule ~index ~base d)));
+                   (Sample.replay_delta ~core_name:m.Store.m_core ~config
+                      ~schedule ~index ~base d)));
             go ()
           end
         in

@@ -167,3 +167,21 @@ let restore_delta_into ~(base : base) (d : delta) ~uarch (env : Env.t)
   env.Env.cycle <- d.dk_cycle;
   env.Env.tsc_offset <- d.dk_tsc_offset;
   Uarch.restore_delta uarch ~base:base.bk_uarch ~delta:d.dk_uarch
+
+(** {!restore_delta_into} with geometry tolerance: uarch components the
+    snapshot does not fit (a sweep leg replaying under a different
+    machine configuration) start cold and re-warm during the warm-up
+    phase. Returns the component names started cold; empty for a
+    same-configuration replay, which restores exactly as
+    {!restore_delta_into}. *)
+let restore_delta_into_fit ~(base : base) (d : delta) ~uarch (env : Env.t)
+    (ctx : Context.t) =
+  Context.restore ctx ~snapshot:d.dk_ctx;
+  env.Env.cycle <- d.dk_cycle;
+  env.Env.tsc_offset <- d.dk_tsc_offset;
+  Uarch.restore_delta_fit uarch ~base:base.bk_uarch ~delta:d.dk_uarch
+
+(** {!restore_full} with the same geometry tolerance. *)
+let restore_full_fit f ~uarch env ctx =
+  restore f.fk_machine env ctx;
+  Uarch.restore_fit uarch ~snapshot:f.fk_uarch

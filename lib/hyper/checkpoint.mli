@@ -83,3 +83,18 @@ val restore_delta :
 val restore_delta_into :
   base:base -> delta -> uarch:Ptl_ooo.Uarch.t -> Ptl_arch.Env.t ->
   Ptl_arch.Context.t -> unit
+
+(** {!restore_delta_into} with geometry tolerance: uarch components the
+    snapshot does not fit (a design-space sweep leg replaying under a
+    different machine configuration) start cold and re-warm during the
+    warm-up phase. Returns the component names started cold — empty for
+    a same-configuration replay, which restores exactly as
+    {!restore_delta_into}. *)
+val restore_delta_into_fit :
+  base:base -> delta -> uarch:Ptl_ooo.Uarch.t -> Ptl_arch.Env.t ->
+  Ptl_arch.Context.t -> string list
+
+(** {!restore_full} with the same geometry tolerance. *)
+val restore_full_fit :
+  full -> uarch:Ptl_ooo.Uarch.t -> Ptl_arch.Env.t -> Ptl_arch.Context.t ->
+  string list

@@ -303,6 +303,16 @@ let snapshot t =
     sn_rng = Rng.snapshot t.rng;
   }
 
+(** Whether [snapshot] came from a cache of this geometry (same set
+    count and associativity) — the precondition of {!restore}. Sweep
+    legs replaying a checkpoint under a different geometry check this
+    and start the cache cold instead. *)
+let fits t snapshot =
+  Array.length snapshot.sn_lines = t.sets
+  && Array.for_all
+       (fun ways -> Array.length ways = t.config.ways)
+       snapshot.sn_lines
+
 let restore t ~snapshot =
   if Array.length snapshot.sn_lines <> t.sets then
     invalid_arg "Cache.restore: geometry mismatch";

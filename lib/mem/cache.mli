@@ -83,6 +83,13 @@ val debug_duplicate_tag : t -> bool
 type snapshot
 
 val snapshot : t -> snapshot
+
+(** Whether a snapshot came from a cache of this geometry (same set
+    count and associativity): the precondition of {!restore}. Replays
+    under a different geometry (design-space sweep legs) check this and
+    start the cache cold instead. *)
+val fits : t -> snapshot -> bool
+
 val restore : t -> snapshot:snapshot -> unit
 val diff : t -> snapshot -> string list
 

@@ -233,6 +233,18 @@ let snapshot t =
       List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.mshr []);
   }
 
+(** Whether [snapshot] came from a hierarchy of this geometry (every
+    cache fits, same levels present) — the precondition of {!restore}. *)
+let fits t snapshot =
+  Cache.fits t.l1d snapshot.sn_l1d
+  && Cache.fits t.l1i snapshot.sn_l1i
+  && Cache.fits t.l2 snapshot.sn_l2
+  &&
+  match (t.l3, snapshot.sn_l3) with
+  | Some l3, Some s -> Cache.fits l3 s
+  | None, None -> true
+  | _ -> false
+
 let restore t ~snapshot =
   Cache.restore t.l1d ~snapshot:snapshot.sn_l1d;
   Cache.restore t.l1i ~snapshot:snapshot.sn_l1i;

@@ -238,6 +238,25 @@ let snapshot t =
     sn_pde = Option.map level_snapshot t.pde;
   }
 
+let level_fits lvl s =
+  Array.length s.ls_tags = lvl.sets
+  && Array.for_all (fun tags -> Array.length tags = lvl.ways) s.ls_tags
+
+(** Whether [snapshot] came from a TLB of this configuration (same
+    per-level geometry, same levels present) — the precondition of
+    {!restore}. *)
+let fits t snapshot =
+  level_fits t.l1 snapshot.sn_l1
+  && (match (t.l2, snapshot.sn_l2) with
+     | Some lvl, Some s -> level_fits lvl s
+     | None, None -> true
+     | _ -> false)
+  &&
+  match (t.pde, snapshot.sn_pde) with
+  | Some lvl, Some s -> level_fits lvl s
+  | None, None -> true
+  | _ -> false
+
 let restore t ~snapshot =
   level_restore t.l1 snapshot.sn_l1;
   (match (t.l2, snapshot.sn_l2) with

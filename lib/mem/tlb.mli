@@ -65,5 +65,11 @@ val entries : t -> (int64 * entry) list
 type snapshot
 
 val snapshot : t -> snapshot
+
+(** Whether a snapshot came from a TLB of this configuration (same
+    per-level geometry, same levels present): the precondition of
+    {!restore}. *)
+val fits : t -> snapshot -> bool
+
 val restore : t -> snapshot:snapshot -> unit
 val diff : t -> snapshot -> string list

@@ -69,6 +69,32 @@ let restore t ~snapshot =
   Tlb.restore t.itlb ~snapshot:snapshot.sn_itlb;
   Predictor.restore t.bpred ~snapshot:snapshot.sn_bpred
 
+(** Best-effort restore for replays under a {e different} machine
+    configuration (design-space sweep legs): each component restores
+    only when the snapshot fits its geometry; the rest stay cold and
+    re-warm during the interval's warm-up phase — the standard
+    sampled-simulation treatment of warmed state that cannot be
+    translated across geometries. Returns the components started cold;
+    empty means the restore was exactly {!restore}. *)
+let restore_fit t ~snapshot =
+  let cold = ref [] in
+  let component name fits restore =
+    if fits then restore () else cold := name :: !cold
+  in
+  component "hierarchy"
+    (Hierarchy.fits t.hierarchy snapshot.sn_hierarchy)
+    (fun () -> Hierarchy.restore t.hierarchy ~snapshot:snapshot.sn_hierarchy);
+  component "dtlb"
+    (Tlb.fits t.dtlb snapshot.sn_dtlb)
+    (fun () -> Tlb.restore t.dtlb ~snapshot:snapshot.sn_dtlb);
+  component "itlb"
+    (Tlb.fits t.itlb snapshot.sn_itlb)
+    (fun () -> Tlb.restore t.itlb ~snapshot:snapshot.sn_itlb);
+  component "bpred"
+    (Predictor.fits t.bpred snapshot.sn_bpred)
+    (fun () -> Predictor.restore t.bpred ~snapshot:snapshot.sn_bpred);
+  List.rev !cold
+
 (** Every mismatch between the live state and a snapshot, one line per
     difference with the owning subsystem named (empty = exact). *)
 let diff t snapshot =
@@ -103,12 +129,21 @@ let delta t ~base =
     d_bpred = keep (sn.sn_bpred <> base.sn_bpred) sn.sn_bpred;
   }
 
+(** The full snapshot a delta resolves to: each component from the
+    delta when it changed, from [base] otherwise. *)
+let resolve_delta ~base ~delta =
+  {
+    sn_hierarchy = Option.value delta.d_hierarchy ~default:base.sn_hierarchy;
+    sn_dtlb = Option.value delta.d_dtlb ~default:base.sn_dtlb;
+    sn_itlb = Option.value delta.d_itlb ~default:base.sn_itlb;
+    sn_bpred = Option.value delta.d_bpred ~default:base.sn_bpred;
+  }
+
 (** Restore the state [delta] was captured from: each component comes
     from the delta when it changed, from [base] otherwise. *)
 let restore_delta t ~base ~delta =
-  Hierarchy.restore t.hierarchy
-    ~snapshot:(Option.value delta.d_hierarchy ~default:base.sn_hierarchy);
-  Tlb.restore t.dtlb ~snapshot:(Option.value delta.d_dtlb ~default:base.sn_dtlb);
-  Tlb.restore t.itlb ~snapshot:(Option.value delta.d_itlb ~default:base.sn_itlb);
-  Predictor.restore t.bpred
-    ~snapshot:(Option.value delta.d_bpred ~default:base.sn_bpred)
+  restore t ~snapshot:(resolve_delta ~base ~delta)
+
+(** {!restore_delta} with the {!restore_fit} geometry tolerance. *)
+let restore_delta_fit t ~base ~delta =
+  restore_fit t ~snapshot:(resolve_delta ~base ~delta)

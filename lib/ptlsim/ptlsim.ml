@@ -98,6 +98,10 @@ module Store = Ptl_store.Store
 module Lease_queue = Ptl_fleet.Lease_queue
 module Fleet = Ptl_fleet.Fleet
 
+(* matched-pair design-space sweeps over an interval store *)
+module Paired = Ptl_stats.Paired
+module Sweep = Ptl_sweep.Sweep
+
 (* differential fuzzing *)
 module Fuzzgen = Ptl_fuzz.Fuzzgen
 module Shrink = Ptl_fuzz.Shrink

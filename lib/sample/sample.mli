@@ -96,6 +96,15 @@ type result = {
 val aggregate :
   total_insns:int -> total_cycles:int -> interval list -> result
 
+(** Increase of a {!Ptl_stats.Statstree} counter path across one
+    measured interval (delta of its snapshot pair) — e.g.
+    ["ooo.mem.L1D.misses"] for per-interval MPKI. *)
+val interval_stat : interval -> string -> int
+
+(** Sum of {!interval_stat} over every measured interval of a result —
+    whole-run counter deltas attributable to measured execution. *)
+val result_stat : result -> string -> int
+
 (** Hook the domain's native core so fast-forwarded instructions warm
     the shared {!Ptl_ooo.Uarch} (exposed for tests; {!run} installs it
     itself). *)

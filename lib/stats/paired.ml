@@ -1,0 +1,69 @@
+(* Paired-sample statistics: see paired.mli. Pure float arithmetic so
+   the fixtures in test/test_sweep.ml can be hand-computed. The z value
+   matches Sample.aggregate's normal 95% interval. *)
+
+let z95 = 1.96
+
+type t = {
+  n : int;
+  mean_baseline : float;
+  mean_candidate : float;
+  delta_mean : float;
+  delta_sd : float;
+  delta_ci95 : float;
+  indep_ci95 : float;
+}
+
+let mean a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 a /. float_of_int n
+
+(* unbiased sample variance (n-1 denominator); 0 for n <= 1 *)
+let variance a =
+  let n = Array.length a in
+  if n <= 1 then 0.0
+  else begin
+    let m = mean a in
+    Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 a
+    /. float_of_int (n - 1)
+  end
+
+let sd a = sqrt (variance a)
+
+let compare ~baseline ~candidate =
+  let n = Array.length baseline in
+  if Array.length candidate <> n then
+    invalid_arg "Paired.compare: arrays differ in length";
+  let deltas = Array.init n (fun i -> candidate.(i) -. baseline.(i)) in
+  let delta_sd = sd deltas in
+  let fn = float_of_int (max 1 n) in
+  let delta_ci95 = if n <= 1 then 0.0 else z95 *. delta_sd /. sqrt fn in
+  let indep_ci95 =
+    if n <= 1 then 0.0
+    else z95 *. sqrt ((variance baseline /. fn) +. (variance candidate /. fn))
+  in
+  {
+    n;
+    mean_baseline = mean baseline;
+    mean_candidate = mean candidate;
+    delta_mean = mean deltas;
+    delta_sd;
+    delta_ci95;
+    indep_ci95;
+  }
+
+type verdict = Win | Loss | Tie
+
+let verdict t =
+  if t.n < 2 then Tie
+  else if t.delta_mean +. t.delta_ci95 < 0.0 then Win
+  else if t.delta_mean -. t.delta_ci95 > 0.0 then Loss
+  else Tie
+
+let verdict_to_string = function Win -> "win" | Loss -> "loss" | Tie -> "tie"
+
+let paired_excludes_zero t = verdict t <> Tie
+
+let indep_excludes_zero t =
+  t.n >= 2 && Float.abs t.delta_mean > t.indep_ci95

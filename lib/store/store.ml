@@ -332,6 +332,26 @@ let cached_results t ~config_digest =
   in
   scan 0 []
 
+(** Every distinct config digest with at least one readable result-cache
+    entry, sorted — how a sweep reports which legs are already paid for.
+    Unreadable entries are skipped (the cache fails open). *)
+let cached_digests t =
+  let digests = Hashtbl.create 8 in
+  (match Sys.readdir t.dir with
+  | exception Sys_error _ -> ()
+  | files ->
+    Array.iter
+      (fun f ->
+        if String.length f > 7 && String.sub f 0 7 = "result-" then begin
+          let path = Filename.concat t.dir f in
+          match read_value ~path ~kind:kind_result with
+          | Ok (sr : stored_result) ->
+            Hashtbl.replace digests sr.sr_config_digest ()
+          | Error _ -> ()
+        end)
+      files);
+  List.sort String.compare (Hashtbl.fold (fun d () acc -> d :: acc) digests [])
+
 (* ---------------------------------------------------------------- *)
 (* Reporting                                                         *)
 (* ---------------------------------------------------------------- *)

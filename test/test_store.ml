@@ -210,6 +210,53 @@ let test_result_cache () =
   check_error "put_result range check" "bad_index"
     (Store.put_result st ~config_digest:digest ~index:999 iv)
 
+(* sweep legs share one store but never share results: entries live
+   under per-config-digest file names, so two legs populating the cache
+   side by side stay disjoint and a hit for leg A is never served to
+   leg B — even at the same interval index *)
+let test_leg_cache_disjoint () =
+  let st = make_store () in
+  let cr = Lazy.force capture in
+  let config_a = { Config.tiny with Config.rob_size = 12 } in
+  let config_b = { Config.tiny with Config.rob_size = 14 } in
+  let digest_a = Store.config_digest config_a in
+  let digest_b = Store.config_digest config_b in
+  Alcotest.(check bool) "legs digest differently" true (digest_a <> digest_b);
+  let iv_a =
+    Sample.replay_delta ~core_name:"ooo" ~config:config_a ~schedule ~index:0
+      ~base:cr.Sample.cr_base cr.Sample.cr_deltas.(0)
+  in
+  Alcotest.(check bool) "leg A's interval measured" true (iv_a <> None);
+  (* leg B caches the distinguishable "window not measured" marker *)
+  let iv_b = None in
+  (match Store.put_result st ~config_digest:digest_a ~index:0 iv_a with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Store.error_to_string e));
+  (* leg B misses where leg A hits *)
+  (match Store.get_result st ~config_digest:digest_b ~index:0 with
+  | Ok None -> ()
+  | Ok (Some _) -> Alcotest.fail "leg A's result served to leg B"
+  | Error e -> Alcotest.fail (Store.error_to_string e));
+  (match Store.put_result st ~config_digest:digest_b ~index:0 iv_b with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Store.error_to_string e));
+  (* each leg reads back its own result, not the other's *)
+  let hit name digest =
+    match Store.get_result st ~config_digest:digest ~index:0 with
+    | Ok (Some iv) -> iv
+    | Ok None -> Alcotest.fail (name ^ ": miss after put")
+    | Error e -> Alcotest.fail (Store.error_to_string e)
+  in
+  Alcotest.(check bool) "leg A reads its own timing" true
+    (hit "leg A" digest_a = iv_a);
+  Alcotest.(check bool) "leg B reads its own timing" true
+    (hit "leg B" digest_b = iv_b);
+  Alcotest.(check int) "one entry per leg" 1
+    (List.length (Store.cached_results st ~config_digest:digest_a));
+  Alcotest.(check bool) "both legs listed" true
+    (List.mem digest_a (Store.cached_digests st)
+    && List.mem digest_b (Store.cached_digests st))
+
 let suite =
   [
     Alcotest.test_case "round trip through disk" `Quick test_round_trip;
@@ -222,4 +269,6 @@ let suite =
     Alcotest.test_case "missing manifest rejected" `Quick
       test_missing_manifest;
     Alcotest.test_case "result cache" `Quick test_result_cache;
+    Alcotest.test_case "leg caches stay disjoint" `Quick
+      test_leg_cache_disjoint;
   ]
