@@ -1242,6 +1242,180 @@ let exp_sweep () =
   if not pass then exit 1
 
 (* ---------------------------------------------------------------- *)
+(* Self-healing fleet under injected faults                          *)
+(* ---------------------------------------------------------------- *)
+
+(* The robustness budget: (a) a worker killed mid-delivery must cost
+   only re-queued work — the merged result stays bit-identical to a
+   clean fleet run; (b) a poisoned interval record must be quarantined
+   after the bounded retry budget and the run must terminate with an
+   explicitly degraded result, never a hang or a silently-wrong report.
+   Chaos schedules are armed in forked worker processes only, so the
+   server's own store writes stay clean. Writes BENCH_chaos.json. *)
+let exp_chaos () =
+  banner "Self-healing fleet (chaos harness)";
+  let module Chaos = Ptl_chaos.Chaos in
+  let make_domain () =
+    let g = G.create () in
+    G.li g G.rbp Machine.heap_base;
+    G.lii g G.rcx (150_000 * scale);
+    G.label g "top";
+    G.ld g G.rax ~base:G.rbp ();
+    G.addi g G.rax 1;
+    G.st g ~base:G.rbp G.rax ();
+    G.imuli g G.rbx 1103515245;
+    G.addi g G.rbx 12345;
+    G.dec g G.rcx;
+    G.jne g "top";
+    G.ins g Insn.Hlt;
+    let m = Machine.create (G.assemble g) in
+    Domain.create ~core:"ooo" ~config:Config.k8_ptlsim m.Machine.env
+      m.Machine.ctx
+  in
+  let schedule =
+    { Sample.ff_insns = 60_000; warmup_insns = 5_000; measure_insns = 10_000 }
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let dir = Filename.temp_file "optlsim_chaos" "" in
+  Sys.remove dir;
+  let sock = dir ^ ".sock" in
+  let cr, t_capture =
+    time (fun () ->
+        Sample.run_capture ~max_cycles:2_000_000_000 ~schedule (make_domain ()))
+  in
+  let store =
+    match
+      Store.create ~dir ~workload:"bench-chaos" ~core:"ooo" ~schedule
+        ~placement:"fixed" cr ~config:Config.k8_ptlsim
+    with
+    | Ok s -> s
+    | Error e -> failwith (Store.error_to_string e)
+  in
+  let intervals = Array.length cr.Sample.cr_deltas in
+  Printf.printf "capture: %.2f s, %d interval(s)\n%!" t_capture intervals;
+  let clear_result_cache () =
+    Array.iter
+      (fun f ->
+        if String.length f >= 7 && String.sub f 0 7 = "result-" then
+          Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir)
+  in
+  let spawn_worker ?chaos () =
+    match Unix.fork () with
+    | 0 ->
+      (match chaos with
+      | Some spec -> (
+        match Chaos.parse spec with
+        | Ok rules -> Chaos.arm rules
+        | Error e ->
+          prerr_endline ("chaos worker: " ^ e);
+          Unix._exit 1)
+      | None -> ());
+      (match Fleet.work ~retries:150 ~connect:sock () with
+      | Ok _ -> Unix._exit 0
+      | Error msg ->
+        prerr_endline ("fleet worker: " ^ msg);
+        Unix._exit 1
+      | exception Chaos.Killed point ->
+        (* the injected process death — the crash under test *)
+        prerr_endline ("chaos worker killed at " ^ point);
+        Unix._exit 0)
+    | pid -> pid
+  in
+  let serve ?(max_failures = 3) () =
+    Fleet.serve ~lease_timeout:60.0 ~max_failures ~socket:sock store
+  in
+  (* clean fleet baseline: one worker process, empty cache *)
+  let sv_clean, t_clean =
+    time (fun () ->
+        let pid = spawn_worker () in
+        let sv = serve () in
+        ignore (Unix.waitpid [] pid);
+        sv)
+  in
+  Printf.printf "clean fleet run:   %.2f s (%d replayed)\n%!" t_clean
+    sv_clean.Fleet.sv_replayed;
+  (* chaos run: one worker dies delivering its second result; a clean
+     worker drains what the victim dropped *)
+  clear_result_cache ();
+  let sv_chaos, t_chaos =
+    time (fun () ->
+        let victim = spawn_worker ~chaos:"kill@work.done:2" () in
+        let drain = spawn_worker () in
+        let sv = serve () in
+        ignore (Unix.waitpid [] victim);
+        ignore (Unix.waitpid [] drain);
+        sv)
+  in
+  let identical_when_clean = sv_chaos.Fleet.sv_result = sv_clean.Fleet.sv_result in
+  let requeued = sv_chaos.Fleet.sv_requeued in
+  let wasted_fraction = float_of_int requeued /. float_of_int intervals in
+  let recovery_latency = max 0.0 (t_chaos -. t_clean) in
+  Printf.printf
+    "chaos fleet run:   %.2f s (%d re-queued, +%.2f s vs clean) — merged \
+     report %s\n%!"
+    t_chaos requeued recovery_latency
+    (if identical_when_clean then "BIT-IDENTICAL" else "DIFFERS (bug!)");
+  (* poison run: corrupt one interval record (first payload byte), the
+     fleet must quarantine exactly it within max_failures attempts *)
+  clear_result_cache ();
+  let poison = min 1 (intervals - 1) in
+  let path = Store.interval_path store poison in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  ignore (Unix.lseek fd 23 Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.make 1 '\000') 0 1);
+  Unix.close fd;
+  let max_failures = 2 in
+  let sv_poison, t_poison =
+    time (fun () ->
+        let pid = spawn_worker () in
+        let sv = serve ~max_failures () in
+        ignore (Unix.waitpid [] pid);
+        sv)
+  in
+  let poison_quarantined =
+    List.map fst sv_poison.Fleet.sv_quarantined = [ poison ]
+  in
+  Printf.printf "poison fleet run:  %.2f s — quarantined %s (expected [%d])\n%!"
+    t_poison
+    (String.concat ","
+       (List.map (fun (i, _) -> string_of_int i) sv_poison.Fleet.sv_quarantined))
+    poison;
+  Sample.report_degraded stdout ~count:intervals
+    ~quarantined:sv_poison.Fleet.sv_quarantined sv_poison.Fleet.sv_result;
+  let pass = identical_when_clean && poison_quarantined in
+  Printf.printf "budget (identical under kill, poison quarantined): %s\n%!"
+    (if pass then "PASS" else "FAIL");
+  let oc = open_out "BENCH_chaos.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"chaos\",\n\
+    \  \"scale\": %d,\n\
+    \  \"intervals\": %d,\n\
+    \  \"capture_seconds\": %.3f,\n\
+    \  \"clean_seconds\": %.3f,\n\
+    \  \"chaos_seconds\": %.3f,\n\
+    \  \"poison_seconds\": %.3f,\n\
+    \  \"requeued\": %d,\n\
+    \  \"wasted_fraction\": %.4f,\n\
+    \  \"recovery_latency_s\": %.3f,\n\
+    \  \"identical_when_clean\": %b,\n\
+    \  \"poison_quarantined\": %b,\n\
+    \  \"quarantine_retry_budget\": %d,\n\
+    \  \"pass\": %b\n\
+     }\n"
+    scale intervals t_capture t_clean t_chaos t_poison requeued
+    wasted_fraction recovery_latency identical_when_clean poison_quarantined
+    max_failures pass;
+  close_out oc;
+  Printf.printf "wrote BENCH_chaos.json\n%!";
+  if not pass then exit 1
+
+(* ---------------------------------------------------------------- *)
 
 let experiments =
   [
@@ -1264,6 +1438,7 @@ let experiments =
     ("parallel-sample", exp_parallel_sample);
     ("fleet", exp_fleet);
     ("sweep", exp_sweep);
+    ("chaos", exp_chaos);
     ("fuzz", exp_fuzz);
   ]
 

@@ -234,6 +234,12 @@ let trace_term =
    rails". *)
 let exit_sim_failure = 3
 
+(* Exit code for a degraded fleet result: the run terminated and
+   printed a report, but one or more intervals were quarantined after
+   repeated failures, so the estimates cover the surviving intervals
+   only. See README "Failure modes & recovery". *)
+let exit_degraded = 4
+
 type guard_opts = {
   g_on : bool;
   g_interval : int;  (* invariant sweep every N core steps *)
@@ -684,10 +690,30 @@ let fleet_err msg =
 
 let fleet_log quiet = if quiet then fun _ -> () else Printf.eprintf "%s\n%!"
 
+(* Per-interval guard wrapping for fleet replays: every worker wraps
+   its private core instance, so a tripped invariant surfaces as a
+   typed Sim_failure (quarantine + degraded report) instead of
+   corrupting the merged estimates. --guard-degrade is refused here:
+   silently finishing a window on the sequential core would change its
+   measurements with no mark in the report. *)
+let fleet_guard_wrap ~cmd g =
+  if not (guard_requested g) then None
+  else if g.g_degrade then
+    fleet_err
+      (Printf.sprintf
+         "--guard-degrade cannot be combined with %s: degrading an \
+          interval to the sequential core would silently change its \
+          measurements; quarantine (exit %d) is the containment path"
+         cmd exit_degraded)
+  else
+    Some
+      (fun ~env ~ctx inst -> Guard.wrap ~config:(guard_config g) ~env ~ctx inst)
+
 (* capture: one native master pass over the bare compute workload,
-   spilled to a durable interval store *)
+   journaled to a durable interval store record by record, so an
+   interrupted capture resumes from the last valid checkpoint *)
 let run_capture_cmd guard_opts sample_opts core machine iters max_mcycles
-    store_dir =
+    store_dir resume =
   (match Fleet.check_capture ~store:store_dir ~jobs:sample_opts.s_jobs () with
   | Error msg -> fleet_err msg
   | Ok () -> ());
@@ -698,25 +724,89 @@ let run_capture_cmd guard_opts sample_opts core machine iters max_mcycles
     | None -> assert false (* s_on forces sampling *)
   in
   let program = compute_program ~iters ~bare:true in
-  let m = Machine.create program in
-  let d =
-    Domain.create ~core ~config:(machine_of_name machine) m.Machine.env
-      m.Machine.ctx
-  in
-  let max_cycles = max_mcycles * 1_000_000 in
-  let cr =
-    catch_sim_failure (fun () ->
-        Sample.run_capture ~roi:sample_opts.s_roi ~placement ~max_cycles
-          ~schedule d)
-  in
+  let config = machine_of_name machine in
   (* the store key: what program ran, not how it was simulated *)
   let workload = Store.digest_value ("bare-compute", program, iters) in
   let placement_str =
     if sample_opts.s_offset = "" then "fixed" else sample_opts.s_offset
   in
+  (* --resume: adopt the journal's longest valid prefix, but only if it
+     was written by an identical capture — a journal from a different
+     program, core, machine config, schedule or placement restarts
+     fresh rather than splicing incompatible checkpoints together *)
+  let partial =
+    if not resume then None
+    else
+      match Store.scan_partial ~dir:store_dir with
+      | Error e -> fleet_err (Store.error_to_string e)
+      | Ok None ->
+        Printf.eprintf "capture: nothing to resume in %s, starting fresh\n%!"
+          store_dir;
+        None
+      | Ok (Some pt)
+        when pt.Store.pt_workload <> workload
+             || pt.Store.pt_core <> core
+             || pt.Store.pt_config_digest <> Store.config_digest config
+             || pt.Store.pt_schedule <> schedule
+             || pt.Store.pt_placement <> placement_str ->
+        Printf.eprintf
+          "capture: journal in %s was written by a different capture \
+           (workload/core/config/schedule/placement mismatch), starting \
+           fresh\n%!"
+          store_dir;
+        None
+      | Ok (Some pt) ->
+        Printf.eprintf
+          "capture: resuming from journaled interval %d (%d already on disk)\n%!"
+          (pt.Store.pt_count - 1) pt.Store.pt_count;
+        Some pt
+  in
+  let j =
+    match
+      Store.begin_capture ~dir:store_dir ~workload ~core ~schedule
+        ~placement:placement_str ~config ?resume:partial ()
+    with
+    | Error e -> fleet_err (Store.error_to_string e)
+    | Ok j -> j
+  in
+  let journal_err e =
+    fleet_err ("capture journal: " ^ Store.error_to_string e)
+  in
+  let on_base b =
+    match Store.journal_base j b with Ok () -> () | Error e -> journal_err e
+  in
+  let on_window (w : Sample.window) =
+    match
+      Store.journal_interval j ~index:w.Sample.w_index
+        ~delta_bytes:w.Sample.w_delta_bytes ~full_bytes:w.Sample.w_full_bytes
+        w.Sample.w_delta
+    with
+    | Ok () -> ()
+    | Error e -> journal_err e
+  in
+  let rs =
+    Option.map
+      (fun pt ->
+        {
+          Sample.rs_base = pt.Store.pt_base;
+          rs_last = pt.Store.pt_last;
+          rs_count = pt.Store.pt_count;
+          rs_delta_bytes = pt.Store.pt_delta_bytes;
+          rs_full_bytes = pt.Store.pt_full_bytes;
+        })
+      partial
+  in
+  let m = Machine.create program in
+  let d = Domain.create ~core ~config m.Machine.env m.Machine.ctx in
+  let max_cycles = max_mcycles * 1_000_000 in
+  let cr =
+    catch_sim_failure (fun () ->
+        Sample.run_capture ~roi:sample_opts.s_roi ~placement ~max_cycles
+          ~on_base ~on_window ?resume:rs ~schedule d)
+  in
   match
-    Store.create ~dir:store_dir ~workload ~core ~schedule
-      ~placement:placement_str cr ~config:(machine_of_name machine)
+    Store.finish_capture j ~total_insns:cr.Sample.cr_insns
+      ~total_cycles:cr.Sample.cr_cycles
   with
   | Error e -> fleet_err (Store.error_to_string e)
   | Ok st ->
@@ -732,8 +822,10 @@ let run_capture_cmd guard_opts sample_opts core machine iters max_mcycles
 (* serve: hand the store's intervals to worker processes, merge, report.
    stdout carries exactly the Sample.report so it can be byte-compared
    with a serial --sample run; progress goes to stderr. *)
-let run_serve_cmd store_dir socket lease_timeout quiet =
-  (match Fleet.check_serve ~store:store_dir ~socket ~lease_timeout () with
+let run_serve_cmd store_dir socket lease_timeout max_failures quiet =
+  (match
+     Fleet.check_serve ~store:store_dir ~socket ~lease_timeout ~max_failures ()
+   with
   | Error msg -> fleet_err msg
   | Ok () -> ());
   match Store.open_store ~dir:store_dir with
@@ -742,46 +834,69 @@ let run_serve_cmd store_dir socket lease_timeout quiet =
     let log = fleet_log quiet in
     log (Store.describe store);
     let sv =
-      catch_sim_failure (fun () -> Fleet.serve ~lease_timeout ~log ~socket store)
+      catch_sim_failure (fun () ->
+          Fleet.serve ~lease_timeout ~max_failures ~log ~socket store)
     in
-    Sample.report stdout sv.Fleet.sv_result;
+    let mf = Store.manifest store in
+    Sample.report_degraded stdout ~count:mf.Store.m_count
+      ~quarantined:sv.Fleet.sv_quarantined sv.Fleet.sv_result;
     flush stdout;
     Printf.eprintf
       "fleet: %d worker(s), %d interval(s) replayed, %d from cache, %d \
-       lease(s) re-queued\n%!"
+       lease(s) re-queued, %d quarantined\n%!"
       sv.Fleet.sv_workers sv.Fleet.sv_replayed sv.Fleet.sv_cached
       sv.Fleet.sv_requeued
+      (List.length sv.Fleet.sv_quarantined);
+    if sv.Fleet.sv_quarantined <> [] then exit exit_degraded
 
 (* work: one worker process leasing intervals from a server *)
-let run_work_cmd connect retries quiet =
+let run_work_cmd guard_opts connect retries chaos quiet =
   (match Fleet.check_work ~connect () with
   | Error msg -> fleet_err msg
   | Ok () -> ());
+  let wrap = fleet_guard_wrap ~cmd:"work" guard_opts in
+  (match chaos with
+  | "" -> ()
+  | spec -> (
+    match Chaos.parse spec with
+    | Error msg -> fleet_err ("--chaos " ^ msg)
+    | Ok rules -> Chaos.arm rules));
   match
     catch_sim_failure (fun () ->
-        Fleet.work ~retries ~log:(fleet_log quiet) ~connect ())
+        Fleet.work ~retries ~log:(fleet_log quiet) ?wrap ~connect ())
   with
+  | exception Chaos.Killed point ->
+    Printf.eprintf "work: chaos killed at %s\n%!" point;
+    exit 1
   | Error msg -> fleet_err msg
   | Ok n -> Printf.printf "work: replayed %d interval(s)\n" n
 
 (* replay: consume a store in-process (no server), cache-aware *)
-let run_replay_cmd store_dir jobs quiet =
+let run_replay_cmd guard_opts store_dir jobs quiet =
   (match Fleet.check_replay ~store:store_dir ~jobs () with
   | Error msg -> fleet_err msg
   | Ok () -> ());
+  let wrap = fleet_guard_wrap ~cmd:"replay" guard_opts in
   let jobs = if jobs = 0 then Stdlib.Domain.recommended_domain_count () else jobs in
   match Store.open_store ~dir:store_dir with
   | Error e -> fleet_err (Store.error_to_string e)
   | Ok store ->
     let log = fleet_log quiet in
     log (Store.describe store);
-    (match catch_sim_failure (fun () -> Fleet.replay ~jobs ~log store) with
+    (match
+       catch_sim_failure (fun () -> Fleet.replay ~jobs ~log ?wrap store)
+     with
     | Error e -> fleet_err (Store.error_to_string e)
     | Ok rp ->
-      Sample.report stdout rp.Fleet.rp_result;
+      let mf = Store.manifest store in
+      Sample.report_degraded stdout ~count:mf.Store.m_count
+        ~quarantined:rp.Fleet.rp_quarantined rp.Fleet.rp_result;
       flush stdout;
-      Printf.eprintf "replay: %d from cache, %d replayed on %d job(s)\n%!"
-        rp.Fleet.rp_cached rp.Fleet.rp_replayed jobs)
+      Printf.eprintf
+        "replay: %d from cache, %d replayed on %d job(s), %d quarantined\n%!"
+        rp.Fleet.rp_cached rp.Fleet.rp_replayed jobs
+        (List.length rp.Fleet.rp_quarantined);
+      if rp.Fleet.rp_quarantined <> [] then exit exit_degraded)
 
 (* sweep: every leg of a design-space spec over the same store, with
    matched-pair statistics against the store's own configuration *)
@@ -798,6 +913,7 @@ let run_sweep_cmd trace_opts guard_opts sample_opts store_dir spec_text jobs
   match Sweep.parse spec_text with
   | Error e -> fleet_err (Sweep.error_to_string e)
   | Ok spec -> (
+    let wrap = fleet_guard_wrap ~cmd:"sweep" guard_opts in
     let jobs =
       if jobs = 0 then Stdlib.Domain.recommended_domain_count () else jobs
     in
@@ -806,11 +922,14 @@ let run_sweep_cmd trace_opts guard_opts sample_opts store_dir spec_text jobs
     | Ok store -> (
       let log = fleet_log quiet in
       log (Store.describe store);
-      match catch_sim_failure (fun () -> Sweep.run ~jobs ~log store spec) with
+      match
+        catch_sim_failure (fun () -> Sweep.run ~jobs ~log ?wrap store spec)
+      with
       | Error msg -> fleet_err msg
       | Ok report ->
         Sweep.render stdout report;
-        flush stdout))
+        flush stdout;
+        if Sweep.degraded report <> [] then exit exit_degraded))
 
 let store_arg =
   Arg.(
@@ -838,13 +957,45 @@ let lease_timeout_arg =
           "Re-queue an interval if its worker has not delivered within \
            SECONDS (bounds the cost of a dead or wedged worker).")
 
+let max_failures_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "max-failures" ] ~docv:"K"
+        ~doc:
+          "Quarantine an interval after K failed replay attempts: the run \
+           still terminates, the report marks itself DEGRADED and covers \
+           the surviving intervals only, and the exit code is 4.")
+
 let connect_retries_arg =
   Arg.(
     value & opt int 50
     & info [ "connect-retries" ] ~docv:"N"
         ~doc:
-          "Connection attempts (0.2s apart) before giving up — lets \
-           workers start before the server.")
+          "Connection attempts before giving up, with exponential backoff \
+           (50ms doubling to a 2s cap, jittered per worker) — lets workers \
+           start before the server, and ride out a server restart.")
+
+let chaos_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "chaos" ] ~docv:"SPEC"
+        ~doc:
+          "Arm seeded fault injection against this worker's own I/O (for \
+           testing the fleet's recovery paths): rules \
+           $(i,ACTION\\@POINT[:HIT]) joined by ';', e.g. \
+           \"kill\\@work.done:2\". Actions: kill, drop, truncate, fail, \
+           delay=SECS, flip=BIT.")
+
+let capture_resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Resume an interrupted capture from its journal: the store \
+           directory's PROGRESS record names the valid prefix of interval \
+           checkpoints already on disk, and the master pass restarts from \
+           the last one instead of from scratch. The resumed store is \
+           byte-identical to an uninterrupted capture.")
 
 let replay_jobs_arg =
   Arg.(
@@ -990,7 +1141,8 @@ let capture_cmd =
           with $(b,replay) or distribute it with $(b,serve)/$(b,work).")
     Term.(
       const run_capture_cmd $ guard_term $ sample_term $ core_arg
-      $ machine_arg $ iters_arg $ max_mcycles_arg $ store_arg)
+      $ machine_arg $ iters_arg $ max_mcycles_arg $ store_arg
+      $ capture_resume_arg)
 
 let serve_cmd =
   Cmd.v
@@ -1003,7 +1155,7 @@ let serve_cmd =
           byte-identical to a serial --sample run — prints on stdout.")
     Term.(
       const run_serve_cmd $ store_arg $ socket_arg $ lease_timeout_arg
-      $ fleet_quiet_arg)
+      $ max_failures_arg $ fleet_quiet_arg)
 
 let work_cmd =
   Cmd.v
@@ -1014,7 +1166,8 @@ let work_cmd =
           checkpoints on private state, and stream results back until the \
           server drains.")
     Term.(
-      const run_work_cmd $ connect_arg $ connect_retries_arg $ fleet_quiet_arg)
+      const run_work_cmd $ guard_term $ connect_arg $ connect_retries_arg
+      $ chaos_arg $ fleet_quiet_arg)
 
 let sweep_spec_arg =
   Arg.(
@@ -1050,7 +1203,9 @@ let replay_cmd =
          "Replay a captured interval store in this process (no server): \
           cache-aware, optionally parallel across domains, printing the \
           same merged report the fleet produces.")
-    Term.(const run_replay_cmd $ store_arg $ replay_jobs_arg $ fleet_quiet_arg)
+    Term.(
+      const run_replay_cmd $ guard_term $ store_arg $ replay_jobs_arg
+      $ fleet_quiet_arg)
 
 let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc:"List registered core models")

@@ -1,0 +1,162 @@
+(** Seeded, deterministic fault injection for the fleet's self-healing
+    machinery. Production code is instrumented with named {e points}
+    ([Chaos.fire "work.done"]); a test (or [optlsim work --chaos])
+    arms a {e schedule} of rules, each saying "the Nth time execution
+    passes point P, perform this fault". Nothing is random: the same
+    schedule against the same workload exercises the same fault at the
+    same protocol step every run, so every cell of the fault matrix is
+    a reproducible regression test rather than a flake.
+
+    Instrumented points (and the faults that make sense at each):
+
+    {v
+    work.hello       worker -> server greeting        kill/drop/delay/truncate
+    work.lease       worker lease request             kill/drop/delay/truncate
+    work.replay      just before an interval replays  kill/delay
+    work.done        worker result delivery           kill/drop/delay/truncate
+    work.heartbeat   worker lease renewal             kill/drop/delay/truncate
+    store.write      base/interval/manifest records   kill/fail/flip/truncate
+    store.result.write  result-cache entries          kill/fail/flip/truncate
+    v}
+
+    The layer is process-global and mutex-guarded: a schedule armed on
+    the main domain fires from worker domains too, and hit counting
+    stays exact under parallel replay. When nothing is armed, [fire]
+    is a single mutex-free load — the production cost is one branch. *)
+
+type action =
+  | Kill  (** raise {!Killed}: the process dies at this point *)
+  | Drop  (** the operation silently does not happen (message lost) *)
+  | Delay of float  (** sleep this long, then proceed (slow worker) *)
+  | Truncate  (** emit a torn prefix of the data, then die *)
+  | Flip_bit of int  (** corrupt this payload bit, then proceed *)
+  | Fail  (** the operation reports failure (e.g. an I/O error) *)
+
+type rule = {
+  r_point : string;  (** instrumentation point name *)
+  r_hit : int;  (** fire on the Nth pass through the point (1-based) *)
+  r_action : action;
+}
+
+(** The injected process death. Deliberately NOT an exception any
+    production path catches: it must propagate out like a real crash
+    (only a chaos harness catches it, standing in for the kernel). *)
+exception Killed of string
+
+let armed = ref false
+let rules : rule list ref = ref []
+let hits : (string, int) Hashtbl.t = Hashtbl.create 8
+let lock = Mutex.create ()
+
+(** Arm a fault schedule (replacing any previous one, counters reset). *)
+let arm rs =
+  Mutex.lock lock;
+  rules := rs;
+  Hashtbl.reset hits;
+  armed := rs <> [];
+  Mutex.unlock lock
+
+let disarm () = arm []
+
+(** Did execution reach [point], and if so which fault (if any) is due
+    there this time? Counts every pass, armed rules match on the count. *)
+let fire point =
+  if not !armed then None
+  else begin
+    Mutex.lock lock;
+    let n = 1 + (try Hashtbl.find hits point with Not_found -> 0) in
+    Hashtbl.replace hits point n;
+    let hit =
+      List.find_opt (fun r -> r.r_point = point && r.r_hit = n) !rules
+    in
+    Mutex.unlock lock;
+    Option.map (fun r -> r.r_action) hit
+  end
+
+(** Passes recorded through [point] since the schedule was armed. *)
+let hit_count point =
+  Mutex.lock lock;
+  let n = try Hashtbl.find hits point with Not_found -> 0 in
+  Mutex.unlock lock;
+  n
+
+(* ---------------------------------------------------------------- *)
+(* Schedule specs                                                    *)
+(* ---------------------------------------------------------------- *)
+
+let action_to_string = function
+  | Kill -> "kill"
+  | Drop -> "drop"
+  | Delay s -> Printf.sprintf "delay=%g" s
+  | Truncate -> "truncate"
+  | Flip_bit b -> Printf.sprintf "flip=%d" b
+  | Fail -> "fail"
+
+let rule_to_string r =
+  Printf.sprintf "%s@%s:%d" (action_to_string r.r_action) r.r_point r.r_hit
+
+let to_string rs = String.concat ";" (List.map rule_to_string rs)
+
+(** Parse a fault schedule: rules [ACTION@POINT[:HIT]] joined by [';'],
+    where ACTION is [kill], [drop], [delay=SECONDS], [truncate],
+    [flip=BIT] or [fail], and HIT (default 1) is which pass through the
+    point fires the fault — e.g. ["kill@work.done:2;drop@work.lease"]. *)
+let parse spec : (rule list, string) result =
+  let parse_action s =
+    match String.index_opt s '=' with
+    | None -> (
+      match s with
+      | "kill" -> Ok Kill
+      | "drop" -> Ok Drop
+      | "truncate" -> Ok Truncate
+      | "fail" -> Ok Fail
+      | _ -> Error (Printf.sprintf "unknown chaos action %S" s))
+    | Some i -> (
+      let name = String.sub s 0 i in
+      let arg = String.sub s (i + 1) (String.length s - i - 1) in
+      match name with
+      | "delay" -> (
+        match float_of_string_opt arg with
+        | Some f when f >= 0.0 -> Ok (Delay f)
+        | _ -> Error (Printf.sprintf "bad delay %S (want seconds)" arg))
+      | "flip" -> (
+        match int_of_string_opt arg with
+        | Some b when b >= 0 -> Ok (Flip_bit b)
+        | _ -> Error (Printf.sprintf "bad flip bit %S" arg))
+      | _ -> Error (Printf.sprintf "unknown chaos action %S" name))
+  in
+  let parse_rule s =
+    match String.index_opt s '@' with
+    | None ->
+      Error
+        (Printf.sprintf "chaos rule %S has no '@' (want ACTION@POINT[:HIT])" s)
+    | Some i -> (
+      let action = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      let point, hit =
+        match String.rindex_opt rest ':' with
+        | None -> (rest, Ok 1)
+        | Some j -> (
+          let p = String.sub rest 0 j in
+          let h = String.sub rest (j + 1) (String.length rest - j - 1) in
+          match int_of_string_opt h with
+          | Some n when n >= 1 -> (p, Ok n)
+          | _ ->
+            (p, Error (Printf.sprintf "bad hit count %S (want >= 1)" h)))
+      in
+      match (parse_action action, hit) with
+      | Error e, _ | _, Error e -> Error e
+      | Ok a, Ok h ->
+        if point = "" then Error (Printf.sprintf "chaos rule %S names no point" s)
+        else Ok { r_point = point; r_hit = h; r_action = a })
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: rest -> (
+      match parse_rule s with
+      | Ok r -> go (r :: acc) rest
+      | Error _ as e -> e)
+  in
+  go []
+    (String.split_on_char ';' spec |> List.map String.trim
+    |> List.filter (fun s -> s <> ""))

@@ -13,24 +13,48 @@
     (checkpoint, schedule, config), so a straggler's duplicate result is
     bit-identical and the first completion simply wins. Results are also
     written to the store's (checkpoint, config-digest) cache, making
-    repeated runs of the same store + config free. *)
+    repeated runs of the same store + config free.
+
+    Failures are data, not deaths. A worker that hits a replay
+    exception — a {!Ptl_ooo.Sim_failure}, a corrupt interval record, a
+    guard-detected invariant breach — streams a typed [Failed] outcome
+    to the server and keeps serving; the server retries the interval up
+    to [max_failures] times and then {e quarantines} it, so one poison
+    interval degrades the run's coverage instead of livelocking the
+    fleet. Slow-but-alive workers renew their lease with heartbeats
+    (interval advertised in [Welcome]), so [lease_timeout] can be tuned
+    down to reap dead workers in seconds without stealing work from
+    live ones. The instrumented chaos points ({!Ptl_chaos.Chaos}) let
+    tests kill/drop/delay/truncate any protocol step deterministically. *)
 
 module Sample = Ptl_sample.Sample
 module Store = Ptl_store.Store
 module Config = Ptl_ooo.Config
+module Chaos = Ptl_chaos.Chaos
+module Rng = Ptl_util.Rng
+module Sim_failure = Ptl_ooo.Sim_failure
 
 (* ---------------------------------------------------------------- *)
 (* Wire protocol                                                     *)
 (* ---------------------------------------------------------------- *)
 
+(** What a worker's lease came to: a replayed interval (possibly [None]
+    if the guest halted before a measured instruction — still a valid,
+    cacheable answer), or a typed failure with its diagnostic. *)
+type outcome =
+  | Replayed of Sample.interval option
+  | Failed of { diag : string }
+
 (** Strict one-request-one-reply protocol, client speaks first. Frames
     are a 4-byte big-endian payload length + a [Marshal] payload (plain
     data only — {!Config.t}, {!Sample.interval} and friends carry no
-    closures). *)
+    closures). [Heartbeat] renews a lease mid-replay; the server always
+    answers it with [Ack]. *)
 type request =
   | Hello of { worker : string }
   | Lease
-  | Done of { index : int; interval : Sample.interval option }
+  | Heartbeat of { index : int }
+  | Done of { index : int; outcome : outcome }
 
 type reply =
   | Welcome of {
@@ -39,6 +63,7 @@ type reply =
       config : Config.t;
       schedule : Sample.schedule;
       count : int;
+      heartbeat : float;  (** renew leases this often while replaying *)
     }
   | Work of { index : int }
   | Drain  (** nothing to hand out now, leases outstanding — retry *)
@@ -73,6 +98,37 @@ let recv fd =
   read_all fd payload 0 len;
   Marshal.from_bytes payload 0
 
+(** A reply did not arrive within the worker's patience — the server
+    (or the message) is gone; treated exactly like a disconnect. *)
+exception Recv_timeout
+
+(* recv with a patience bound on the first byte: a lost message (chaos
+   Drop, dead server) must surface as Recv_timeout, never a hang. *)
+let recv_within fd timeout =
+  let readable, _, _ = Unix.select [ fd ] [] [] timeout in
+  if readable = [] then raise Recv_timeout else recv fd
+
+(* Chaos-instrumented request send (worker side). Drop consumes the
+   message — the missing reply then surfaces as Recv_timeout and the
+   session ends like a disconnect. Truncate writes a torn frame (full
+   length header, half the payload) before dying, so the server
+   exercises its mid-frame EOF path. *)
+let chaos_send fd point v =
+  match Chaos.fire point with
+  | None | Some (Chaos.Flip_bit _) | Some Chaos.Fail -> send fd v
+  | Some Chaos.Kill -> raise (Chaos.Killed point)
+  | Some Chaos.Drop -> ()
+  | Some (Chaos.Delay s) ->
+    Unix.sleepf s;
+    send fd v
+  | Some Chaos.Truncate ->
+    let payload = Marshal.to_bytes v [] in
+    let hdr = Bytes.create 4 in
+    Bytes.set_int32_be hdr 0 (Int32.of_int (Bytes.length payload));
+    write_all fd hdr 0 4;
+    write_all fd payload 0 (Bytes.length payload / 2);
+    raise (Chaos.Killed (point ^ " (torn)"))
+
 (* a peer vanishing mid-exchange is a routine fleet event, not a crash *)
 let ignore_sigpipe () =
   if Sys.os_type = "Unix" then
@@ -106,7 +162,7 @@ let check_capture ~store ~jobs () =
        use replay --jobs for in-process parallelism"
   else Ok ()
 
-let check_serve ~store ~socket ~lease_timeout () =
+let check_serve ~store ~socket ~lease_timeout ~max_failures () =
   if store = "" then
     Error "--store is required: serve hands out intervals from an existing store (run capture first)"
   else
@@ -117,6 +173,10 @@ let check_serve ~store ~socket ~lease_timeout () =
         Error
           "--lease-timeout must be positive: it bounds how long a dead \
            worker can sit on an interval before it is re-queued"
+      else if max_failures < 1 then
+        Error
+          "--max-failures must be at least 1: it is the retry budget \
+           before a failing interval is quarantined"
       else Ok ()
 
 let check_work ~connect () = check_socket_path ~flag:"--connect" connect
@@ -138,6 +198,9 @@ type served = {
   sv_replayed : int;  (** intervals replayed by workers this run *)
   sv_requeued : int;  (** leases re-queued (worker death or timeout) *)
   sv_workers : int;  (** distinct workers that said Hello *)
+  sv_quarantined : (int * string list) list;
+      (** intervals given up on after [max_failures] typed failures,
+          sorted by index, each with its diagnostics (newest first) *)
 }
 
 let merge (m : Store.manifest) results =
@@ -150,8 +213,16 @@ let merge (m : Store.manifest) results =
     the server only shuffles indices and (small, already-replayed)
     interval records, the workers do the simulation. [config] overrides
     the manifest's machine configuration (a sweep leg replayed over the
-    same checkpoints); results then cache under that config's digest. *)
-let serve ?(lease_timeout = 30.) ?(log = fun _ -> ()) ?config ~socket store =
+    same checkpoints); results then cache under that config's digest.
+
+    A [Failed] outcome re-queues the interval until it has accumulated
+    [max_failures] diagnostics, then quarantines it: the interval
+    counts as decided-without-result, the run finishes (bounded retries
+    — a deterministic poison interval cannot livelock the fleet), and
+    the caller renders the quarantine list as an explicitly degraded
+    report. Failures are never written to the result cache. *)
+let serve ?(lease_timeout = 30.) ?(max_failures = 3) ?(log = fun _ -> ())
+    ?config ~socket store =
   ignore_sigpipe ();
   let m = Store.manifest store in
   let config = Option.value config ~default:m.Store.m_config in
@@ -166,6 +237,8 @@ let serve ?(lease_timeout = 30.) ?(log = fun _ -> ()) ?config ~socket store =
       (Printf.sprintf "serve: %d/%d interval(s) already in the result cache"
          (List.length cached) count);
   let requeued = ref 0 and replayed = ref 0 in
+  let failures : (int, string list) Hashtbl.t = Hashtbl.create 4 in
+  let quarantined = ref [] in
   let workers = Hashtbl.create 8 in
   if Sys.file_exists socket then Sys.remove socket;
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -200,6 +273,7 @@ let serve ?(lease_timeout = 30.) ?(log = fun _ -> ()) ?config ~socket store =
              config;
              schedule = Store.schedule m;
              count;
+             heartbeat = lease_timeout /. 4.;
            })
     | Lease ->
       (match
@@ -208,7 +282,13 @@ let serve ?(lease_timeout = 30.) ?(log = fun _ -> ()) ?config ~socket store =
        with
       | Some i -> reply fd (Work { index = i })
       | None -> reply fd (if Lease_queue.finished q then Finished else Drain))
-    | Done { index; interval } ->
+    | Heartbeat { index } ->
+      ignore
+        (Lease_queue.touch q index ~owner:fd ~now:(Unix.gettimeofday ())
+           ~timeout:lease_timeout
+          : bool);
+      reply fd Ack
+    | Done { index; outcome = Replayed interval } ->
       if Lease_queue.complete q index then begin
         results.(index) <- interval;
         incr replayed;
@@ -221,6 +301,36 @@ let serve ?(lease_timeout = 30.) ?(log = fun _ -> ()) ?config ~socket store =
           (Printf.sprintf "serve: interval %d done by %s (%d/%d)" index
              (try Hashtbl.find clients fd with Not_found -> "?")
              (Lease_queue.decided_count q) count)
+      end;
+      reply fd Ack
+    | Done { index; outcome = Failed { diag } } ->
+      (* a straggler failing an interval someone else already decided
+         is noise, not evidence against the interval *)
+      if not (Lease_queue.is_decided q index) then begin
+        let diags =
+          diag :: (try Hashtbl.find failures index with Not_found -> [])
+        in
+        Hashtbl.replace failures index diags;
+        let attempts = List.length diags in
+        if attempts >= max_failures then begin
+          ignore (Lease_queue.complete q index : bool);
+          quarantined := (index, diags) :: !quarantined;
+          log
+            (Printf.sprintf
+               "serve: interval %d QUARANTINED after %d failure(s); last: %s"
+               index attempts
+               (match String.index_opt diag '\n' with
+               | Some j -> String.sub diag 0 j
+               | None -> diag))
+        end
+        else begin
+          ignore (Lease_queue.release q index ~owner:fd : bool);
+          log
+            (Printf.sprintf
+               "serve: interval %d failed (attempt %d/%d) on %s, re-queued"
+               index attempts max_failures
+               (try Hashtbl.find clients fd with Not_found -> "?"))
+        end
       end;
       reply fd Ack
   in
@@ -256,6 +366,8 @@ let serve ?(lease_timeout = 30.) ?(log = fun _ -> ()) ?config ~socket store =
     sv_replayed = !replayed;
     sv_requeued = !requeued;
     sv_workers = Hashtbl.length workers;
+    sv_quarantined =
+      List.sort (fun (a, _) (b, _) -> compare a b) !quarantined;
   }
 
 (* ---------------------------------------------------------------- *)
@@ -265,70 +377,159 @@ let serve ?(lease_timeout = 30.) ?(log = fun _ -> ()) ?config ~socket store =
 let store_err r =
   match r with Ok v -> Ok v | Error e -> Error (Store.error_to_string e)
 
-let rec connect_retry path tries =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match Unix.connect fd (Unix.ADDR_UNIX path) with
-  | () -> Ok fd
-  | exception Unix.Unix_error (e, _, _) ->
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    if tries <= 1 then
-      Error
-        (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e))
-    else begin
-      Unix.sleepf 0.2;
-      connect_retry path (tries - 1)
+(** Connect with exponential backoff + jitter: attempt [n] waits
+    [min 2.0 (0.05 * 2^(n-1))] seconds scaled by a deterministic
+    per-process jitter factor in [1.0, 1.25), so a churned fleet's
+    reconnect herd spreads out instead of stampeding the socket. *)
+let connect_retry path tries =
+  let rng = Rng.create ((Unix.getpid () * 7919) + 17) in
+  let rec go attempt =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> Ok fd
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if attempt >= tries then
+        Error
+          (Printf.sprintf "cannot connect to %s: %s" path
+             (Unix.error_message e))
+      else begin
+        let backoff = min 2.0 (0.05 *. (2.0 ** float_of_int (attempt - 1))) in
+        Unix.sleepf (backoff *. (1.0 +. (0.25 *. Rng.float rng)));
+        go (attempt + 1)
+      end
+  in
+  go 1
+
+(* Replay one leased interval, catching every per-interval failure as a
+   typed outcome. [progress] heartbeats the lease every [heartbeat]
+   seconds of wall time while the pipeline steps — request-reply, so
+   the strict protocol alternation is preserved; heartbeat trouble is
+   swallowed (the lease machinery already covers a lost renewal).
+   Chaos.Killed is the one exception deliberately NOT converted: it
+   stands in for the process dying at this point. *)
+let replay_outcome ~store ~base ~core ~config ~schedule ~heartbeat
+    ~recv_timeout ?wrap fd index =
+  (match Chaos.fire "work.replay" with
+  | Some Chaos.Kill -> raise (Chaos.Killed "work.replay")
+  | Some (Chaos.Delay s) -> Unix.sleepf s
+  | _ -> ());
+  let last_beat = ref (Unix.gettimeofday ()) in
+  let progress () =
+    let now = Unix.gettimeofday () in
+    if heartbeat > 0.0 && now -. !last_beat >= heartbeat then begin
+      last_beat := now;
+      try
+        chaos_send fd "work.heartbeat" (Heartbeat { index });
+        match recv_within fd recv_timeout with _ -> ()
+      with
+      | Chaos.Killed _ as e -> raise e
+      | Recv_timeout | End_of_file | Unix.Unix_error _ | Failure _ -> ()
     end
+  in
+  match store_err (Store.load_interval store index) with
+  | Error diag -> Failed { diag }
+  | Ok d -> (
+    try
+      Replayed
+        (Sample.replay_delta ~progress ?wrap ~core_name:core ~config ~schedule
+           ~index ~base d)
+    with
+    | Chaos.Killed _ as e -> raise e
+    | Sim_failure.Sim_failure f ->
+      Failed { diag = Sim_failure.summary f ^ "\n" ^ Sim_failure.render f }
+    | e -> Failed { diag = Printexc.to_string e })
 
 (** One worker process: connect to a server at [connect], lease
     intervals, replay each from the store's base + delta checkpoints,
-    stream results back until the server says Finished (or vanishes —
-    the run is complete from the worker's point of view either way).
-    Returns the number of intervals this worker replayed. *)
-let work ?(retries = 50) ?(log = fun _ -> ()) ~connect () :
-    (int, string) result =
+    stream results (or typed failures) back until the server says
+    Finished. A server that vanishes {e after} this worker delivered
+    results is a normal straggler shutdown; one that vanishes while the
+    worker has delivered nothing is treated as a mid-run restart and
+    the worker reconnects (up to [reconnects] times, through
+    {!connect_retry}'s backoff). Replies not arriving within
+    [recv_timeout] seconds count as the server vanishing. [wrap]
+    interposes on each replay's core instance (e.g. a guard
+    supervisor). Returns the number of intervals this worker replayed. *)
+let work ?(retries = 50) ?(reconnects = 2) ?(recv_timeout = 30.)
+    ?(log = fun _ -> ()) ?wrap ~connect () : (int, string) result =
   ignore_sigpipe ();
   let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v in
-  let* fd = connect_retry connect retries in
-  Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-    (fun () ->
-      let me = Printf.sprintf "pid-%d" (Unix.getpid ()) in
-      send fd (Hello { worker = me });
-      match recv fd with
-      | Work _ | Drain | Finished | Ack ->
-        Error "unexpected greeting from server (protocol mismatch?)"
-      | Welcome { dir; core; config; schedule; count = _ } ->
-        let* store = store_err (Store.open_store ~dir) in
-        let* base = store_err (Store.load_base store) in
-        log (Printf.sprintf "work: %s attached to %s" me dir);
-        let replayed = ref 0 in
-        let rec loop () =
-          send fd Lease;
-          match recv fd with
-          | Work { index } ->
-            let* d = store_err (Store.load_interval store index) in
-            let interval =
-              Sample.replay_delta ~core_name:core ~config ~schedule ~index
-                ~base d
-            in
-            send fd (Done { index; interval });
-            (match recv fd with
-            | Ack ->
+  let me = Printf.sprintf "pid-%d" (Unix.getpid ()) in
+  let replayed = ref 0 in
+  (* one connected session; Ok true = server said Finished *)
+  let session fd =
+    chaos_send fd "work.hello" (Hello { worker = me });
+    match recv_within fd recv_timeout with
+    | Work _ | Drain | Finished | Ack ->
+      Error "unexpected greeting from server (protocol mismatch?)"
+    | Welcome { dir; core; config; schedule; count = _; heartbeat } ->
+      let* store = store_err (Store.open_store ~dir) in
+      let* base = store_err (Store.load_base store) in
+      log (Printf.sprintf "work: %s attached to %s" me dir);
+      let rec loop () =
+        chaos_send fd "work.lease" Lease;
+        match recv_within fd recv_timeout with
+        | Work { index } -> (
+          let outcome =
+            replay_outcome ~store ~base ~core ~config ~schedule ~heartbeat
+              ~recv_timeout ?wrap fd index
+          in
+          chaos_send fd "work.done" (Done { index; outcome });
+          match recv_within fd recv_timeout with
+          | Ack ->
+            (match outcome with
+            | Replayed _ ->
               incr replayed;
-              log (Printf.sprintf "work: %s replayed interval %d" me index);
-              loop ()
-            | Finished | Welcome _ | Work _ | Drain -> Ok !replayed)
-          | Drain ->
-            Unix.sleepf 0.05;
+              log (Printf.sprintf "work: %s replayed interval %d" me index)
+            | Failed { diag } ->
+              log
+                (Printf.sprintf "work: %s failed interval %d: %s" me index
+                   (match String.index_opt diag '\n' with
+                   | Some j -> String.sub diag 0 j
+                   | None -> diag)));
             loop ()
-          | Finished -> Ok !replayed
-          | Welcome _ | Ack -> Ok !replayed
-        in
-        (* the server closing on us means the run finished elsewhere —
-           a normal shutdown for a straggler, not an error *)
-        (match loop () with
-        | exception (End_of_file | Unix.Unix_error _) -> Ok !replayed
-        | r -> r))
+          | Finished -> Ok true
+          | Welcome _ | Work _ | Drain -> Ok false)
+        | Drain ->
+          Unix.sleepf 0.05;
+          loop ()
+        | Finished -> Ok true
+        | Welcome _ | Ack -> Ok false
+      in
+      loop ()
+  in
+  let rec attempt n =
+    match connect_retry connect retries with
+    | Error e -> if !replayed > 0 then Ok !replayed else Error e
+    | Ok fd -> (
+      let r =
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            try session fd
+            with Recv_timeout | End_of_file | Unix.Unix_error _ | Failure _ ->
+              Ok false)
+      in
+      match r with
+      | Error _ as e -> e
+      | Ok true -> Ok !replayed
+      | Ok false ->
+        (* the server closing on a worker that already delivered results
+           means the run finished elsewhere — normal straggler shutdown.
+           Closing on a worker with nothing delivered looks like a
+           mid-run server restart: reconnect and try again. *)
+        if !replayed = 0 && n < reconnects then begin
+          log
+            (Printf.sprintf
+               "work: %s lost the server before delivering anything, \
+                reconnecting (%d/%d)"
+               me (n + 1) reconnects);
+          attempt (n + 1)
+        end
+        else Ok !replayed)
+  in
+  attempt 0
 
 (* ---------------------------------------------------------------- *)
 (* Local replay (optlsim replay: consume a store without a fleet)     *)
@@ -337,7 +538,11 @@ let work ?(retries = 50) ?(log = fun _ -> ()) ~connect () :
 type replayed = {
   rp_result : Sample.result;
   rp_cached : int;  (** intervals answered from the result cache *)
-  rp_replayed : int;  (** intervals replayed this run *)
+  rp_replayed : int;  (** intervals successfully replayed this run *)
+  rp_quarantined : (int * string list) list;
+      (** intervals whose replay (or record load) failed, sorted by
+          index — in-process replay is deterministic, so one attempt is
+          the whole retry budget *)
 }
 
 (** Replay every interval of [store] in this process ([jobs] worker
@@ -345,8 +550,11 @@ type replayed = {
     cache. Byte-identical to {!serve} + workers and to the original
     serial [--sample] run. [config] overrides the manifest's machine
     configuration — the sweep engine's per-leg entry point: every leg
-    replays the same checkpoints, cached under its own config digest. *)
-let replay ?(jobs = 1) ?(log = fun _ -> ()) ?config store :
+    replays the same checkpoints, cached under its own config digest.
+    A corrupt interval record or a replay exception quarantines that
+    interval ([rp_quarantined]) instead of aborting the run; only a
+    missing/corrupt base image (nothing can replay) is a hard error. *)
+let replay ?(jobs = 1) ?(log = fun _ -> ()) ?config ?wrap store :
     (replayed, Store.error) result =
   let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v in
   let m = Store.manifest store in
@@ -363,6 +571,7 @@ let replay ?(jobs = 1) ?(log = fun _ -> ()) ?config store :
     Array.of_list
       (List.filter (fun i -> not hit.(i)) (List.init count Fun.id))
   in
+  let quarantined = ref [] and replayed = ref 0 in
   let* () =
     if Array.length miss = 0 then Ok ()
     else begin
@@ -380,11 +589,18 @@ let replay ?(jobs = 1) ?(log = fun _ -> ()) ?config store :
             let index = miss.(k) in
             (out.(k) <-
                (match Store.load_interval store index with
-               | Error _ as e -> e
-               | Ok d ->
-                 Ok
-                   (Sample.replay_delta ~core_name:m.Store.m_core ~config
-                      ~schedule ~index ~base d)));
+               | Error e -> Error (Store.error_to_string e)
+               | Ok d -> (
+                 try
+                   Ok
+                     (Sample.replay_delta ?wrap ~core_name:m.Store.m_core
+                        ~config ~schedule ~index ~base d)
+                 with
+                 | Chaos.Killed _ as e -> raise e
+                 | Sim_failure.Sim_failure f ->
+                   Error
+                     (Sim_failure.summary f ^ "\n" ^ Sim_failure.render f)
+                 | e -> Error (Printexc.to_string e))));
             go ()
           end
         in
@@ -396,12 +612,12 @@ let replay ?(jobs = 1) ?(log = fun _ -> ()) ?config store :
       in
       worker ();
       Array.iter Stdlib.Domain.join doms;
-      let first_err = ref None in
       Array.iteri
         (fun k r ->
           match r with
           | Ok iv ->
             results.(miss.(k)) <- iv;
+            incr replayed;
             (match
                Store.put_result store ~config_digest:digest ~index:miss.(k) iv
              with
@@ -409,14 +625,22 @@ let replay ?(jobs = 1) ?(log = fun _ -> ()) ?config store :
             | Error e ->
               log (Printf.sprintf "replay: result cache write failed: %s"
                      (Store.error_to_string e)))
-          | Error e -> if !first_err = None then first_err := Some e)
+          | Error diag ->
+            quarantined := (miss.(k), [ diag ]) :: !quarantined;
+            log
+              (Printf.sprintf "replay: interval %d quarantined: %s" miss.(k)
+                 (match String.index_opt diag '\n' with
+                 | Some j -> String.sub diag 0 j
+                 | None -> diag)))
         out;
-      match !first_err with Some e -> Error e | None -> Ok ()
+      Ok ()
     end
   in
   Ok
     {
       rp_result = merge m results;
       rp_cached = List.length cached;
-      rp_replayed = Array.length miss;
+      rp_replayed = !replayed;
+      rp_quarantined =
+        List.sort (fun (a, _) (b, _) -> compare a b) !quarantined;
     }

@@ -41,6 +41,10 @@ let create ~count ~cached =
   t
 
 let total t = Array.length t.decided
+
+(** Has [index] already been decided? (Out-of-range indices are not.) *)
+let is_decided t index =
+  index >= 0 && index < Array.length t.decided && t.decided.(index)
 let decided_count t = t.decided_count
 let remaining t = total t - t.decided_count
 let leased t = Hashtbl.length t.leases
@@ -73,6 +77,29 @@ let complete t index =
     Hashtbl.remove t.leases index;
     true
   end
+
+(** Return [owner]'s lease on [index] undecided (the worker reported a
+    typed failure and the index should be retried — by anyone). [true]
+    if a lease by [owner] was actually returned; a stale release (lease
+    already expired, stolen or decided) is ignored. *)
+let release t index ~owner =
+  match Hashtbl.find_opt t.leases index with
+  | Some (o, _) when o = owner && not t.decided.(index) ->
+    Hashtbl.remove t.leases index;
+    Queue.add index t.pending;
+    true
+  | _ -> false
+
+(** Renew the deadline on [owner]'s lease of [index] (a heartbeat: the
+    worker is slow but alive). [false] = no such lease held by [owner]
+    — it expired or was re-queued; the worker's eventual completion
+    still lands via the first-completion-wins rule. *)
+let touch t index ~owner ~now ~timeout =
+  match Hashtbl.find_opt t.leases index with
+  | Some (o, _) when o = owner ->
+    Hashtbl.replace t.leases index (owner, now +. timeout);
+    true
+  | _ -> false
 
 (** Re-queue every lease past its deadline; returns the indices. *)
 let expire t ~now =

@@ -272,11 +272,25 @@ let sup_step s () =
   end
 
 (** Extra named checks (e.g. a test's planted tripwire) on a wrapped
-    instance. No effect on instances not produced by {!wrap}. *)
+    instance. No effect on instances not produced by {!wrap}.
+
+    The registry is process-global and mutex-guarded: fleet workers and
+    sweep legs wrap a supervisor around every replay, and replays run
+    concurrently on several {!Stdlib.Domain}s. (Each supervisor itself
+    still belongs to the one domain driving its instance; only the
+    name->supervisor table is shared.) *)
 let supervisors : (string, supervisor) Hashtbl.t = Hashtbl.create 4
 
+let supervisors_lock = Mutex.create ()
+
+let find_supervisor name =
+  Mutex.lock supervisors_lock;
+  let s = Hashtbl.find_opt supervisors name in
+  Mutex.unlock supervisors_lock;
+  s
+
 let register_check (inst : Registry.instance) c =
-  match Hashtbl.find_opt supervisors inst.Registry.model_name with
+  match find_supervisor inst.Registry.model_name with
   | Some s -> s.checks <- c :: s.checks
   | None -> ()
 
@@ -309,7 +323,9 @@ let wrap ?(config = default_config) ?(out = stderr) ~env ~ctx inst =
   (* Under degrade a rollback target must always exist. *)
   if config.degrade then take_checkpoint s;
   let name = "guard:" ^ inst.Registry.model_name in
+  Mutex.lock supervisors_lock;
   Hashtbl.replace supervisors name s;
+  Mutex.unlock supervisors_lock;
   {
     Registry.model_name = name;
     step = sup_step s;
@@ -320,6 +336,6 @@ let wrap ?(config = default_config) ?(out = stderr) ~env ~ctx inst =
 
 (** Whether a wrapped instance has fallen back to the seq core. *)
 let degraded (inst : Registry.instance) =
-  match Hashtbl.find_opt supervisors inst.Registry.model_name with
+  match find_supervisor inst.Registry.model_name with
   | Some s -> s.degraded
   | None -> false

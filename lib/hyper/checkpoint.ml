@@ -158,6 +158,31 @@ let restore_delta ~(base : base) (d : delta) ~uarch (env : Env.t)
   env.Env.tsc_offset <- d.dk_tsc_offset;
   Uarch.restore_delta uarch ~base:base.bk_uarch ~delta:d.dk_uarch
 
+(** Restore a delta checkpoint in place {e and re-arm dirty-page
+    tracking as if the original capture run were still in flight}:
+    after this call the dirty set is exactly the delta's page set —
+    what the original run had dirty at that capture moment (deltas are
+    cumulative since {!capture_base}). A resumed capture's subsequent
+    {!capture_delta}s are therefore byte-identical to the uninterrupted
+    run's. Plain {!restore_delta} instead leaves {e every} frame dirty
+    (restore marks all it touches), which is correct for replay but
+    would bloat resumed deltas and break resume byte-identity. *)
+let resume_delta ~(base : base) (d : delta) ~uarch (env : Env.t)
+    (ctx : Context.t) =
+  Pm.restore env.Env.mem ~snapshot:base.bk_mem;
+  Pm.clear_dirty env.Env.mem;
+  Pm.apply_delta env.Env.mem d.dk_pages;
+  Context.restore ctx ~snapshot:d.dk_ctx;
+  (* Context.restore bumps tlb_generation to invalidate a live machine's
+     stale TLB entries — but a resume rebuilds the uarch TLBs to exactly
+     the checkpoint state below, so the bump would only make the resumed
+     run's future snapshots disagree with the original's by one
+     generation. Restore the counter exactly. *)
+  ctx.Context.tlb_generation <- d.dk_ctx.Context.tlb_generation;
+  env.Env.cycle <- d.dk_cycle;
+  env.Env.tsc_offset <- d.dk_tsc_offset;
+  Uarch.restore_delta uarch ~base:base.bk_uarch ~delta:d.dk_uarch
+
 (** Restore a delta's microarchitectural and context/clock state into
     freshly built worker state whose memory already came from
     {!clone_mem}. *)

@@ -78,6 +78,16 @@ val restore_delta :
   base:base -> delta -> uarch:Ptl_ooo.Uarch.t -> Ptl_arch.Env.t ->
   Ptl_arch.Context.t -> unit
 
+(** Restore in place and re-arm dirty-page tracking as the original
+    capture run had it at that moment (dirty set = the delta's page
+    set), so a resumed capture's subsequent {!capture_delta}s are
+    byte-identical to the uninterrupted run's. Use for capture resume;
+    {!restore_delta} (which leaves every restored frame dirty) for
+    replay. *)
+val resume_delta :
+  base:base -> delta -> uarch:Ptl_ooo.Uarch.t -> Ptl_arch.Env.t ->
+  Ptl_arch.Context.t -> unit
+
 (** Restore context/clock/uarch into worker state whose memory already
     came from {!clone_mem}. *)
 val restore_delta_into :

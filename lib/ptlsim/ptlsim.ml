@@ -90,6 +90,9 @@ module Cosim = Ptl_hyper.Cosim
 (* guard rails: invariant registry + crash-containment supervisor *)
 module Guard = Ptl_guard.Guard
 
+(* seeded fault injection for robustness testing *)
+module Chaos = Ptl_chaos.Chaos
+
 (* sampled simulation (fast-forward + periodic detail) *)
 module Sample = Ptl_sample.Sample
 

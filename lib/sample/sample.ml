@@ -378,7 +378,17 @@ let install_warming (d : Domain.t) (u : Uarch.t) =
               | Some paddr -> Hierarchy.warm_ifetch u.Uarch.hierarchy ~paddr
               | None -> ()
             end);
-      }
+      };
+  (* memo reset, called at every window-capture point: the memos are
+     harness state outside the checkpoint, so a resumed pass (which
+     reinstalls the hooks fresh) must meet the same cold memos the
+     original pass had at that boundary, or the first repeated-line
+     access after the boundary would warm the hierarchy/TLB LRU in one
+     run and be skipped in the other *)
+  fun () ->
+    last_iline := -1;
+    last_lline := -1;
+    last_sline := -1
 
 let remove_warming (d : Domain.t) = d.Domain.native.Seqcore.hooks <- None
 
@@ -433,7 +443,7 @@ let run ?(roi = false) ?(placement = Fixed) ?(max_insns = max_int)
       Domain.set_uarch d u;
       u
   in
-  install_warming d uarch;
+  let (_ : unit -> unit) = install_warming d uarch in
   if not roi then d.Domain.sample_roi <- true;
   let start_cycle = env.Env.cycle
   and start_insns = ctx.Context.insns_committed in
@@ -561,18 +571,24 @@ let check_jobs ~jobs ~kernel ~tracing () : (unit, string) Stdlib.result =
 (* Drive a freshly restored private core through warm-up + measure and
    package the measured window. Shared by the full-checkpoint and
    delta-checkpoint replay paths; determinism follows because the
-   result is a pure function of the restored state and the schedule. *)
-let replay_measure ~inst ~stats ~(env : Env.t) ~(ctx : Context.t) ~schedule
-    ~index =
+   result is a pure function of the restored state and the schedule.
+   [progress] (default no-op) is invoked every ~2k pipeline steps — a
+   cheap liveness hook fleet workers use to heartbeat their lease
+   while a slow interval replays; it must not touch simulator state. *)
+let replay_measure ?(progress = fun () -> ()) ~inst ~stats ~(env : Env.t)
+    ~(ctx : Context.t) ~schedule ~index () =
   let halted () =
     (not ctx.Context.running)
     && (not (Context.interruptible ctx))
     && inst.Registry.idle ()
   in
+  let steps = ref 0 in
   let drive n =
     let target = ctx.Context.insns_committed + n in
     while (not (halted ())) && ctx.Context.insns_committed < target do
-      inst.Registry.step ()
+      inst.Registry.step ();
+      incr steps;
+      if !steps land 2047 = 0 then progress ()
     done
   in
   drive schedule.warmup_insns;
@@ -602,9 +618,14 @@ let replay_measure ~inst ~stats ~(env : Env.t) ~(ctx : Context.t) ~schedule
     separate {!Stdlib.Domain}s at once; determinism follows because the
     result is a pure function of the checkpoint and the schedule.
     Returns [None] when the guest halts before committing a single
-    measured instruction. *)
-let replay_interval ~core_name ~config ~schedule ~index (ck : Checkpoint.full)
-    =
+    measured instruction.
+
+    [wrap] (both replay builders) interposes on the freshly built core
+    instance before it drives — how fleet workers put a {!Ptl_guard}
+    supervisor around each leased interval, turning a mid-replay
+    invariant breach into a typed failure instead of a dead worker. *)
+let replay_interval ?progress ?wrap ~core_name ~config ~schedule ~index
+    (ck : Checkpoint.full) =
   let stats = Stats.create () in
   let env = Env.create ~stats () in
   let ctx = Context.create ~vcpu_id:0 in
@@ -614,7 +635,8 @@ let replay_interval ~core_name ~config ~schedule ~index (ck : Checkpoint.full)
      same-config replays restore exactly *)
   ignore (Checkpoint.restore_full_fit ck ~uarch env ctx : string list);
   let inst = Registry.build ~uarch core_name config env [| ctx |] in
-  replay_measure ~inst ~stats ~env ~ctx ~schedule ~index
+  let inst = match wrap with None -> inst | Some w -> w ~env ~ctx inst in
+  replay_measure ?progress ~inst ~stats ~env ~ctx ~schedule ~index ()
 
 (** Replay one measured interval from a delta checkpoint. The private
     memory is a copy-on-write clone of the shared base image overlaid
@@ -622,7 +644,7 @@ let replay_interval ~core_name ~config ~schedule ~index (ck : Checkpoint.full)
     and the private {!Uarch} restores from [base + changed components].
     Restored state is identical to what {!replay_interval} sees from a
     full checkpoint of the same moment, so the interval record is too. *)
-let replay_delta ~core_name ~config ~schedule ~index
+let replay_delta ?progress ?wrap ~core_name ~config ~schedule ~index
     ~(base : Checkpoint.base) (d : Checkpoint.delta) =
   let stats = Stats.create () in
   let mem = Checkpoint.clone_mem ~base d in
@@ -633,7 +655,8 @@ let replay_delta ~core_name ~config ~schedule ~index
      geometry of what the checkpoint warmed *)
   ignore (Checkpoint.restore_delta_into_fit ~base d ~uarch env ctx : string list);
   let inst = Registry.build ~uarch core_name config env [| ctx |] in
-  replay_measure ~inst ~stats ~env ~ctx ~schedule ~index
+  let inst = match wrap with None -> inst | Some w -> w ~env ~ctx inst in
+  replay_measure ?progress ~inst ~stats ~env ~ctx ~schedule ~index ()
 
 (** What one master capture pass produced: the shared base image, one
     delta checkpoint per measured window, the whole-run totals, and the
@@ -649,6 +672,27 @@ type capture_run = {
   cr_full_bytes : int;  (** what full per-window images would have cost *)
 }
 
+(** One captured window, streamed to [?on_window] as it lands — the
+    journaling hook resumable capture is built on. *)
+type window = {
+  w_index : int;
+  w_delta : Checkpoint.delta;
+  w_delta_bytes : int;
+  w_full_bytes : int;
+}
+
+(** Where an interrupted capture left off: the base image, the last
+    journaled delta (whose capture moment the resumed pass restarts
+    from), how many windows are already safe on disk, and their byte
+    accounting (so the resumed run's totals cover the whole pass). *)
+type resume_point = {
+  rs_base : Checkpoint.base;
+  rs_last : Checkpoint.delta;
+  rs_count : int;
+  rs_delta_bytes : int;
+  rs_full_bytes : int;
+}
+
 (** The master pass of checkpoint-parallel sampling: drive the whole
     workload on the native core with functional warming (the master
     never runs the timed core), capture a {!Checkpoint.base} up front
@@ -659,11 +703,25 @@ type capture_run = {
     in-process via {!run_parallel} or from a durable store via
     lib/fleet). ROI gating as in {!run}.
 
+    [on_base] / [on_window] stream the base image and each delta as
+    they are captured (journaling); [resume] restarts an interrupted
+    pass from its last journaled window instead of from scratch. The
+    domain must be rebuilt exactly as for the original pass (same
+    workload, machine, schedule, placement): the resumed pass restores
+    the last delta's capture moment — {!Checkpoint.resume_delta}
+    re-arms dirty tracking to the original run's — re-draws the placer
+    prefix, and re-drives the already-journaled window natively, so
+    every subsequent delta is byte-identical to the uninterrupted
+    run's. On resume [cr_deltas] holds only the windows captured by
+    this process (the journal already has the prefix), while the
+    insn/cycle/byte totals cover the whole pass.
+
     Raises [Invalid_argument] for kernel-hosted domains — host-side
     minios state is not checkpointable ({!check_jobs} reports the same
     condition as a CLI error). *)
 let run_capture ?(roi = false) ?(placement = Fixed) ?(max_insns = max_int)
-    ?(max_cycles = max_int) ~schedule (d : Domain.t) =
+    ?(max_cycles = max_int) ?(on_base = fun _ -> ()) ?(on_window = fun _ -> ())
+    ?resume ~schedule (d : Domain.t) =
   if d.Domain.kernel <> None then
     invalid_arg
       "Sample.run_capture: kernel-hosted domains are not checkpointable";
@@ -680,8 +738,10 @@ let run_capture ?(roi = false) ?(placement = Fixed) ?(max_insns = max_int)
       Domain.set_uarch d u;
       u
   in
-  install_warming d uarch;
   if not roi then d.Domain.sample_roi <- true;
+  (* entry totals read before any restore: a resumed pass rebuilds the
+     domain deterministically, so they equal the original pass's and
+     the final insn/cycle totals come out whole-run *)
   let start_cycle = env.Env.cycle
   and start_insns = ctx.Context.insns_committed in
   let finished = ref false in
@@ -714,12 +774,46 @@ let run_capture ?(roi = false) ?(placement = Fixed) ?(max_insns = max_int)
       end
     done
   in
-  let base = Checkpoint.capture_base ~uarch env in
+  let base =
+    match resume with
+    | None ->
+      let b = Checkpoint.capture_base ~uarch env in
+      on_base b;
+      b
+    | Some rs ->
+      Checkpoint.resume_delta ~base:rs.rs_base rs.rs_last ~uarch env ctx;
+      rs.rs_base
+  in
+  (* warming hooks install after any restore: their TLB-generation memo
+     must match the live context, or the first warmed access would
+     flush the restored TLB contents the original run kept *)
+  let reset_memos = install_warming d uarch in
   let placer = make_placer placement schedule in
   let window = schedule.warmup_insns + schedule.measure_insns in
   let deltas = ref [] (* newest first; reversed below *) in
   let delta_bytes = ref 0 and full_bytes = ref 0 in
   let period_idx = ref 0 in
+  (match resume with
+  | None -> ()
+  | Some rs ->
+    delta_bytes := rs.rs_delta_bytes;
+    full_bytes := rs.rs_full_bytes;
+    (* re-draw the placer prefix — stateful [Rand_offset] placers must
+       see every period in order — keeping the offset of the window we
+       restarted from *)
+    let last_off = ref schedule.ff_insns in
+    for i = 0 to rs.rs_count - 1 do
+      last_off := placer i
+    done;
+    period_idx := rs.rs_count;
+    (* the restored moment is the START of journaled window
+       [rs_count-1]: re-drive it (and its period's trailing
+       fast-forward) natively to reach the next period's entry state *)
+    let i_re = ctx.Context.insns_committed in
+    drive_ff window;
+    if (not !finished) && schedule.ff_insns - !last_off > 0 then
+      drive_ff (schedule.ff_insns - !last_off);
+    Stats.add c_ff (ctx.Context.insns_committed - i_re));
   while not !finished do
     let off = placer !period_idx in
     incr period_idx;
@@ -728,11 +822,22 @@ let run_capture ?(roi = false) ?(placement = Fixed) ?(max_insns = max_int)
     Stats.add c_ff (ctx.Context.insns_committed - i_ff);
     if not !finished then begin
       let dk = Checkpoint.capture_delta ~base ~uarch env ctx in
+      let db = Checkpoint.delta_page_bytes dk
+      and fb = Checkpoint.full_page_bytes env in
       deltas := dk :: !deltas;
-      delta_bytes := !delta_bytes + Checkpoint.delta_page_bytes dk;
-      full_bytes := !full_bytes + Checkpoint.full_page_bytes env;
+      delta_bytes := !delta_bytes + db;
+      full_bytes := !full_bytes + fb;
       Stats.incr c_ckpt;
       Stats.add c_ckpt_pages (Checkpoint.delta_pages dk);
+      on_window
+        {
+          w_index = !period_idx - 1;
+          w_delta = dk;
+          w_delta_bytes = db;
+          w_full_bytes = fb;
+        };
+      (* cold memos at the capture point, matching a resumed pass *)
+      reset_memos ();
       (* advance natively through the window so the next period starts
          from sequential state; the workers will re-execute it timed *)
       drive_ff window
@@ -843,3 +948,36 @@ let report oc r =
   Printf.fprintf oc
     "estimated full-detail cycles %.0f for %d insns (ran %d virtual cycles)\n"
     r.est_cycles r.total_insns r.total_cycles
+
+(** {!report}, then — only when [quarantined] is non-empty — an explicit
+    DEGRADED section: coverage over the [count] captured intervals, each
+    quarantined index with its retry count and the first line of its
+    last diagnostic. With no quarantined intervals the output is
+    byte-identical to {!report}, so healthy runs cannot be told apart
+    from runs through the degraded path. [quarantined] pairs are
+    [(index, diagnostics)] with diagnostics newest first. *)
+let report_degraded oc ~count ~quarantined r =
+  report oc r;
+  match quarantined with
+  | [] -> ()
+  | q ->
+    let q = List.sort (fun (a, _) (b, _) -> compare a b) q in
+    let nq = List.length q in
+    let survived = count - nq in
+    Printf.fprintf oc
+      "DEGRADED: %d of %d interval(s) quarantined, coverage %.1f%%\n" nq count
+      (if count = 0 then 0.0
+       else 100.0 *. float_of_int survived /. float_of_int count);
+    List.iter
+      (fun (i, diags) ->
+        let last = match diags with d :: _ -> d | [] -> "" in
+        let first_line =
+          match String.index_opt last '\n' with
+          | Some j -> String.sub last 0 j
+          | None -> last
+        in
+        Printf.fprintf oc "  interval %-4d %d failure(s): %s\n" i
+          (List.length diags) first_line)
+      q;
+    Printf.fprintf oc
+      "estimates above cover the %d surviving interval(s) only\n" survived

@@ -107,8 +107,11 @@ val result_stat : result -> string -> int
 
 (** Hook the domain's native core so fast-forwarded instructions warm
     the shared {!Ptl_ooo.Uarch} (exposed for tests; {!run} installs it
-    itself). *)
-val install_warming : Ptl_hyper.Domain.t -> Ptl_ooo.Uarch.t -> unit
+    itself). Returns a function resetting the warmer's line memos —
+    {!run_capture} calls it at every window-capture point so a resumed
+    pass, whose freshly installed hooks start with cold memos, warms
+    exactly as the uninterrupted pass did. *)
+val install_warming : Ptl_hyper.Domain.t -> Ptl_ooo.Uarch.t -> unit -> unit
 
 val remove_warming : Ptl_hyper.Domain.t -> unit
 
@@ -146,8 +149,20 @@ val check_jobs :
     tree) — safe to run on any {!Stdlib.Domain}; a pure function of the
     checkpoint and schedule. [None] if the guest halts before committing
     a measured instruction. Exposed for tests; {!run_parallel} is the
-    driver. *)
+    driver.
+
+    [progress] (both replay builders) is invoked every ~2k pipeline
+    steps — a liveness hook fleet workers heartbeat from; it must not
+    touch simulator state. [wrap] interposes on the freshly built core
+    instance before it drives (e.g. a {!Ptl_guard} supervisor), turning
+    mid-replay invariant breaches into typed failures. *)
 val replay_interval :
+  ?progress:(unit -> unit) ->
+  ?wrap:
+    (env:Ptl_arch.Env.t ->
+    ctx:Ptl_arch.Context.t ->
+    Ptl_ooo.Registry.instance ->
+    Ptl_ooo.Registry.instance) ->
   core_name:string ->
   config:Ptl_ooo.Config.t ->
   schedule:schedule ->
@@ -162,6 +177,12 @@ val replay_interval :
     the interval record — is identical to a full-checkpoint replay of
     the same moment. *)
 val replay_delta :
+  ?progress:(unit -> unit) ->
+  ?wrap:
+    (env:Ptl_arch.Env.t ->
+    ctx:Ptl_arch.Context.t ->
+    Ptl_ooo.Registry.instance ->
+    Ptl_ooo.Registry.instance) ->
   core_name:string ->
   config:Ptl_ooo.Config.t ->
   schedule:schedule ->
@@ -182,16 +203,47 @@ type capture_run = {
   cr_full_bytes : int;
 }
 
+(** One captured window, streamed to [run_capture]'s [?on_window] as it
+    lands — the journaling hook resumable capture is built on. *)
+type window = {
+  w_index : int;
+  w_delta : Ptl_hyper.Checkpoint.delta;
+  w_delta_bytes : int;
+  w_full_bytes : int;
+}
+
+(** Where an interrupted capture left off: base image, last journaled
+    delta (the resumed pass restarts from its capture moment), windows
+    already safe on disk ([rs_count >= 1]) and their byte accounting. *)
+type resume_point = {
+  rs_base : Ptl_hyper.Checkpoint.base;
+  rs_last : Ptl_hyper.Checkpoint.delta;
+  rs_count : int;
+  rs_delta_bytes : int;
+  rs_full_bytes : int;
+}
+
 (** The master pass of checkpoint-parallel sampling: native execution
     with functional warming, a {!Ptl_hyper.Checkpoint.base} captured up
     front and a cheap delta at the start of every warm-up+measure
     window (the windows advance natively; workers replay them timed).
-    Raises [Invalid_argument] on kernel-hosted domains. *)
+    Raises [Invalid_argument] on kernel-hosted domains.
+
+    [on_base]/[on_window] stream the base and each delta as captured
+    (journaling). [resume] restarts an interrupted pass from its last
+    journaled window; the domain must be rebuilt exactly as for the
+    original pass (same workload, machine, schedule, placement). Every
+    resumed delta is then byte-identical to the uninterrupted run's;
+    [cr_deltas] holds only this process's windows while the
+    insn/cycle/byte totals cover the whole pass. *)
 val run_capture :
   ?roi:bool ->
   ?placement:placement ->
   ?max_insns:int ->
   ?max_cycles:int ->
+  ?on_base:(Ptl_hyper.Checkpoint.base -> unit) ->
+  ?on_window:(window -> unit) ->
+  ?resume:resume_point ->
   schedule:schedule ->
   Ptl_hyper.Domain.t ->
   capture_run
@@ -228,3 +280,15 @@ val run_parallel :
 (** Per-interval table plus the aggregate estimate (the [--sample]
     end-of-run report). *)
 val report : out_channel -> result -> unit
+
+(** {!report}, then — only when [quarantined] is non-empty — an explicit
+    DEGRADED section: coverage over the [count] captured intervals and
+    each quarantined index with its retry count and last diagnostic
+    (pairs are [(index, diagnostics)], diagnostics newest first). With
+    nothing quarantined the output is byte-identical to {!report}. *)
+val report_degraded :
+  out_channel ->
+  count:int ->
+  quarantined:(int * string list) list ->
+  result ->
+  unit

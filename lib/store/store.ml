@@ -32,6 +32,7 @@ module Checkpoint = Ptl_hyper.Checkpoint
 module Sample = Ptl_sample.Sample
 module Config = Ptl_ooo.Config
 module Crc32 = Ptl_util.Crc32
+module Chaos = Ptl_chaos.Chaos
 
 (* ---------------------------------------------------------------- *)
 (* Errors                                                            *)
@@ -90,23 +91,67 @@ let kind_manifest = 'M'
 let kind_base = 'B'
 let kind_interval = 'I'
 let kind_result = 'R'
+let kind_progress = 'P'
+
+(* Temp names are unique per (process, atomic counter): two workers
+   racing to cache the same (config-digest, index) entry must never
+   share a .tmp file, or their interleaved writes tear the record both
+   renames then publish. With private temp files each rename installs
+   a complete record atomically — whichever lands last wins and the
+   entry stays readable. *)
+let tmp_counter = Atomic.make 0
+
+let tmp_name path =
+  Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+    (Atomic.fetch_and_add tmp_counter 1)
 
 let write_record ~path ~kind payload =
-  try
-    let tmp = path ^ ".tmp" in
-    let oc = open_out_bin tmp in
-    let hdr = Buffer.create header_size in
-    Buffer.add_string hdr magic;
-    Buffer.add_uint16_le hdr version;
-    Buffer.add_char hdr kind;
-    Buffer.add_int64_le hdr (Int64.of_int (String.length payload));
-    Buffer.add_int32_le hdr (Crc32.string payload);
-    Buffer.output_buffer oc hdr;
-    output_string oc payload;
-    close_out oc;
-    Sys.rename tmp path;
-    Ok ()
-  with Sys_error reason -> Error (E_io { path; reason })
+  (* chaos instrumentation: record writes are a fault-matrix cell.
+     Fail = the caller sees a typed I/O error; Drop = the write is
+     silently lost (acknowledged but absent); Flip_bit corrupts the
+     payload AFTER the CRC is computed, so the torn record is caught at
+     read time; Truncate publishes a torn record, then the process
+     dies, the crash the resumable-capture journal recovers from. *)
+  let fault =
+    Chaos.fire
+      (if kind = kind_result then "store.result.write" else "store.write")
+  in
+  match fault with
+  | Some Chaos.Kill ->
+    raise (Chaos.Killed (Printf.sprintf "store.write %s" path))
+  | Some Chaos.Fail ->
+    Error (E_io { path; reason = "chaos: injected write failure" })
+  | Some Chaos.Drop -> Ok ()
+  | (None | Some (Chaos.Delay _ | Chaos.Truncate | Chaos.Flip_bit _)) as fault
+    -> (
+    let payload_out =
+      match fault with
+      | Some (Chaos.Flip_bit b) when String.length payload > 0 ->
+        let b = b mod (String.length payload * 8) in
+        let bytes = Bytes.of_string payload in
+        Bytes.set bytes (b / 8)
+          (Char.chr (Char.code (Bytes.get bytes (b / 8)) lxor (1 lsl (b mod 8))));
+        Bytes.to_string bytes
+      | Some Chaos.Truncate -> String.sub payload 0 (String.length payload / 2)
+      | _ -> payload
+    in
+    try
+      let tmp = tmp_name path in
+      let oc = open_out_bin tmp in
+      let hdr = Buffer.create header_size in
+      Buffer.add_string hdr magic;
+      Buffer.add_uint16_le hdr version;
+      Buffer.add_char hdr kind;
+      Buffer.add_int64_le hdr (Int64.of_int (String.length payload));
+      Buffer.add_int32_le hdr (Crc32.string payload);
+      Buffer.output_buffer oc hdr;
+      output_string oc payload_out;
+      close_out oc;
+      Sys.rename tmp path;
+      if fault = Some Chaos.Truncate then
+        raise (Chaos.Killed (Printf.sprintf "store.write %s (torn)" path));
+      Ok ()
+    with Sys_error reason -> Error (E_io { path; reason }))
 
 let read_record ~path ~kind =
   match
@@ -269,6 +314,210 @@ let create ~dir ~workload ~core ~(schedule : Sample.schedule) ~placement
   in
   let* () = write_value ~path:(manifest_path dir) ~kind:kind_manifest m in
   Ok { dir; manifest = m }
+
+(* ---------------------------------------------------------------- *)
+(* The capture journal: resumable captures                           *)
+(* ---------------------------------------------------------------- *)
+
+(* While a capture is in flight the directory holds the base, the
+   interval records journaled so far, and a PROGRESS record (kind 'P',
+   rewritten atomically after every window) carrying the capture's
+   identity plus per-window byte accounting. The MANIFEST only appears
+   at [finish_capture] — a crashed capture is never mistaken for a
+   complete store — and [scan_partial] turns the journal back into a
+   resume point: the longest valid prefix of interval records wins, so
+   a record torn mid-write simply gets recaptured. *)
+
+let progress_path dir = Filename.concat dir "PROGRESS"
+
+(** The on-disk progress payload. [pg_windows] carries one
+    (delta_bytes, full_bytes) pair per journaled window, oldest first
+    — the accounting the final manifest sums, reconstructible for any
+    resume prefix. *)
+type progress = {
+  pg_workload : string;
+  pg_core : string;
+  pg_config_digest : string;
+  pg_ff : int;
+  pg_warmup : int;
+  pg_measure : int;
+  pg_placement : string;
+  pg_windows : (int * int) list;
+}
+
+(** An in-flight capture being journaled. *)
+type journal = {
+  j_dir : string;
+  j_workload : string;
+  j_core : string;
+  j_config : Config.t;
+  j_schedule : Sample.schedule;
+  j_placement : string;
+  mutable j_windows : (int * int) list;  (* newest first *)
+}
+
+let write_progress j =
+  write_value ~path:(progress_path j.j_dir) ~kind:kind_progress
+    {
+      pg_workload = j.j_workload;
+      pg_core = j.j_core;
+      pg_config_digest = config_digest j.j_config;
+      pg_ff = j.j_schedule.Sample.ff_insns;
+      pg_warmup = j.j_schedule.Sample.warmup_insns;
+      pg_measure = j.j_schedule.Sample.measure_insns;
+      pg_placement = j.j_placement;
+      pg_windows = List.rev j.j_windows;
+    }
+
+(** A resume point recovered from an interrupted capture's journal. *)
+type partial = {
+  pt_count : int;  (** valid journaled interval records (a prefix) *)
+  pt_delta_bytes : int;  (** accounting over that prefix *)
+  pt_full_bytes : int;
+  pt_windows : (int * int) list;  (** per-window accounting, oldest first *)
+  pt_base : Checkpoint.base;
+  pt_last : Checkpoint.delta;  (** interval [pt_count - 1]: the resume state *)
+  pt_workload : string;
+  pt_core : string;
+  pt_config_digest : string;
+  pt_schedule : Sample.schedule;
+  pt_placement : string;
+}
+
+(** Open a capture journal on [dir]. A fresh journal deletes any stale
+    MANIFEST first (an interrupted re-capture must not masquerade as
+    the previous complete store); [resume] primes the journal with a
+    {!scan_partial} resume point instead, so the next
+    {!journal_interval} continues at [pt_count]. *)
+let begin_capture ~dir ~workload ~core ~(schedule : Sample.schedule)
+    ~placement ~(config : Config.t) ?resume () =
+  let* () = mkdir_p dir in
+  match resume with
+  | Some pt ->
+    Ok
+      {
+        j_dir = dir;
+        j_workload = workload;
+        j_core = core;
+        j_config = config;
+        j_schedule = schedule;
+        j_placement = placement;
+        j_windows = List.rev pt.pt_windows;
+      }
+  | None ->
+    if Sys.file_exists (manifest_path dir) then
+      (try Sys.remove (manifest_path dir) with Sys_error _ -> ());
+    Ok
+      {
+        j_dir = dir;
+        j_workload = workload;
+        j_core = core;
+        j_config = config;
+        j_schedule = schedule;
+        j_placement = placement;
+        j_windows = [];
+      }
+
+(** Journal the shared base image (once, before any interval). *)
+let journal_base j (base : Checkpoint.base) =
+  let* () = write_value ~path:(base_path j.j_dir) ~kind:kind_base base in
+  write_progress j
+
+(** Journal one captured window as it lands: the interval record first,
+    then the PROGRESS update — so a crash between the two merely
+    recaptures (and identically rewrites) the last window on resume.
+    [index] must be the next unjournaled window. *)
+let journal_interval j ~index ~delta_bytes ~full_bytes
+    (d : Checkpoint.delta) =
+  let expected = List.length j.j_windows in
+  if index <> expected then Error (E_bad_index { index; count = expected })
+  else begin
+    let path = Filename.concat j.j_dir (interval_name index) in
+    let* () = write_value ~path ~kind:kind_interval d in
+    j.j_windows <- (delta_bytes, full_bytes) :: j.j_windows;
+    write_progress j
+  end
+
+(** Seal a journaled capture: write the MANIFEST (readers now see a
+    complete store) and retire the PROGRESS record. *)
+let finish_capture j ~total_insns ~total_cycles =
+  let windows = List.rev j.j_windows in
+  let m =
+    {
+      m_workload = j.j_workload;
+      m_core = j.j_core;
+      m_config = j.j_config;
+      m_config_digest = config_digest j.j_config;
+      m_ff = j.j_schedule.Sample.ff_insns;
+      m_warmup = j.j_schedule.Sample.warmup_insns;
+      m_measure = j.j_schedule.Sample.measure_insns;
+      m_placement = j.j_placement;
+      m_count = List.length windows;
+      m_total_insns = total_insns;
+      m_total_cycles = total_cycles;
+      m_delta_bytes = List.fold_left (fun a (d, _) -> a + d) 0 windows;
+      m_full_bytes = List.fold_left (fun a (_, f) -> a + f) 0 windows;
+    }
+  in
+  let* () = write_value ~path:(manifest_path j.j_dir) ~kind:kind_manifest m in
+  (try Sys.remove (progress_path j.j_dir) with Sys_error _ -> ());
+  Ok { dir = j.j_dir; manifest = m }
+
+(** Recover a resume point from an interrupted capture. [Ok None] =
+    nothing usable (no journal, torn progress/base, or no valid
+    interval record yet) — start fresh. The resumable prefix is the
+    longest run of valid interval records from 0, capped by what the
+    progress record accounts for; anything past it (a record published
+    ahead of its progress update, or torn mid-write) is recaptured
+    deterministically. *)
+let scan_partial ~dir : (partial option, error) result =
+  if not (Sys.file_exists (progress_path dir)) then Ok None
+  else
+    match read_value ~path:(progress_path dir) ~kind:kind_progress with
+    | Error _ -> Ok None
+    | Ok (pg : progress) -> (
+      match read_value ~path:(base_path dir) ~kind:kind_base with
+      | Error _ -> Ok None
+      | Ok (base : Checkpoint.base) -> (
+        let limit = List.length pg.pg_windows in
+        let rec prefix i last =
+          if i >= limit then (i, last)
+          else
+            match
+              read_value
+                ~path:(Filename.concat dir (interval_name i))
+                ~kind:kind_interval
+            with
+            | Ok (d : Checkpoint.delta) -> prefix (i + 1) (Some d)
+            | Error _ -> (i, last)
+        in
+        let count, last = prefix 0 None in
+        match last with
+        | None -> Ok None
+        | Some pt_last ->
+          let windows = List.filteri (fun i _ -> i < count) pg.pg_windows in
+          Ok
+            (Some
+               {
+                 pt_count = count;
+                 pt_delta_bytes =
+                   List.fold_left (fun a (d, _) -> a + d) 0 windows;
+                 pt_full_bytes =
+                   List.fold_left (fun a (_, f) -> a + f) 0 windows;
+                 pt_windows = windows;
+                 pt_base = base;
+                 pt_last;
+                 pt_workload = pg.pg_workload;
+                 pt_core = pg.pg_core;
+                 pt_config_digest = pg.pg_config_digest;
+                 pt_schedule =
+                   {
+                     Sample.ff_insns = pg.pg_ff;
+                     warmup_insns = pg.pg_warmup;
+                     measure_insns = pg.pg_measure;
+                   };
+                 pt_placement = pg.pg_placement;
+               })))
 
 (* ---------------------------------------------------------------- *)
 (* Reading a store                                                   *)

@@ -506,6 +506,9 @@ type leg_result = {
   lr_result : Sample.result;
   lr_cached : int;  (** intervals answered from this leg's result cache *)
   lr_replayed : int;
+  lr_quarantined : (int * string list) list;
+      (** intervals this leg could not replay (see
+          {!Ptl_fleet.Fleet.replayed}); they simply do not pair *)
   lr_mpki_l1d : float;  (** L1D misses per kilo-instruction (measured) *)
   lr_mpki_dtlb : float;  (** DTLB misses per kilo-instruction (measured) *)
   lr_area : float;  (** {!area_kb} of the leg's config *)
@@ -541,6 +544,7 @@ let leg_metrics ~core (leg : leg) (rp : Fleet.replayed) =
     lr_result = r;
     lr_cached = rp.Fleet.rp_cached;
     lr_replayed = rp.Fleet.rp_replayed;
+    lr_quarantined = rp.Fleet.rp_quarantined;
     lr_mpki_l1d = mpki r ~insns (core ^ ".mem.L1D.misses");
     lr_mpki_dtlb = mpki r ~insns (core ^ ".dcache.dtlb_misses");
     lr_area = area_kb leg.l_config;
@@ -569,11 +573,25 @@ let dominates a b =
   let (ca, ma, aa) = a and (cb, mb, ab) = b in
   ca <= cb && ma <= mb && aa <= ab && (ca < cb || ma < mb || aa < ab)
 
+(** Legs with quarantined intervals, [(leg name, indices)] in rank
+    order — non-empty means the sweep report is degraded (quarantined
+    windows drop out of that leg's aggregate and pair set). *)
+let degraded (r : report) =
+  List.filter_map
+    (fun rk ->
+      match rk.rk.lr_quarantined with
+      | [] -> None
+      | q -> Some (rk.rk.lr_leg.l_name, List.map fst q))
+    r.rep_ranked
+
 (** Run a parsed spec over [store]: the base (manifest) configuration
     plus every leg replays the same intervals on [jobs] in-process
     domains, missing results are computed and cached, and the rows are
-    ranked by CPI with paired statistics against the base. *)
-let run ?(jobs = 1) ?(log = fun _ -> ()) store (s : spec) :
+    ranked by CPI with paired statistics against the base. [wrap]
+    interposes on every replay's core instance (e.g. a per-leg guard
+    supervisor); a replay failure quarantines that (leg, interval)
+    instead of aborting the sweep. *)
+let run ?(jobs = 1) ?(log = fun _ -> ()) ?wrap store (s : spec) :
     (report, string) result =
   let m = Store.manifest store in
   let base_config = m.Store.m_config in
@@ -588,11 +606,14 @@ let run ?(jobs = 1) ?(log = fun _ -> ()) store (s : spec) :
                      config(s) already in the result cache"
        (List.length sweep_legs) m.Store.m_count (List.length cached));
   let replay_leg name config =
-    match Fleet.replay ~jobs ~config store with
+    match Fleet.replay ~jobs ~config ?wrap store with
     | Ok rp ->
       log
-        (Printf.sprintf "sweep: leg %s: %d cached, %d replayed" name
-           rp.Fleet.rp_cached rp.Fleet.rp_replayed);
+        (Printf.sprintf "sweep: leg %s: %d cached, %d replayed%s" name
+           rp.Fleet.rp_cached rp.Fleet.rp_replayed
+           (match rp.Fleet.rp_quarantined with
+           | [] -> ""
+           | q -> Printf.sprintf ", %d quarantined" (List.length q)));
       Ok rp
     | Error e -> Error (Store.error_to_string e)
   in
@@ -710,9 +731,9 @@ let render oc (r : report) =
   Printf.fprintf oc "pareto frontier (cpi, L1D MPKI, area): %s\n"
     (String.concat ", " frontier);
   (* the matched-pair payoff, printed for the best non-base leg *)
-  match
-    List.find_opt (fun rk -> not rk.rk_base) r.rep_ranked
-  with
+  (match
+     List.find_opt (fun rk -> not rk.rk_base) r.rep_ranked
+   with
   | None -> ()
   | Some rk ->
     let cmp = rk.rk_vs_base in
@@ -724,7 +745,21 @@ let render oc (r : report) =
       (if cmp.Paired.delta_ci95 > 0.0 then
          cmp.Paired.indep_ci95 /. cmp.Paired.delta_ci95
        else 0.0)
-      cmp.Paired.n
+      cmp.Paired.n);
+  (* only when something was quarantined: healthy sweeps render
+     byte-identically to the pre-quarantine engine *)
+  match degraded r with
+  | [] -> ()
+  | d ->
+    Printf.fprintf oc
+      "DEGRADED: %d leg(s) have quarantined interval(s); those windows \
+       drop out of the leg's aggregate and pair set\n"
+      (List.length d);
+    List.iter
+      (fun (name, idxs) ->
+        Printf.fprintf oc "  %s: interval(s) %s\n" name
+          (String.concat "," (List.map string_of_int idxs)))
+      d
 
 (** [render] to a string (the determinism tests byte-compare this). *)
 let render_string r =

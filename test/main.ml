@@ -28,6 +28,7 @@ let () =
       ("checkpoint", Test_checkpoint.suite);
       ("store", Test_store.suite);
       ("fleet", Test_fleet.suite);
+      ("chaos", Test_chaos.suite);
       ("sweep", Test_sweep.suite);
     ]
   with e ->

@@ -50,7 +50,7 @@ let warmed_machine ?(insns = 20_000) () =
   let d, m = bare_loop ~iters:200_000 () in
   let u = Uarch.create ~prefix:"ooo" Config.tiny d.Domain.env.Env.stats in
   Domain.set_uarch d u;
-  Sample.install_warming d u;
+  let (_ : unit -> unit) = Sample.install_warming d u in
   Domain.enter_native d;
   let target = d.Domain.ctx.Context.insns_committed + insns in
   let alive = ref true in

@@ -58,6 +58,37 @@ let test_lease_queue_worker_death () =
   Alcotest.(check (option int)) "lease skips the decided index" (Some 1)
     (Lq.lease q ~owner:"survivor" ~now:1.0 ~timeout:60.0)
 
+let test_lease_queue_release_touch () =
+  let q = Lq.create ~count:2 ~cached:[] in
+  ignore (Lq.lease q ~owner:"w" ~now:0.0 ~timeout:5.0);
+  (* a heartbeat renews the deadline: not stale at t=6 after a touch
+     at t=4, stale without a further one at t=10 *)
+  Alcotest.(check bool) "touch renews" true
+    (Lq.touch q 0 ~owner:"w" ~now:4.0 ~timeout:5.0);
+  Alcotest.(check (list int)) "renewed lease not stale" []
+    (Lq.expire q ~now:6.0);
+  Alcotest.(check bool) "touch by non-owner ignored" false
+    (Lq.touch q 0 ~owner:"thief" ~now:6.0 ~timeout:5.0);
+  Alcotest.(check (list int)) "expires from the renewed deadline" [ 0 ]
+    (Lq.expire q ~now:10.0);
+  Alcotest.(check bool) "touch after expiry ignored" false
+    (Lq.touch q 0 ~owner:"w" ~now:10.0 ~timeout:5.0);
+  (* release: a typed failure returns the lease to the queue. After the
+     expiry above the queue holds [1; 0]; take both, release 0 *)
+  Alcotest.(check (option int)) "untouched index first" (Some 1)
+    (Lq.lease q ~owner:"w" ~now:10.0 ~timeout:5.0);
+  Alcotest.(check (option int)) "expired index re-leased" (Some 0)
+    (Lq.lease q ~owner:"w" ~now:10.0 ~timeout:5.0);
+  Alcotest.(check bool) "release requeues" true (Lq.release q 0 ~owner:"w");
+  Alcotest.(check bool) "double release ignored" false
+    (Lq.release q 0 ~owner:"w");
+  Alcotest.(check int) "released index pending again" 1 (Lq.pending q);
+  Alcotest.(check bool) "not decided" false (Lq.is_decided q 0);
+  ignore (Lq.lease q ~owner:"v" ~now:10.0 ~timeout:5.0);
+  ignore (Lq.complete q 0);
+  Alcotest.(check bool) "decided after completion" true (Lq.is_decided q 0);
+  Alcotest.(check bool) "out-of-range never decided" false (Lq.is_decided q 99)
+
 (* ---- flag validation ---- *)
 
 let check_err name = function
@@ -71,18 +102,23 @@ let test_check_flags () =
   Alcotest.(check bool) "capture ok" true
     (Fleet.check_capture ~store:"/tmp/s" ~jobs:None () = Ok ());
   check_err "serve without store"
-    (Fleet.check_serve ~store:"" ~socket:"/tmp/s.sock" ~lease_timeout:30.0 ());
+    (Fleet.check_serve ~store:"" ~socket:"/tmp/s.sock" ~lease_timeout:30.0
+       ~max_failures:3 ());
   check_err "serve without socket"
-    (Fleet.check_serve ~store:"/tmp/s" ~socket:"" ~lease_timeout:30.0 ());
+    (Fleet.check_serve ~store:"/tmp/s" ~socket:"" ~lease_timeout:30.0
+       ~max_failures:3 ());
   check_err "serve with absurd socket path"
     (Fleet.check_serve ~store:"/tmp/s" ~socket:(String.make 200 'x')
-       ~lease_timeout:30.0 ());
+       ~lease_timeout:30.0 ~max_failures:3 ());
   check_err "serve with nonpositive lease timeout"
     (Fleet.check_serve ~store:"/tmp/s" ~socket:"/tmp/s.sock"
-       ~lease_timeout:0.0 ());
+       ~lease_timeout:0.0 ~max_failures:3 ());
+  check_err "serve with zero retry budget"
+    (Fleet.check_serve ~store:"/tmp/s" ~socket:"/tmp/s.sock"
+       ~lease_timeout:30.0 ~max_failures:0 ());
   Alcotest.(check bool) "serve ok" true
     (Fleet.check_serve ~store:"/tmp/s" ~socket:"/tmp/s.sock"
-       ~lease_timeout:30.0 ()
+       ~lease_timeout:30.0 ~max_failures:3 ()
     = Ok ());
   check_err "work without connect" (Fleet.check_work ~connect:"" ());
   check_err "replay without store" (Fleet.check_replay ~store:"" ~jobs:1 ());
@@ -96,14 +132,38 @@ let test_check_flags () =
 let schedule =
   { Sample.ff_insns = 6_000; warmup_insns = 800; measure_insns = 1_200 }
 
-let fresh_paths () =
+let fresh_paths name =
   let dir =
     Filename.concat (Filename.get_temp_dir_name ())
-      (Printf.sprintf "optlsim_fleet_test_%d" (Unix.getpid ()))
+      (Printf.sprintf "optlsim_%s_%d" name (Unix.getpid ()))
   in
   if Sys.file_exists dir then
     Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
   (dir, dir ^ ".sock")
+
+(* one shared capture for the end-to-end tests (the capture pass is the
+   expensive part; stores built from it are cheap) *)
+let captured =
+  lazy
+    (let d, _ = Test_checkpoint.bare_loop ~iters:20_000 () in
+     let cr = Sample.run_capture ~schedule d in
+     let ivs =
+       Sample.replay_capture ~core_name:"ooo" ~config:Config.tiny ~schedule cr
+     in
+     let expected =
+       Sample.aggregate ~total_insns:cr.Sample.cr_insns
+         ~total_cycles:cr.Sample.cr_cycles
+         (Array.to_list ivs |> List.filter_map Fun.id)
+     in
+     (cr, ivs, expected))
+
+let make_store ~dir cr =
+  match
+    Store.create ~dir ~workload:"fleet-test" ~core:"ooo" ~schedule
+      ~placement:"fixed" cr ~config:Config.tiny
+  with
+  | Ok s -> s
+  | Error e -> Alcotest.fail (Store.error_to_string e)
 
 let connect_when_up path =
   let rec go tries =
@@ -124,27 +184,11 @@ let connect_when_up path =
    and dies without delivering: the lease must re-queue and the merged
    result must still be bit-identical to an in-process replay *)
 let test_fleet_end_to_end () =
-  let d, _ = Test_checkpoint.bare_loop ~iters:20_000 () in
-  let cr = Sample.run_capture ~schedule d in
+  let cr, _, expected = Lazy.force captured in
   let count = Array.length cr.Sample.cr_deltas in
   Alcotest.(check bool) "several intervals" true (count >= 5);
-  let expected =
-    let ivs =
-      Sample.replay_capture ~core_name:"ooo" ~config:Config.tiny ~schedule cr
-    in
-    Sample.aggregate ~total_insns:cr.Sample.cr_insns
-      ~total_cycles:cr.Sample.cr_cycles
-      (Array.to_list ivs |> List.filter_map Fun.id)
-  in
-  let dir, sock = fresh_paths () in
-  let store =
-    match
-      Store.create ~dir ~workload:"fleet-test" ~core:"ooo" ~schedule
-        ~placement:"fixed" cr ~config:Config.tiny
-    with
-    | Ok s -> s
-    | Error e -> Alcotest.fail (Store.error_to_string e)
-  in
+  let dir, sock = fresh_paths "fleet_e2e" in
+  let store = make_store ~dir cr in
   let server =
     Stdlib.Domain.spawn (fun () ->
         Fleet.serve ~lease_timeout:60.0 ~socket:sock store)
@@ -188,13 +232,208 @@ let test_fleet_end_to_end () =
       (rp.Fleet.rp_result = expected)
   | Error e -> Alcotest.fail (Store.error_to_string e)
 
+(* a slow-but-alive worker: holds one lease well past the lease timeout
+   while renewing it with heartbeats, then delivers — the lease must
+   never be stolen (sv_requeued = 0) and the result stays identical *)
+let test_heartbeat_keeps_lease () =
+  let cr, _, expected = Lazy.force captured in
+  let dir, sock = fresh_paths "fleet_hb" in
+  let store = make_store ~dir cr in
+  let lease_timeout = 1.0 in
+  let server =
+    Stdlib.Domain.spawn (fun () ->
+        Fleet.serve ~lease_timeout ~max_failures:3 ~socket:sock store)
+  in
+  let fd = connect_when_up sock in
+  Fleet.send fd (Fleet.Hello { worker = "slowpoke" });
+  let hb =
+    match (Fleet.recv fd : Fleet.reply) with
+    | Fleet.Welcome { heartbeat; _ } -> heartbeat
+    | _ -> Alcotest.fail "expected Welcome"
+  in
+  Alcotest.(check bool) "heartbeat interval beats the lease timeout" true
+    (hb > 0.0 && hb < lease_timeout);
+  Fleet.send fd Fleet.Lease;
+  let index =
+    match (Fleet.recv fd : Fleet.reply) with
+    | Fleet.Work { index } -> index
+    | _ -> Alcotest.fail "expected a lease"
+  in
+  (* outlive the lease timeout, renewing on the advertised cadence *)
+  for _ = 1 to 6 do
+    Unix.sleepf 0.3;
+    Fleet.send fd (Fleet.Heartbeat { index });
+    match (Fleet.recv fd : Fleet.reply) with
+    | Fleet.Ack -> ()
+    | _ -> Alcotest.fail "heartbeat expects Ack"
+  done;
+  let iv =
+    Sample.replay_delta ~core_name:"ooo" ~config:Config.tiny ~schedule ~index
+      ~base:cr.Sample.cr_base
+      cr.Sample.cr_deltas.(index)
+  in
+  Fleet.send fd (Fleet.Done { index; outcome = Fleet.Replayed iv });
+  (match (Fleet.recv fd : Fleet.reply) with
+  | Fleet.Ack -> ()
+  | _ -> Alcotest.fail "done expects Ack");
+  Unix.close fd;
+  let replayed =
+    match Fleet.work ~retries:10 ~connect:sock () with
+    | Ok n -> n
+    | Error msg -> Alcotest.fail msg
+  in
+  let sv = Stdlib.Domain.join server in
+  let count = Array.length cr.Sample.cr_deltas in
+  Alcotest.(check int) "the drain worker got the rest" (count - 1) replayed;
+  Alcotest.(check int) "slow lease never stolen" 0 sv.Fleet.sv_requeued;
+  Alcotest.(check bool) "nothing quarantined" true (sv.Fleet.sv_quarantined = []);
+  Alcotest.(check bool) "result identical" true (sv.Fleet.sv_result = expected)
+
+(* mid-run server restart: a worker that has delivered nothing and gets
+   Welcome'd then cut off must reconnect (with backoff) and drain the
+   real server that replaces the dead one *)
+let test_worker_reconnects_after_restart () =
+  let cr, _, expected = Lazy.force captured in
+  let dir, sock = fresh_paths "fleet_rc" in
+  let store = make_store ~dir cr in
+  let count = Array.length cr.Sample.cr_deltas in
+  let server =
+    Stdlib.Domain.spawn (fun () ->
+        (* incarnation 1: greet the first worker, then die on it *)
+        let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind listen_fd (Unix.ADDR_UNIX sock);
+        Unix.listen listen_fd 4;
+        let c, _ = Unix.accept listen_fd in
+        (match (Fleet.recv c : Fleet.request) with
+        | Fleet.Hello _ ->
+          Fleet.send c
+            (Fleet.Welcome
+               {
+                 dir;
+                 core = "ooo";
+                 config = Config.tiny;
+                 schedule;
+                 count;
+                 heartbeat = 0.25;
+               })
+        | _ -> ());
+        Unix.close c;
+        Unix.close listen_fd;
+        (try Sys.remove sock with Sys_error _ -> ());
+        (* incarnation 2: the real server on the same socket *)
+        Fleet.serve ~lease_timeout:60.0 ~max_failures:3 ~socket:sock store)
+  in
+  let replayed =
+    match
+      Fleet.work ~retries:50 ~reconnects:2 ~recv_timeout:5.0 ~connect:sock ()
+    with
+    | Ok n -> n
+    | Error msg -> Alcotest.fail msg
+  in
+  let sv = Stdlib.Domain.join server in
+  Alcotest.(check int) "worker drained everything after reconnecting" count
+    replayed;
+  Alcotest.(check bool) "result identical" true (sv.Fleet.sv_result = expected)
+
+(* corrupt interval record 23 bytes in (the first Marshal payload byte,
+   so the CRC check must trip): the fleet quarantines it after exactly
+   max_failures attempts and terminates with a degraded result *)
+let corrupt_interval store index =
+  let path = Store.interval_path store index in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  ignore (Unix.lseek fd 23 Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.make 1 '\000') 0 1);
+  Unix.close fd
+
+let degraded_expected cr ivs ~poison =
+  Sample.aggregate ~total_insns:cr.Sample.cr_insns
+    ~total_cycles:cr.Sample.cr_cycles
+    (Array.to_list ivs
+    |> List.filteri (fun i _ -> i <> poison)
+    |> List.filter_map Fun.id)
+
+let test_poison_interval_quarantine () =
+  let cr, ivs, expected = Lazy.force captured in
+  let count = Array.length cr.Sample.cr_deltas in
+  let poison = 1 in
+  let survivors = degraded_expected cr ivs ~poison in
+  Alcotest.(check bool) "poison actually contributes" true
+    (survivors <> expected);
+  (* in-process replay: one attempt, quarantined, run completes *)
+  let dir, _ = fresh_paths "fleet_poison_rp" in
+  let store = make_store ~dir cr in
+  corrupt_interval store poison;
+  (match Fleet.replay ~jobs:1 store with
+  | Error e -> Alcotest.fail (Store.error_to_string e)
+  | Ok rp ->
+    Alcotest.(check (list int)) "replay quarantines the poison" [ poison ]
+      (List.map fst rp.Fleet.rp_quarantined);
+    Alcotest.(check int) "survivors replayed" (count - 1) rp.Fleet.rp_replayed;
+    Alcotest.(check bool) "degraded result covers survivors" true
+      (rp.Fleet.rp_result = survivors));
+  (* fleet: bounded retries — exactly max_failures diagnostics, then
+     the run terminates (no livelock) with the same degraded result *)
+  let dir, sock = fresh_paths "fleet_poison_sv" in
+  let store = make_store ~dir cr in
+  corrupt_interval store poison;
+  let max_failures = 2 in
+  let server =
+    Stdlib.Domain.spawn (fun () ->
+        Fleet.serve ~lease_timeout:60.0 ~max_failures ~socket:sock store)
+  in
+  let replayed =
+    match Fleet.work ~retries:10 ~connect:sock () with
+    | Ok n -> n
+    | Error msg -> Alcotest.fail msg
+  in
+  let sv = Stdlib.Domain.join server in
+  Alcotest.(check int) "worker replayed the survivors" (count - 1) replayed;
+  (match sv.Fleet.sv_quarantined with
+  | [ (i, diags) ] ->
+    Alcotest.(check int) "poison index quarantined" poison i;
+    Alcotest.(check int) "retry budget fully spent, then stopped"
+      max_failures (List.length diags)
+  | q ->
+    Alcotest.fail
+      (Printf.sprintf "expected one quarantined interval, got %d"
+         (List.length q)));
+  Alcotest.(check bool) "degraded fleet result covers survivors" true
+    (sv.Fleet.sv_result = survivors);
+  (* the degraded report names the poison and the coverage loss *)
+  let tmp = Filename.temp_file "optlsim_degraded" ".txt" in
+  let oc = open_out tmp in
+  Sample.report_degraded oc ~count ~quarantined:sv.Fleet.sv_quarantined
+    sv.Fleet.sv_result;
+  close_out oc;
+  let ic = open_in tmp in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove tmp;
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "report is marked DEGRADED" true
+    (contains text "DEGRADED");
+  Alcotest.(check bool) "report names the quarantined interval" true
+    (contains text "interval 1")
+
 let suite =
   [
     Alcotest.test_case "lease queue basics" `Quick test_lease_queue_basics;
+    Alcotest.test_case "lease queue release and touch" `Quick
+      test_lease_queue_release_touch;
     Alcotest.test_case "lease queue timeout" `Quick test_lease_queue_timeout;
     Alcotest.test_case "lease queue worker death" `Quick
       test_lease_queue_worker_death;
     Alcotest.test_case "flag validation" `Quick test_check_flags;
     Alcotest.test_case "fleet end to end (with worker death)" `Quick
       test_fleet_end_to_end;
+    Alcotest.test_case "heartbeats keep a slow lease alive" `Quick
+      test_heartbeat_keeps_lease;
+    Alcotest.test_case "worker reconnects after server restart" `Quick
+      test_worker_reconnects_after_restart;
+    Alcotest.test_case "poison interval quarantined in bounded retries"
+      `Quick test_poison_interval_quarantine;
   ]

@@ -257,6 +257,170 @@ let test_leg_cache_disjoint () =
     (List.mem digest_a (Store.cached_digests st)
     && List.mem digest_b (Store.cached_digests st))
 
+(* two domains hammering the same result-cache slot: every write is
+   tmp+rename with a per-(pid, counter) tmp name, so concurrent puts
+   can interleave freely and the survivor must still read back clean *)
+let test_result_cache_race () =
+  let st = make_store () in
+  let digest = (Store.manifest st).Store.m_config_digest in
+  let cr = Lazy.force capture in
+  let iv =
+    Sample.replay_delta ~core_name:"ooo" ~config:Config.tiny ~schedule
+      ~index:0 ~base:cr.Sample.cr_base cr.Sample.cr_deltas.(0)
+  in
+  let racer () =
+    for _ = 1 to 50 do
+      match Store.put_result st ~config_digest:digest ~index:0 iv with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (Store.error_to_string e)
+    done
+  in
+  let d1 = Stdlib.Domain.spawn racer in
+  let d2 = Stdlib.Domain.spawn racer in
+  Stdlib.Domain.join d1;
+  Stdlib.Domain.join d2;
+  match Store.get_result st ~config_digest:digest ~index:0 with
+  | Ok (Some cached) ->
+    Alcotest.(check bool) "raced cache entry reads back clean" true
+      (cached = iv)
+  | Ok None -> Alcotest.fail "raced cache entry lost"
+  | Error e -> Alcotest.fail (Store.error_to_string e)
+
+(* ---- the capture journal: resumable capture ---- *)
+
+exception Interrupted
+
+let dir_files dir = Sys.readdir dir |> Array.to_list |> List.sort compare
+
+let check_same_store name dir_a dir_b =
+  Alcotest.(check (list string))
+    (name ^ ": same file set")
+    (dir_files dir_b) (dir_files dir_a);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s byte-identical" name f)
+        true
+        (read_file (Filename.concat dir_a f)
+        = read_file (Filename.concat dir_b f)))
+    (dir_files dir_a)
+
+(* a journaled capture pass over the shared workload; [interrupt_at]
+   simulates a crash right after that window's journal record lands *)
+let journal_capture ~dir ?resume ?interrupt_at () =
+  let j =
+    match
+      Store.begin_capture ~dir ~workload:"test-workload" ~core:"ooo"
+        ~schedule ~placement:"fixed" ~config:Config.tiny ?resume ()
+    with
+    | Ok j -> j
+    | Error e -> Alcotest.fail (Store.error_to_string e)
+  in
+  let on_base b =
+    match Store.journal_base j b with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail (Store.error_to_string e)
+  in
+  let on_window (w : Sample.window) =
+    (match
+       Store.journal_interval j ~index:w.Sample.w_index
+         ~delta_bytes:w.Sample.w_delta_bytes
+         ~full_bytes:w.Sample.w_full_bytes w.Sample.w_delta
+     with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail (Store.error_to_string e));
+    match interrupt_at with
+    | Some i when w.Sample.w_index = i -> raise Interrupted
+    | _ -> ()
+  in
+  let rs =
+    Option.map
+      (fun pt ->
+        {
+          Sample.rs_base = pt.Store.pt_base;
+          rs_last = pt.Store.pt_last;
+          rs_count = pt.Store.pt_count;
+          rs_delta_bytes = pt.Store.pt_delta_bytes;
+          rs_full_bytes = pt.Store.pt_full_bytes;
+        })
+      resume
+  in
+  let d, _ = Test_checkpoint.bare_loop ~iters:20_000 () in
+  let cr = Sample.run_capture ~on_base ~on_window ?resume:rs ~schedule d in
+  (j, cr)
+
+let finish j (cr : Sample.capture_run) =
+  match
+    Store.finish_capture j ~total_insns:cr.Sample.cr_insns
+      ~total_cycles:cr.Sample.cr_cycles
+  with
+  | Ok st -> st
+  | Error e -> Alcotest.fail (Store.error_to_string e)
+
+(* the journaled path and the one-shot Store.create path must lay down
+   the very same bytes — journaling is free of observable side effects *)
+let test_journal_matches_create () =
+  let cr = Lazy.force capture in
+  let dir_b = fresh_dir () in
+  (match
+     Store.create ~dir:dir_b ~workload:"test-workload" ~core:"ooo" ~schedule
+       ~placement:"fixed" cr ~config:Config.tiny
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Store.error_to_string e));
+  let dir_a = fresh_dir () in
+  let j, cr2 = journal_capture ~dir:dir_a () in
+  ignore (finish j cr2);
+  Alcotest.(check int) "same totals" cr.Sample.cr_insns cr2.Sample.cr_insns;
+  check_same_store "journal vs create" dir_a dir_b
+
+(* crash after window 2's record landed, tear that record mid-write,
+   resume: the journal recovers the longest valid prefix (0,1), the
+   resumed pass recaptures 2 onward, and the sealed store is
+   byte-identical to one captured without interruption *)
+let test_capture_resume_after_torn_record () =
+  let cr = Lazy.force capture in
+  let dir_b = fresh_dir () in
+  (match
+     Store.create ~dir:dir_b ~workload:"test-workload" ~core:"ooo" ~schedule
+       ~placement:"fixed" cr ~config:Config.tiny
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Store.error_to_string e));
+  let dir_c = fresh_dir () in
+  (try ignore (journal_capture ~dir:dir_c ~interrupt_at:2 ()) with
+  | Interrupted -> ());
+  Alcotest.(check bool) "no manifest mid-capture" false
+    (Sys.file_exists (Filename.concat dir_c "MANIFEST"));
+  (* tear the last record mid-write *)
+  let torn = Filename.concat dir_c "interval-000002" in
+  let raw = read_file torn in
+  write_file torn (String.sub raw 0 (String.length raw / 2));
+  let pt =
+    match Store.scan_partial ~dir:dir_c with
+    | Ok (Some pt) -> pt
+    | Ok None -> Alcotest.fail "no resume point found"
+    | Error e -> Alcotest.fail (Store.error_to_string e)
+  in
+  Alcotest.(check int) "torn record excluded from the prefix" 2
+    pt.Store.pt_count;
+  Alcotest.(check string) "journal identifies its workload" "test-workload"
+    pt.Store.pt_workload;
+  Alcotest.(check bool) "journal identifies its schedule" true
+    (pt.Store.pt_schedule = schedule);
+  let j, cr2 = journal_capture ~dir:dir_c ~resume:pt () in
+  ignore (finish j cr2);
+  Alcotest.(check int) "resumed totals are whole-run" cr.Sample.cr_insns
+    cr2.Sample.cr_insns;
+  Alcotest.(check bool) "progress record retired" false
+    (Sys.file_exists (Filename.concat dir_c "PROGRESS"));
+  check_same_store "resumed vs uninterrupted" dir_c dir_b;
+  (* a sealed store has nothing to resume *)
+  match Store.scan_partial ~dir:dir_c with
+  | Ok None -> ()
+  | Ok (Some _) -> Alcotest.fail "sealed store offered a resume point"
+  | Error e -> Alcotest.fail (Store.error_to_string e)
+
 let suite =
   [
     Alcotest.test_case "round trip through disk" `Quick test_round_trip;
@@ -271,4 +435,10 @@ let suite =
     Alcotest.test_case "result cache" `Quick test_result_cache;
     Alcotest.test_case "leg caches stay disjoint" `Quick
       test_leg_cache_disjoint;
+    Alcotest.test_case "result cache write race" `Quick
+      test_result_cache_race;
+    Alcotest.test_case "journaled capture = one-shot capture" `Quick
+      test_journal_matches_create;
+    Alcotest.test_case "interrupted capture resumes byte-identically"
+      `Quick test_capture_resume_after_torn_record;
   ]
