@@ -532,6 +532,158 @@ let exp_ablate_tlb () =
     (float_of_int m1 /. float_of_int (max 1 m2))
 
 (* ---------------------------------------------------------------- *)
+(* Virtual-memory scenarios (lib/vm)                                 *)
+(* ---------------------------------------------------------------- *)
+
+(* GUPS over a table far beyond L1-DTLB reach, measured four ways: 4K
+   pages, 2M pages (one TLB entry covers the whole table), page-walk
+   caches off vs on, and demand-paged under minios with the CLOCK
+   reclaimer thrashing (swap + TLB shootdown IPIs). The budget asserts
+   the headline VM result: hugepages must cut DTLB MPKI on GUPS.
+   Writes BENCH_vm.json for the CI artifact. *)
+let exp_vm () =
+  banner "Virtual-memory scenarios: hugepages, walk caches, demand paging";
+  let module Microbench = Ptl_workloads.Microbench in
+  let slots = 1 lsl 16 (* 512 KB table: 128 pages vs 32 L1-DTLB entries *) in
+  let steps = 60_000 * scale in
+  let heap_pages = slots * 8 / 4096 in
+  let run_bare ?(hugepages = false) () =
+    let m =
+      Machine.create ~heap_pages ~huge_heap:hugepages
+        (Microbench.gups ~slots ~steps ())
+    in
+    let config = { Config.k8_ptlsim with Config.tlb_hugepages = hugepages } in
+    let core = Ooo.create config m.Machine.env [| m.Machine.ctx |] in
+    let cycles = Ooo.run core ~max_cycles:400_000_000 in
+    let st = m.Machine.env.Env.stats in
+    (cycles, max 1 (Ooo.insns core), Stats.get st "ooo.dcache.dtlb_misses")
+  in
+  let mpki misses insns = 1000.0 *. float_of_int misses /. float_of_int insns in
+  let cpi cycles insns = float_of_int cycles /. float_of_int insns in
+  let c4, i4, m4 = run_bare () in
+  let c2, i2, m2 = run_bare ~hugepages:true () in
+  Printf.printf "GUPS, %d slots x %d steps (out-of-order core, k8 config):\n" slots steps;
+  Printf.printf "  4K pages:          %9d cycles, CPI %.3f, DTLB MPKI %7.2f\n"
+    c4 (cpi c4 i4) (mpki m4 i4);
+  Printf.printf "  2M pages:          %9d cycles, CPI %.3f, DTLB MPKI %7.2f\n"
+    c2 (cpi c2 i2) (mpki m2 i2);
+  (* the PWC contrast needs a latency-bound chain: on GUPS the OoO core
+     overlaps walks across independent loads, so the saved walk loads
+     vanish into ILP. A pointer chase serializes every load, putting the
+     full 4-load walk on the critical path — what the walk caches trim. *)
+  let pwc_entries = 16 in
+  let chase_steps = 30_000 * scale in
+  let run_chase ~pwc =
+    let vaddr, blob = Microbench.chase_table ~slots ~seed:3 in
+    let m =
+      Machine.create ~heap_pages
+        (Microbench.pointer_chase ~slots ~steps:chase_steps)
+    in
+    Machine.load_blob m.Machine.env m.Machine.ctx ~vaddr ~bytes:blob
+      ~writable:true ~user:true;
+    let config = { Config.k8_ptlsim with Config.pwc_entries = pwc } in
+    let core = Ooo.create config m.Machine.env [| m.Machine.ctx |] in
+    let cycles = Ooo.run core ~max_cycles:400_000_000 in
+    (cycles, Stats.get m.Machine.env.Env.stats "ooo.dcache.dtlb_misses")
+  in
+  let cw0, _ = run_chase ~pwc:0 in
+  let cw1, mw1 = run_chase ~pwc:pwc_entries in
+  Printf.printf
+    "pointer chase, %d slots x %d steps (every load's 4-load walk on the \
+     critical path):\n"
+    slots chase_steps;
+  Printf.printf "  no walk caches:    %9d cycles\n" cw0;
+  Printf.printf "  %2d-entry PWC:      %9d cycles\n" pwc_entries cw1;
+  let walk_saved = cw0 - cw1 in
+  let saved_per_miss = float_of_int walk_saved /. float_of_int (max 1 mw1) in
+  Printf.printf
+    "  walk caches save %d cycles (%.2f cycles per DTLB miss): the cached\n\
+    \  PDP/PD tables turn 4-load walks into 1-2 loads\n%!"
+    walk_saved saved_per_miss;
+  (* demand paging: the same access pattern as a minios user process,
+     first with frames to spare, then squeezed under a tight watermark
+     so CLOCK reclaim + swap + shootdown IPIs carry the cost *)
+  let run_demand ~watermark =
+    let img =
+      Microbench.gups ~base:Ptl_kernel.Abi.user_code_base
+        ~heap:Ptl_kernel.Abi.user_heap_base ~user:true ~slots:(1 lsl 14)
+        ~steps:(20_000 * scale) ()
+    in
+    let env = Env.create () in
+    let ctx = Context.create ~vcpu_id:0 in
+    let kc =
+      {
+        Kernel.default_config with
+        Kernel.demand_paging = true;
+        vm_watermark = watermark;
+        vm_batch = 4;
+      }
+    in
+    let k = Kernel.create ~config:kc env ctx in
+    Kernel.register_program k ~name:"init" img;
+    Kernel.boot k;
+    let d = Domain.create ~kernel:k ~core:"ooo" ~config:Config.k8_ptlsim env ctx in
+    Domain.submit d "-run";
+    ignore (Domain.run ~max_cycles:800_000_000 d);
+    if not (Kernel.is_shutdown k) then
+      failwith "vm bench: demand-paged gups did not run to completion";
+    let st = env.Env.stats in
+    ( Stats.get st "domain.cycles",
+      Stats.get st "vm.faults",
+      Stats.get st "vm.evictions",
+      Stats.get st "vm.shootdowns" )
+  in
+  let cyc_lazy, faults_lazy, _, _ = run_demand ~watermark:0 in
+  let cyc_thrash, faults_thrash, evictions, shootdowns = run_demand ~watermark:16 in
+  let shootdown_cost =
+    float_of_int (cyc_thrash - cyc_lazy) /. float_of_int (max 1 shootdowns)
+  in
+  Printf.printf "demand-paged GUPS under minios (every fault a real #PF):\n";
+  Printf.printf "  frames to spare:   %9d cycles, %d hard faults\n" cyc_lazy faults_lazy;
+  Printf.printf
+    "  watermark 16:      %9d cycles, %d faults, %d evictions, %d shootdown IPIs\n"
+    cyc_thrash faults_thrash evictions shootdowns;
+  Printf.printf
+    "  reclaim cost: %.1f cycles per shootdown (swap-out + IPI + refault)\n%!"
+    shootdown_cost;
+  let huge_wins = mpki m2 i2 < mpki m4 i4 in
+  let pwc_wins = walk_saved > 0 in
+  let pass = huge_wins && pwc_wins && evictions > 0 && shootdowns > 0 in
+  Printf.printf
+    "budget (2M DTLB MPKI < 4K, PWC shortens walks, reclaim exercised): %s\n%!"
+    (if pass then "PASS" else "FAIL");
+  let oc = open_out "BENCH_vm.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"vm\",\n\
+    \  \"scale\": %d,\n\
+    \  \"gups\": { \"slots\": %d, \"steps\": %d },\n\
+    \  \"pages_4k\": { \"cycles\": %d, \"insns\": %d, \"cpi\": %.4f, \
+     \"dtlb_misses\": %d, \"dtlb_mpki\": %.3f },\n\
+    \  \"pages_2m\": { \"cycles\": %d, \"insns\": %d, \"cpi\": %.4f, \
+     \"dtlb_misses\": %d, \"dtlb_mpki\": %.3f },\n\
+    \  \"pwc\": { \"entries\": %d, \"workload\": \"pointer_chase\", \
+     \"cycles_off\": %d, \"cycles_on\": %d, \"dtlb_misses\": %d,\n\
+    \            \"walk_cycles_saved\": %d, \"saved_per_miss\": %.3f },\n\
+    \  \"demand\": { \"faults\": %d, \"thrash_faults\": %d, \"evictions\": \
+     %d, \"shootdowns\": %d,\n\
+    \              \"cycles_unconstrained\": %d, \"cycles_watermark16\": %d,\n\
+    \              \"cycles_per_shootdown\": %.2f },\n\
+    \  \"budget\": { \"hugepages_reduce_dtlb_mpki\": %b, \
+     \"pwc_shortens_walks\": %b, \"reclaim_exercised\": %b },\n\
+    \  \"pass\": %b\n\
+     }\n"
+    scale slots steps c4 i4 (cpi c4 i4) m4 (mpki m4 i4) c2 i2 (cpi c2 i2) m2
+    (mpki m2 i2) pwc_entries cw0 cw1 mw1 walk_saved saved_per_miss faults_lazy
+    faults_thrash evictions shootdowns cyc_lazy cyc_thrash shootdown_cost
+    huge_wins pwc_wins
+    (evictions > 0 && shootdowns > 0)
+    pass;
+  close_out oc;
+  Printf.printf "wrote BENCH_vm.json\n%!";
+  if not pass then exit 1
+
+(* ---------------------------------------------------------------- *)
 (* SMT scaling and coherence                                         *)
 (* ---------------------------------------------------------------- *)
 
@@ -1430,6 +1582,7 @@ let experiments =
     ("ablate-hoist", exp_ablate_hoist);
     ("ablate-banks", exp_ablate_banks);
     ("ablate-tlb", exp_ablate_tlb);
+    ("vm", exp_vm);
     ("smt", exp_smt);
     ("coherence", exp_coherence);
     ("cosim", exp_cosim);

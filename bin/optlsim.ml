@@ -245,16 +245,17 @@ type guard_opts = {
   g_interval : int;  (* invariant sweep every N core steps *)
   g_checkpoint_every : int;  (* cycles between snapshots, 0 = start only *)
   g_degrade : bool;  (* roll back + finish on the seq core on failure *)
+  g_strict_tlb : bool;  (* TLB/PWC vs pagetable agreement (vm family) *)
 }
 
-let guard_requested g = g.g_on || g.g_degrade
+let guard_requested g = g.g_on || g.g_degrade || g.g_strict_tlb
 
 let guard_config g =
   {
-    Guard.default_config with
     Guard.interval = max 1 g.g_interval;
     checkpoint_every = g.g_checkpoint_every;
     degrade = g.g_degrade;
+    strict_tlb = g.g_strict_tlb;
   }
 
 (* Install the guard supervisor on every core instance the domain
@@ -321,10 +322,23 @@ let guard_term =
              and finish the run on the sequential reference core instead \
              of exiting (implies $(b,--guard)).")
   in
-  let mk g_on g_interval g_checkpoint_every g_degrade =
-    { g_on; g_interval; g_checkpoint_every; g_degrade }
+  let strict_tlb =
+    Arg.(
+      value & flag
+      & info [ "guard-strict-tlb" ]
+          ~doc:
+            "Arm the vm invariant family on top of $(b,--guard): every \
+             cached TLB entry (4K and 2M) and PWC upper-level entry must \
+             agree with a fresh page-table walk. Catches stale \
+             translations after reclaim, shootdown or promote/split \
+             bugs; expensive, so it runs on a longer stride (implies \
+             $(b,--guard)).")
   in
-  Term.(const mk $ flag_on $ interval $ checkpoint_every $ degrade)
+  let mk g_on g_interval g_checkpoint_every g_degrade g_strict_tlb =
+    { g_on; g_interval; g_checkpoint_every; g_degrade; g_strict_tlb }
+  in
+  Term.(
+    const mk $ flag_on $ interval $ checkpoint_every $ degrade $ strict_tlb)
 
 (* ---------- sampled simulation (--sample family) ---------- *)
 
@@ -611,6 +625,90 @@ let run_compute trace_opts guard_opts sample_opts core machine commands
     catch_sim_failure (fun () -> ignore (Domain.run ~max_cycles d)));
   print_summary d k;
   finish_trace trace_opts d.Domain.env.Env.stats
+
+(* ---------- virtual-memory scenarios (optlsim vm) ---------- *)
+
+let vm_err msg =
+  prerr_endline ("optlsim vm: " ^ msg);
+  exit 1
+
+(* TLB-hostile workloads under the lib/vm scenario axes: GUPS random
+   updates or streaming sweeps, on a bare machine (optionally with a
+   2M-page heap) or demand-paged under minios with the CLOCK reclaimer. *)
+let run_vm trace_opts guard_opts core machine workload slots steps bytes
+    passes hugepages pwc demand watermark batch max_mcycles =
+  setup_trace trace_opts;
+  let config =
+    let c = machine_of_name machine in
+    let c = if hugepages then { c with Config.tlb_hugepages = true } else c in
+    match pwc with None -> c | Some n -> { c with Config.pwc_entries = n }
+  in
+  let d, k =
+    if demand then begin
+      if workload <> "gups" then
+        vm_err
+          "--demand currently supports the gups workload only (stream \
+           targets the bare machine's high heap, which minios does not map)";
+      let heap_bytes = Abi.user_heap_pages * 4096 in
+      if slots * 8 > heap_bytes then
+        vm_err
+          (Printf.sprintf
+             "--slots %d needs %d bytes but the minios user heap holds %d"
+             slots (slots * 8) heap_bytes);
+      let program =
+        Microbench.gups ~base:Abi.user_code_base ~heap:Abi.user_heap_base
+          ~user:true ~slots ~steps ()
+      in
+      let env = Env.create () in
+      let ctx = Context.create ~vcpu_id:0 in
+      let kc =
+        {
+          Kernel.default_config with
+          Kernel.demand_paging = true;
+          vm_watermark = watermark;
+          vm_batch = batch;
+        }
+      in
+      let k = Kernel.create ~config:kc env ctx in
+      Kernel.register_program k ~name:"init" program;
+      Kernel.boot k;
+      (Domain.create ~kernel:k ~core ~config env ctx, Some k)
+    end
+    else begin
+      let program, heap_pages =
+        match workload with
+        | "gups" ->
+          (Microbench.gups ~slots ~steps (), max 1 ((slots * 8 + 4095) / 4096))
+        | "stream" ->
+          (Microbench.stream ~bytes ~passes, max 1 ((bytes + 4095) / 4096))
+        | other -> vm_err ("unknown workload: " ^ other ^ " (gups, stream)")
+      in
+      let m = Machine.create ~heap_pages ~huge_heap:hugepages program in
+      ( Domain.create ~core ~config:config m.Machine.env m.Machine.ctx,
+        None )
+    end
+  in
+  install_guard guard_opts d;
+  let max_cycles = max_mcycles * 1_000_000 in
+  Domain.submit d "-run";
+  catch_sim_failure (fun () -> ignore (Domain.run ~max_cycles d));
+  print_summary d k;
+  let st = d.Domain.env.Env.stats in
+  let insns = max 1 (Domain.insns d) in
+  (* the timed cores register their TLBs under their own prefixes; sum
+     so the line is right whichever model ran *)
+  let g p = Statstree.get st ("ooo." ^ p) + Statstree.get st ("inorder." ^ p) in
+  let dtlb_misses = g "dcache.dtlb_misses" in
+  Printf.printf "dtlb MPKI:            %.2f (%d misses / %d accesses)\n"
+    (1000.0 *. float_of_int dtlb_misses /. float_of_int insns)
+    dtlb_misses (g "dcache.dtlb_accesses");
+  List.iter
+    (fun p ->
+      let v = Statstree.get st p in
+      if v > 0 then Printf.printf "%-22s%d\n" (p ^ ":") v)
+    [ "vm.faults"; "vm.fills"; "vm.swap_ins"; "vm.swap_outs"; "vm.evictions";
+      "vm.shootdowns"; "vm.promotions"; "vm.splits" ];
+  finish_trace trace_opts st
 
 (* ---------- differential fuzzing (optlsim fuzz) ---------- *)
 
@@ -1044,6 +1142,102 @@ let bare_arg =
            $(b,--sample-jobs) — host-side kernel state is not \
            checkpointable.")
 
+let vm_workload_arg =
+  Arg.(
+    value & opt string "gups"
+    & info [ "workload" ] ~docv:"NAME"
+        ~doc:
+          "TLB-hostile workload: $(b,gups) (random read-modify-writes over \
+           a large table) or $(b,stream) (linear read-modify-write sweeps).")
+
+let vm_slots_arg =
+  Arg.(
+    value
+    & opt int 65536
+    & info [ "slots" ] ~docv:"N"
+        ~doc:"GUPS table size in 8-byte cells (power of two).")
+
+let vm_steps_arg =
+  Arg.(
+    value
+    & opt int 200_000
+    & info [ "steps" ] ~docv:"N" ~doc:"GUPS random updates to perform.")
+
+let vm_bytes_arg =
+  Arg.(
+    value
+    & opt int (1 lsl 20)
+    & info [ "bytes" ] ~docv:"BYTES" ~doc:"stream working-set size in bytes.")
+
+let vm_passes_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "passes" ] ~docv:"N" ~doc:"stream sweeps over the working set.")
+
+let vm_hugepages_arg =
+  Arg.(
+    value & flag
+    & info [ "hugepages" ]
+        ~doc:
+          "Back the bare machine's heap with 2M pages (PDE mappings) and \
+           honor them as single TLB entries, multiplying TLB reach 512x.")
+
+let vm_pwc_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "pwc" ] ~docv:"ENTRIES"
+        ~doc:
+          "Override the machine's page-walk-cache geometry: ENTRIES slots \
+           per level (0 disables the PWCs; sweepable as pwc.entries).")
+
+let vm_demand_arg =
+  Arg.(
+    value & flag
+    & info [ "demand" ]
+        ~doc:
+          "Run the workload as a minios user process with a lazily \
+           populated address space: every first touch takes a real #PF \
+           through the simulated kernel entry path. Implies gups.")
+
+let vm_watermark_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "watermark" ] ~docv:"PAGES"
+        ~doc:
+          "Resident user-frame budget for the CLOCK reclaimer (0 = \
+           unlimited). Reclaimed dirty pages swap out and fault back in, \
+           with TLB shootdown IPIs to every core sharing the space.")
+
+let vm_batch_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "batch" ] ~docv:"PAGES"
+        ~doc:"Evictions per reclaim pass once over the watermark.")
+
+let vm_cmd =
+  Cmd.v
+    (Cmd.info "vm"
+       ~doc:
+         "Run a TLB-hostile virtual-memory scenario: GUPS or streaming \
+          over 4K or 2M pages, with configurable page-walk caches, \
+          optionally demand-paged under minios with watermark-driven \
+          CLOCK reclaim and TLB shootdowns. Prints DTLB MPKI and the \
+          vm.* fault/reclaim counters next to the usual summary."
+       ~man:
+         [ `S Manpage.s_description;
+           `P
+             "The scenario axes are sweepable over a captured interval \
+              store: pwc.entries, tlb.hugepages, vm.demand_paging, \
+              vm.reclaim.watermark and vm.reclaim.batch (see $(b,optlsim \
+              sweep)). The trace classes pagefault/tlb record #PF, \
+              shootdown and walk-cache events (see $(b,--trace-filter))." ])
+    Term.(
+      const run_vm $ trace_term $ guard_term $ core_arg $ machine_arg
+      $ vm_workload_arg $ vm_slots_arg $ vm_steps_arg $ vm_bytes_arg
+      $ vm_passes_arg $ vm_hugepages_arg $ vm_pwc_arg $ vm_demand_arg
+      $ vm_watermark_arg $ vm_batch_arg $ max_mcycles_arg)
+
 let fuzz_machine_arg =
   Arg.(
     value & opt string "tiny"
@@ -1221,6 +1415,6 @@ let () =
        (Cmd.group
           (Cmd.info "optlsim" ~doc:"Cycle-accurate full-system x86-64-style simulator")
           [
-            rsync_cmd; compute_cmd; fuzz_cmd; capture_cmd; serve_cmd;
-            work_cmd; replay_cmd; sweep_cmd; stats_cmd;
+            rsync_cmd; compute_cmd; vm_cmd; fuzz_cmd; capture_cmd;
+            serve_cmd; work_cmd; replay_cmd; sweep_cmd; stats_cmd;
           ]))

@@ -45,14 +45,25 @@ let deliver env (ctx : Context.t) ~vector ~errcode ~return_rip =
   let old_mode = match ctx.mode with Context.User -> 0L | Context.Kernel -> 1L in
   (* Stack switch on privilege change, like TSS.RSP0. *)
   let base = if ctx.mode = Context.User then ctx.kernel_rsp else old_rsp in
+  let push_frame base =
+    let rsp = push64 env ctx ~rsp:base old_rsp ~at_rip in
+    let rsp = push64 env ctx ~rsp old_flags ~at_rip in
+    let rsp = push64 env ctx ~rsp old_mode ~at_rip in
+    let rsp = push64 env ctx ~rsp return_rip ~at_rip in
+    let rsp = push64 env ctx ~rsp errcode ~at_rip in
+    Context.set_gpr ctx Ptl_isa.Regs.rsp rsp
+  in
   (try
      ctx.mode <- Context.Kernel (* frame pushes are kernel accesses *);
-     let rsp = push64 env ctx ~rsp:base old_rsp ~at_rip in
-     let rsp = push64 env ctx ~rsp old_flags ~at_rip in
-     let rsp = push64 env ctx ~rsp old_mode ~at_rip in
-     let rsp = push64 env ctx ~rsp return_rip ~at_rip in
-     let rsp = push64 env ctx ~rsp errcode ~at_rip in
-     Context.set_gpr ctx Ptl_isa.Regs.rsp rsp
+     try push_frame base
+     with Fault.Guest_fault _
+       when ctx.kernel_rsp <> 0L && base <> ctx.kernel_rsp ->
+       (* The interrupted stack is unmapped — possible in kernel mode
+          under demand paging, where kernel paths run on a user stack
+          whose page was reclaimed (e.g. the syscall entry's saves).
+          Fall back to the known-good kernel stack, like an IST entry,
+          so the #PF handler can run and repopulate it. *)
+       push_frame ctx.kernel_rsp
    with Fault.Guest_fault f ->
      raise (Triple_fault ("fault pushing interrupt frame: " ^ Fault.to_string f)));
   ctx.flags <- Flags.set_if false ctx.flags;

@@ -59,10 +59,28 @@ let load_blob env (ctx : Context.t) ~vaddr ~bytes ~writable ~user =
       | None -> assert false)
     bytes
 
+(** Map the heap with 2 MiB PS PDEs instead of 4 KiB PTEs: each chunk gets
+    a contiguous, 512-aligned frame block so the PDE's base mfn covers the
+    whole region. [npages] is rounded up to a whole number of huge pages. *)
+let map_huge_heap env (ctx : Context.t) ~npages =
+  let mem = env.Env.mem in
+  let chunks = (npages + Pt.huge_pages - 1) / Pt.huge_pages in
+  for i = 0 to chunks - 1 do
+    let va = Int64.add heap_base (Int64.of_int (i * Pt.huge_size)) in
+    let mfn = Pm.alloc_pages mem ~align:Pt.huge_pages Pt.huge_pages in
+    Pt.map mem ~cr3_mfn:ctx.Context.cr3 ~vaddr:va ~mfn ~writable:true
+      ~user:true ~huge:true
+      ~alloc:(fun () -> Pm.alloc_page mem)
+      ()
+  done
+
 (** Build a machine around an assembled image. Execution starts at the
     [entry] symbol (default: the image base) in the given [mode] (default
-    kernel, so privileged instructions work in standalone programs). *)
-let create ?stats ?(mode = Context.Kernel) ?entry ?(heap_pages = 64) image =
+    kernel, so privileged instructions work in standalone programs).
+    [huge_heap] backs the heap with 2 MiB pages (TLB-friendly variant of
+    the same address space). *)
+let create ?stats ?(mode = Context.Kernel) ?entry ?(heap_pages = 64)
+    ?(huge_heap = false) image =
   let env = Env.create ?stats () in
   let ctx = Context.create ~vcpu_id:0 in
   ctx.Context.cr3 <- Pm.alloc_page env.Env.mem;
@@ -75,7 +93,8 @@ let create ?stats ?(mode = Context.Kernel) ?entry ?(heap_pages = 64) image =
     ~npages:stack_pages ~writable:true ~user:true;
   (* heap *)
   if heap_pages > 0 then
-    map_pages env ctx ~vaddr:heap_base ~npages:heap_pages ~writable:true ~user:true;
+    if huge_heap then map_huge_heap env ctx ~npages:heap_pages
+    else map_pages env ctx ~vaddr:heap_base ~npages:heap_pages ~writable:true ~user:true;
   Context.set_gpr ctx Ptl_isa.Regs.rsp stack_top;
   ctx.Context.mode <- mode;
   ctx.Context.rip <-

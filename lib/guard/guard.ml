@@ -102,25 +102,82 @@ let tlb_pagetable_check ~sub (env : Env.t) (ctx : Context.t) (tlb : Tlb.t) =
   make_check ~stride:expensive_stride ~name:(sub ^ ".pagetable")
     ~subsystem:sub (fun () ->
       List.fold_left
-        (fun acc (vpn, (e : Tlb.entry)) ->
+        (fun acc (tag, (e : Tlb.entry)) ->
           match acc with
           | Some _ -> acc
           | None ->
-            let vaddr = Int64.shift_left vpn 12 in
+            (* A tag covers 4K or 2M depending on the entry's page size;
+               comparing paddrs at the region base is size-agnostic (a
+               fresh walk of a huge mapping yields the exact 4K frame). *)
+            let vaddr = Tlb.vaddr_of_tag tag in
             (match
                Pt.walk env.Env.mem ~cr3_mfn:ctx.Context.cr3 ~vaddr ~write:false
                  ~user:false ~exec:false ~set_ad:false ()
              with
-            | Ok tr when tr.Pt.mfn = e.Tlb.mfn -> None
+            | Ok tr when Pt.to_paddr tr vaddr = Tlb.paddr_of e vaddr -> None
             | Ok tr ->
               Some
-                (Printf.sprintf "vpn %#Lx cached mfn %d but pagetable says %d"
-                   vpn e.Tlb.mfn tr.Pt.mfn)
+                (Printf.sprintf
+                   "tag %#Lx (%s) cached paddr %#x but pagetable says %#x"
+                   tag
+                   (if e.Tlb.huge then "2M" else "4K")
+                   (Tlb.paddr_of e vaddr) (Pt.to_paddr tr vaddr))
             | Error _ ->
               Some
-                (Printf.sprintf "vpn %#Lx cached (mfn %d) but no longer mapped"
-                   vpn e.Tlb.mfn)))
+                (Printf.sprintf
+                   "tag %#Lx cached (mfn %d) but no longer mapped" tag
+                   e.Tlb.mfn)))
         None (Tlb.entries tlb))
+
+(** Strict-mode PWC↔pagetable agreement: every cached walk-cache entry at
+    depth [d] must name the very table a presence-only descent from CR3
+    reaches for that prefix (depth 0 = PT, 1 = PD, 2 = PDPT). A PS leaf
+    met above the target level means the entry outlived a promote. Same
+    soundness caveat as the TLB check. *)
+let pwc_pagetable_check ~sub (env : Env.t) (ctx : Context.t)
+    (pwc : Ptl_mem.Pwc.t) =
+  let mem = env.Env.mem in
+  make_check ~stride:expensive_stride ~name:(sub ^ ".pagetable")
+    ~subsystem:sub (fun () ->
+      List.fold_left
+        (fun acc (depth, prefix, table_mfn) ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+            let vaddr =
+              Int64.shift_left prefix (Pt.huge_shift + (Pt.index_bits * depth))
+            in
+            let rec descend level table =
+              if level = depth then
+                if table = table_mfn then None
+                else
+                  Some
+                    (Printf.sprintf
+                       "depth %d prefix %#Lx cached table mfn %d but \
+                        pagetable says %d"
+                       depth prefix table_mfn table)
+              else
+                let idx = Pt.vpn_index vaddr level in
+                let pte =
+                  Ptl_mem.Phys_mem.read64 mem
+                    (Ptl_mem.Phys_mem.paddr_of_mfn table + (8 * idx))
+                in
+                if Int64.logand pte Pt.pte_p = 0L then
+                  Some
+                    (Printf.sprintf
+                       "depth %d prefix %#Lx cached table mfn %d but the \
+                        level-%d table is gone"
+                       depth prefix table_mfn level)
+                else if level = 1 && Int64.logand pte Pt.pte_ps <> 0L then
+                  Some
+                    (Printf.sprintf
+                       "depth %d prefix %#Lx cached table mfn %d under a \
+                        2M leaf (stale after promote)"
+                       depth prefix table_mfn)
+                else descend (level - 1) (Pt.pte_mfn pte)
+            in
+            descend 3 ctx.Context.cr3)
+        None (Ptl_mem.Pwc.entries pwc))
 
 (** The full invariant set for an out-of-order/SMT core. *)
 let ooo_checks ?(strict_tlb = false) (env : Env.t) (core : Ooo_core.t) =
@@ -152,6 +209,9 @@ let ooo_checks ?(strict_tlb = false) (env : Env.t) (core : Ooo_core.t) =
         tlb_pagetable_check ~sub:(sub "dtlb") env ctx core.Ooo_core.dtlb;
         tlb_pagetable_check ~sub:(sub "itlb") env ctx core.Ooo_core.itlb;
       ]
+      @ (match core.Ooo_core.pwc with
+        | Some pwc -> [ pwc_pagetable_check ~sub:(sub "pwc") env ctx pwc ]
+        | None -> [])
     else []
   in
   structural @ mem @ strict
@@ -171,6 +231,10 @@ let inorder_checks ?(strict_tlb = false) (env : Env.t) (core : Inorder_core.t) =
       tlb_pagetable_check ~sub:"inorder.itlb" env core.Inorder_core.ctx
         core.Inorder_core.itlb;
     ]
+    @ (match core.Inorder_core.pwc with
+      | Some pwc ->
+        [ pwc_pagetable_check ~sub:"inorder.pwc" env core.Inorder_core.ctx pwc ]
+      | None -> [])
   else []
 
 (** The invariant set behind a registry instance, chosen by its handle.

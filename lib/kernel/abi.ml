@@ -29,6 +29,7 @@ let user_stack_pages = 16
 (* Interrupt vectors. *)
 let vec_timer = 32
 let vec_io = 33
+let vec_shootdown = 34  (* TLB-shootdown IPI from the VM layer *)
 
 (* Syscall numbers. *)
 let sys_exit = 0

@@ -32,7 +32,9 @@ type layout = {
   s_syscall : int64;
   s_timer : int64;
   s_io : int64;
-  s_fault : int64;  (* shared by #PF/#GP/#DE/#UD entries *)
+  s_fault : int64;  (* shared by #GP/#DE/#UD entries *)
+  s_pf : int64;  (* #PF entry (full frame; demand paging resolves + irets) *)
+  s_shootdown : int64;  (* TLB-shootdown IPI acknowledge *)
   s_commit : int64;  (* publish side effects after a guest copy loop *)
 }
 
@@ -154,11 +156,35 @@ let build () =
   Asm.label a "after_io_kcall";
   Asm.jmp a "timer_resume" (* same restore path *);
 
-  (* ---- fault entries (#DE/#UD/#GP/#PF): host decides, usually kills *)
+  (* ---- fault entries (#DE/#UD/#GP): host decides, usually kills *)
   Asm.align a 16;
   Asm.label a "fault_entry";
   Asm.ins a Insn.Kcall;
   Asm.label a "after_fault_kcall";
+  Asm.ins a (Insn.Alu (Insn.Add, W64.B8, Insn.Reg Regs.rsp, Insn.Imm 8L));
+  Asm.ins a Insn.Iret;
+
+  (* ---- #PF entry: full register save, like a real kernel's page-fault
+     path — demand paging resolves the fault host-side and the iret
+     restarts the faulting instruction; unresolvable faults kill the
+     process in the kcall instead. *)
+  Asm.align a 16;
+  Asm.label a "pf_entry";
+  save_regs a;
+  Asm.ins a Insn.Kcall;
+  Asm.label a "after_pf_kcall";
+  restore_regs a;
+  Asm.ins a (Insn.Alu (Insn.Add, W64.B8, Insn.Reg Regs.rsp, Insn.Imm 8L));
+  Asm.ins a Insn.Iret;
+
+  (* ---- TLB-shootdown IPI: save, acknowledge (the host flushes this
+     VCPU's translation structures at the kcall), restore, iret. *)
+  Asm.align a 16;
+  Asm.label a "shootdown_entry";
+  save_regs a;
+  Asm.ins a Insn.Kcall;
+  Asm.label a "after_shootdown_kcall";
+  restore_regs a;
   Asm.ins a (Insn.Alu (Insn.Add, W64.B8, Insn.Reg Regs.rsp, Insn.Imm 8L));
   Asm.ins a Insn.Iret;
 
@@ -171,9 +197,11 @@ let build () =
   Asm.align a 64;
   Asm.label a "idt";
   for v = 0 to 47 do
-    if v = 0 || v = 6 || v = 13 || v = 14 then Asm.quad_label a "fault_entry"
+    if v = 0 || v = 6 || v = 13 then Asm.quad_label a "fault_entry"
+    else if v = 14 then Asm.quad_label a "pf_entry"
     else if v = Abi.vec_timer then Asm.quad_label a "timer_entry"
     else if v = Abi.vec_io then Asm.quad_label a "io_entry"
+    else if v = Abi.vec_shootdown then Asm.quad_label a "shootdown_entry"
     else Asm.quad a 0L
   done;
 
@@ -196,5 +224,7 @@ let build () =
     s_timer = sym "after_timer_kcall";
     s_io = sym "after_io_kcall";
     s_fault = sym "after_fault_kcall";
+    s_pf = sym "after_pf_kcall";
+    s_shootdown = sym "after_shootdown_kcall";
     s_commit = sym "after_commit_kcall";
   }

@@ -23,6 +23,7 @@ module Pm = Ptl_mem.Phys_mem
 module Pt = Ptl_mem.Pagetable
 module Stats = Ptl_stats.Statstree
 module Regs = Ptl_isa.Regs
+module Vm = Ptl_vm.Vm
 
 type config = {
   timer_period : int;  (* cycles between timer interrupts *)
@@ -31,6 +32,9 @@ type config = {
   net_latency : int;  (* cycles per packet on the loopback path *)
   net_mtu : int;  (* bytes per packet *)
   kheap_pages : int;  (* page cache + ring buffer budget *)
+  demand_paging : bool;  (* lazily populate user address spaces *)
+  vm_watermark : int;  (* resident user-frame budget (0 = unlimited) *)
+  vm_batch : int;  (* evictions per reclaim pass *)
 }
 
 (** 2.2 GHz-flavoured defaults: 1000 Hz timer, ~50us disk, ~30us network. *)
@@ -42,6 +46,9 @@ let default_config =
     net_latency = 66_000;
     net_mtu = 1460;
     kheap_pages = 4096;
+    demand_paging = false;
+    vm_watermark = 0;
+    vm_batch = 8;
   }
 
 (* ---- kernel objects ---- *)
@@ -131,6 +138,7 @@ type t = {
   mutable next_sock : int;
   mutable shutdown : bool;
   mutable scratch : int64;  (* kernel VA of a small metadata buffer *)
+  vm : Vm.t option;  (* demand-paging policy engine (config.demand_paging) *)
   mutable on_marker : int -> unit;
   c_syscalls : Stats.counter;
   c_switches : Stats.counter;
@@ -250,6 +258,17 @@ let create ?(config = default_config) env ctx =
       next_sock = 1;
       shutdown = false;
       scratch = 0L;
+      vm =
+        (if config.demand_paging then begin
+           let vm =
+             Vm.create ~shootdown_vec:Abi.vec_shootdown
+               ~watermark:config.vm_watermark ~batch:config.vm_batch
+               ~mem:env.Env.mem stats
+           in
+           Vm.attach_ctx vm ctx;
+           Some vm
+         end
+         else None);
       on_marker = (fun _ -> ());
       c_syscalls = Stats.counter stats "kernel.syscalls";
       c_switches = Stats.counter stats "kernel.context_switches";
@@ -368,12 +387,40 @@ let spawn t ~name =
     map_kernel_into t ~cr3;
     (* refresh older address spaces with the new kernel stack pages *)
     List.iter (fun p -> map_kernel_into t ~cr3:p.cr3) t.procs;
-    load_image t ~cr3 img ~user:true;
-    alloc_mapped t ~cr3
-      ~vaddr:(Int64.sub Abi.user_stack_top (Int64.of_int (Abi.user_stack_pages * Pm.page_size)))
-      ~npages:Abi.user_stack_pages ~user:true;
-    alloc_mapped t ~cr3 ~vaddr:Abi.user_heap_base ~npages:Abi.user_heap_pages
-      ~user:true;
+    (match t.vm with
+    | Some vm ->
+      (* demand paging: register VMAs only; every user page — code
+         included — is populated by the first #PF through pf_entry *)
+      let base = img.Ptl_isa.Asm.img_base in
+      let first = Int64.to_int (Int64.logand base (Int64.of_int Pm.page_mask)) in
+      let len = String.length img.Ptl_isa.Asm.code in
+      let npages = (first + len + Pm.page_size - 1) / Pm.page_size in
+      Vm.add_vma vm ~cr3 ~start:(Int64.sub base (Int64.of_int first))
+        ~pages:npages ~writable:true
+        ~backing:(Vm.Image { bytes = img.Ptl_isa.Asm.code; base });
+      Vm.add_vma vm ~cr3
+        ~start:
+          (Int64.sub Abi.user_stack_top
+             (Int64.of_int (Abi.user_stack_pages * Pm.page_size)))
+        ~pages:Abi.user_stack_pages ~writable:true ~backing:Vm.Zero;
+      Vm.add_vma vm ~cr3 ~start:Abi.user_heap_base ~pages:Abi.user_heap_pages
+        ~writable:true ~backing:Vm.Zero;
+      (* Pre-populate the top stack page: the kernel-mode launch stub
+         pushes the first-entry iret frame onto the user stack, where a
+         #PF could not be delivered (no user frame to switch from). Real
+         kernels also populate the initial stack eagerly (args/env). *)
+      ignore
+        (Vm.handle_fault vm t.ctx ~cr3 ~vaddr:(Int64.sub Abi.user_stack_top 8L)
+           ~write:true)
+    | None ->
+      load_image t ~cr3 img ~user:true;
+      alloc_mapped t ~cr3
+        ~vaddr:
+          (Int64.sub Abi.user_stack_top
+             (Int64.of_int (Abi.user_stack_pages * Pm.page_size)))
+        ~npages:Abi.user_stack_pages ~user:true;
+      alloc_mapped t ~cr3 ~vaddr:Abi.user_heap_base ~npages:Abi.user_heap_pages
+        ~user:true);
     let p =
       {
         pid;
@@ -448,8 +495,31 @@ let alloc_fd (p : proc) obj =
 let fd_obj (p : proc) fd =
   if fd < 0 || fd >= Array.length p.fds then None else p.fds.(fd)
 
+(* Pre-resolve demand faults for a user range a host-side service is
+   about to dereference — the kernel's copyin/copyout pin step. Guest
+   copy loops need none of this (their accesses fault through pf_entry);
+   only the few host-side reads/writes of user pointers do. *)
+let touch_user t (p : proc) vaddr ~len ~write =
+  match t.vm with
+  | None -> ()
+  | Some vm ->
+    let first = Int64.logand vaddr (Int64.lognot (Int64.of_int Pm.page_mask)) in
+    let last =
+      Int64.logand
+        (Int64.add vaddr (Int64.of_int (max 0 (len - 1))))
+        (Int64.lognot (Int64.of_int Pm.page_mask))
+    in
+    let va = ref first in
+    while !va <= last do
+      ignore (Vm.handle_fault vm t.ctx ~cr3:p.cr3 ~vaddr:!va ~write);
+      va := Int64.add !va (Int64.of_int Pm.page_size)
+    done
+
 (* read a NUL-terminated string from user memory *)
 let user_string t vaddr =
+  (match t.current with
+  | Some p -> touch_user t p vaddr ~len:256 ~write:false
+  | None -> ());
   let buf = Buffer.create 32 in
   let rec go va =
     let b =
@@ -830,6 +900,7 @@ let dispatch_syscall t =
           err Abi.e_inval
         | Some wfd ->
           (* write the two fds to the user pointer in a1 *)
+          touch_user t p a1 ~len:8 ~write:true;
           Vmem.write t.env.Env.vmem ctx ~vaddr:a1 ~size:W64.B4
             ~value:(Int64.of_int rfd) ~at_rip:0L;
           Vmem.write t.env.Env.vmem ctx ~vaddr:(Int64.add a1 4L) ~size:W64.B4
@@ -1046,6 +1117,45 @@ let handle_fault t =
           t.ctx.Context.cr2);
     svc_exit t p (-1)
 
+(* #PF delivered through the guest pf_entry: below the 15 saved GPRs the
+   frame is [errcode][rip][mode][flags][rsp]. Demand paging resolves
+   first-touch faults (the iret then restarts the faulting instruction);
+   anything unresolvable kills the process like the generic fault path. *)
+let pf_frame_err_off = 15 * 8
+
+let handle_pf t =
+  match t.current with
+  | None -> raise (Kernel_panic "page fault in idle/kernel context")
+  | Some p ->
+    let vaddr = t.ctx.Context.cr2 in
+    let err =
+      try
+        Vmem.read t.env.Env.vmem t.ctx
+          ~vaddr:
+            (Int64.add (Context.gpr t.ctx Regs.rsp)
+               (Int64.of_int pf_frame_err_off))
+          ~size:W64.B8 ~at_rip:0L
+      with _ -> 0L
+    in
+    let write = Int64.logand err 2L <> 0L in
+    let resolved =
+      match t.vm with
+      | Some vm -> Vm.handle_fault vm t.ctx ~cr3:p.cr3 ~vaddr ~write = Vm.Resolved
+      | None -> false
+    in
+    if not resolved then begin
+      Logs.warn (fun m ->
+          m "minios: killing pid %d (%s) after unresolved #PF (cr2=%#Lx err=%#Lx)"
+            p.pid p.pname vaddr err);
+      svc_exit t p (-1)
+    end
+
+(* TLB-shootdown IPI acknowledge: the architectural flush of this VCPU's
+   translation structures. (The VM layer also flushed at initiation so no
+   stale translation is ever consumable; this guest round-trip carries the
+   invalidation cost.) *)
+let handle_shootdown t = Context.flush_tlbs t.ctx
+
 let handle_commit t =
   match t.current with
   | None -> raise (Kernel_panic "commit kcall with no process")
@@ -1075,6 +1185,8 @@ let kcall_handler t (ctx : Context.t) =
     else if site = l.Kbuild.s_io then handle_io t
     else if site = l.Kbuild.s_boot then handle_boot t
     else if site = l.Kbuild.s_fault then handle_fault t
+    else if site = l.Kbuild.s_pf then handle_pf t
+    else if site = l.Kbuild.s_shootdown then handle_shootdown t
     else raise (Kernel_panic (Printf.sprintf "unknown kcall site %#Lx" site))
   with Ptl_arch.Fault.Guest_fault f ->
     (* a service dereferenced a bad guest pointer (EFAULT analogue):

@@ -13,10 +13,17 @@ let pte_w = 0x2L (* writable *)
 let pte_u = 0x4L (* user-accessible *)
 let pte_a = 0x20L (* accessed *)
 let pte_d = 0x40L (* dirty *)
+let pte_ps = 0x80L (* page size: set on a PDE => 2M leaf *)
 let pte_nx = Int64.min_int (* bit 63: no-execute *)
 
 let levels = 4
 let index_bits = 9
+
+(** 2M huge pages span [huge_pages] 4K frames. *)
+let huge_pages = 1 lsl index_bits
+let huge_shift = Phys_mem.page_shift + index_bits
+let huge_size = 1 lsl huge_shift
+let huge_mask = huge_size - 1
 
 (** Virtual address bits 12..47 are translated; the rest must be the sign
     extension of bit 47 (canonical form). *)
@@ -51,12 +58,18 @@ type fault = {
 }
 
 (** A successful translation. [pte_addrs] lists the physical address of each
-    PTE read, root first — the walker's four dependent loads. *)
+    PTE read, root first — the walker's dependent loads (four for a 4K
+    mapping, three when a 2M PDE leaf short-circuits the walk). [mfn] is
+    always the exact 4K frame for [vaddr]; for a huge mapping it is the 2M
+    region's base frame plus the level-0 index, so {!to_paddr} and every
+    existing consumer keep working unchanged. [huge] records that the
+    mapping came from a PS-set PDE. *)
 type translation = {
   mfn : int;
   writable : bool;
   user : bool;
   nx : bool;
+  huge : bool;
   pte_addrs : int list;
 }
 
@@ -64,7 +77,9 @@ type translation = {
     describe the access being performed (used for permission checks and
     dirty-bit setting). When [set_ad] is true (hardware behaviour) the
     accessed bits of every level and the dirty bit of the leaf are updated
-    in memory. *)
+    in memory — but only once the walk has fully succeeded: a walk that
+    faults at any level leaves all A/D bits untouched, matching x86
+    hardware, which commits the TLB fill and the A/D updates together. *)
 let walk mem ~cr3_mfn ~vaddr ~write ~user ~exec ?(set_ad = true) () :
     (translation, fault) result =
   let fail ~not_present =
@@ -72,6 +87,31 @@ let walk mem ~cr3_mfn ~vaddr ~write ~user ~exec ?(set_ad = true) () :
   in
   if not (canonical vaddr) then fail ~not_present:true
   else begin
+    (* (pte_addr, pte, is_leaf) for every level visited, deferred so A/D
+       writes only happen on a successful walk. *)
+    let visited = ref [] in
+    let apply_ad () =
+      if set_ad then
+        List.iter
+          (fun (pte_addr, pte, is_leaf) ->
+            let pte' = Int64.logor pte pte_a in
+            let pte' =
+              if is_leaf && write then Int64.logor pte' pte_d else pte'
+            in
+            if pte' <> pte then Phys_mem.write64 mem pte_addr pte')
+          !visited
+    in
+    let finish ~leaf_pte ~base_mfn ~huge pte_addrs =
+      apply_ad ();
+      {
+        mfn = (if huge then base_mfn lor vpn_index vaddr 0 else base_mfn);
+        writable = Int64.logand leaf_pte pte_w <> 0L;
+        user = Int64.logand leaf_pte pte_u <> 0L;
+        nx = Int64.logand leaf_pte pte_nx <> 0L;
+        huge;
+        pte_addrs = List.rev pte_addrs;
+      }
+    in
     let rec go level table_mfn pte_addrs =
       let idx = vpn_index vaddr level in
       let pte_addr = Phys_mem.paddr_of_mfn table_mfn + (8 * idx) in
@@ -79,28 +119,16 @@ let walk mem ~cr3_mfn ~vaddr ~write ~user ~exec ?(set_ad = true) () :
       let pte_addrs = pte_addr :: pte_addrs in
       if Int64.logand pte pte_p = 0L then fail ~not_present:true
       else begin
+        let leaf = level = 0 || (level = 1 && Int64.logand pte pte_ps <> 0L) in
         (* Permission bits are checked at every level on x86-64. *)
         if write && Int64.logand pte pte_w = 0L then fail ~not_present:false
         else if user && Int64.logand pte pte_u = 0L then fail ~not_present:false
-        else if exec && level = 0 && Int64.logand pte pte_nx <> 0L then
+        else if exec && leaf && Int64.logand pte pte_nx <> 0L then
           fail ~not_present:false
         else begin
-          if set_ad then begin
-            let pte' = Int64.logor pte pte_a in
-            let pte' =
-              if level = 0 && write then Int64.logor pte' pte_d else pte'
-            in
-            if pte' <> pte then Phys_mem.write64 mem pte_addr pte'
-          end;
-          if level = 0 then
-            Ok
-              {
-                mfn = pte_mfn pte;
-                writable = Int64.logand pte pte_w <> 0L;
-                user = Int64.logand pte pte_u <> 0L;
-                nx = Int64.logand pte pte_nx <> 0L;
-                pte_addrs = List.rev pte_addrs;
-              }
+          visited := (pte_addr, pte, leaf) :: !visited;
+          if leaf then
+            Ok (finish ~leaf_pte:pte ~base_mfn:(pte_mfn pte) ~huge:(level = 1) pte_addrs)
           else go (level - 1) (pte_mfn pte) pte_addrs
         end
       end
@@ -109,13 +137,27 @@ let walk mem ~cr3_mfn ~vaddr ~write ~user ~exec ?(set_ad = true) () :
   end
 
 (** Install a translation [vaddr -> mfn], allocating intermediate tables
-    with [alloc] as needed (the guest-kernel/hypervisor MMU-update path). *)
-let map mem ~cr3_mfn ~vaddr ~mfn ~writable ~user ?(nx = false) ~alloc () =
+    with [alloc] as needed (the guest-kernel/hypervisor MMU-update path).
+    With [huge], [vaddr] must be 2M-aligned and [mfn] the 2M-aligned base
+    frame of 512 contiguous 4K frames: the walk stops at level 1 and a
+    PS-set PDE leaf is written. *)
+let map mem ~cr3_mfn ~vaddr ~mfn ~writable ~user ?(nx = false) ?(huge = false)
+    ~alloc () =
   if not (canonical vaddr) then invalid_arg "Pagetable.map: non-canonical";
+  if huge then begin
+    if Int64.logand vaddr (Int64.of_int huge_mask) <> 0L then
+      invalid_arg "Pagetable.map: huge vaddr not 2M-aligned";
+    if mfn land (huge_pages - 1) <> 0 then
+      invalid_arg "Pagetable.map: huge mfn not 2M-aligned"
+  end;
+  let leaf_level = if huge then 1 else 0 in
   let rec go level table_mfn =
     let idx = vpn_index vaddr level in
     let pte_addr = Phys_mem.paddr_of_mfn table_mfn + (8 * idx) in
-    if level = 0 then Phys_mem.write64 mem pte_addr (make_pte ~mfn ~writable ~user ~nx)
+    if level = leaf_level then
+      let pte = make_pte ~mfn ~writable ~user ~nx in
+      Phys_mem.write64 mem pte_addr
+        (if huge then Int64.logor pte pte_ps else pte)
     else begin
       let pte = Phys_mem.read64 mem pte_addr in
       let next_mfn =
@@ -133,14 +175,47 @@ let map mem ~cr3_mfn ~vaddr ~mfn ~writable ~user ?(nx = false) ~alloc () =
   in
   go (levels - 1) cr3_mfn
 
-(** Remove the translation for [vaddr] (leaf only; tables are not freed). *)
+(** Remove the translation for [vaddr] (leaf only; tables are not freed).
+    A PS-set PDE covering [vaddr] is cleared, dropping the whole 2M
+    mapping. *)
 let unmap mem ~cr3_mfn ~vaddr =
   let rec go level table_mfn =
     let idx = vpn_index vaddr level in
     let pte_addr = Phys_mem.paddr_of_mfn table_mfn + (8 * idx) in
     let pte = Phys_mem.read64 mem pte_addr in
     if Int64.logand pte pte_p = 0L then ()
-    else if level = 0 then Phys_mem.write64 mem pte_addr 0L
+    else if level = 0 || (level = 1 && Int64.logand pte pte_ps <> 0L) then
+      Phys_mem.write64 mem pte_addr 0L
+    else go (level - 1) (pte_mfn pte)
+  in
+  go (levels - 1) cr3_mfn
+
+(** Read the raw PDE covering [vaddr] (level-1 entry), if the upper levels
+    are present: [(pde_addr, pde)]. The VM layer's promote/split logic
+    inspects and rewrites PDEs through this. *)
+let pde_of mem ~cr3_mfn ~vaddr =
+  let rec go level table_mfn =
+    let idx = vpn_index vaddr level in
+    let pte_addr = Phys_mem.paddr_of_mfn table_mfn + (8 * idx) in
+    let pte = Phys_mem.read64 mem pte_addr in
+    if level = 1 then Some (pte_addr, pte)
+    else if Int64.logand pte pte_p = 0L then None
+    else go (level - 1) (pte_mfn pte)
+  in
+  go (levels - 1) cr3_mfn
+
+(** Raw leaf PTE for [vaddr]: [(pte_addr, pte, level)] where [level] is 0
+    for a 4K leaf and 1 for a PS-set PDE. None when any level on the path
+    is not present. The reclaim scanner reads and rewrites accessed bits
+    through this without perturbing them the way a walk would. *)
+let leaf_pte mem ~cr3_mfn ~vaddr =
+  let rec go level table_mfn =
+    let idx = vpn_index vaddr level in
+    let pte_addr = Phys_mem.paddr_of_mfn table_mfn + (8 * idx) in
+    let pte = Phys_mem.read64 mem pte_addr in
+    if Int64.logand pte pte_p = 0L then None
+    else if level = 0 || (level = 1 && Int64.logand pte pte_ps <> 0L) then
+      Some (pte_addr, pte, level)
     else go (level - 1) (pte_mfn pte)
   in
   go (levels - 1) cr3_mfn

@@ -99,6 +99,17 @@ let alloc_page t =
   ignore (frame_ro t mfn);
   mfn
 
+(** Allocate [n] physically contiguous frames whose first MFN is a
+    multiple of [align] (in frames); returns that first MFN. Huge-page
+    mappings need 512 contiguous frames on a 2M boundary. *)
+let alloc_pages t ?(align = 1) n =
+  let first = (t.next_mfn + align - 1) / align * align in
+  t.next_mfn <- first + n;
+  for i = 0 to n - 1 do
+    ignore (frame_ro t (first + i))
+  done;
+  first
+
 let allocated_pages t = t.allocated
 
 (** MFNs whose contents differ between two memories, including frames

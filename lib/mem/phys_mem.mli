@@ -26,6 +26,11 @@ val frame : t -> int -> Bytes.t
 (** Allocate a fresh frame; returns its MFN. *)
 val alloc_page : t -> int
 
+(** Allocate [n] physically contiguous frames whose first MFN is a
+    multiple of [align] (in frames, default 1); returns that first MFN.
+    Huge-page mappings need 512 contiguous frames on a 2M boundary. *)
+val alloc_pages : t -> ?align:int -> int -> int
+
 val allocated_pages : t -> int
 
 val read8 : t -> int -> int

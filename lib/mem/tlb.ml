@@ -10,11 +10,26 @@
 
 type entry = {
   vpn : int64;
-  mfn : int;
+  mfn : int;  (* 4K frame; for a huge entry the 2M region's base frame *)
   writable : bool;
   user : bool;
   nx : bool;
+  huge : bool;  (* entry spans 2M (a PS-set PDE mapping) *)
 }
+
+(* Huge entries are tagged with the 2M frame number plus a high marker
+   bit. Real virtual page numbers fit in 36 bits (48-bit VA, 12-bit
+   pages), so the marker can never collide with a 4K tag, and both page
+   sizes share the level arrays — the unified L1/L2 structure of the
+   K8. *)
+let huge_tag_bit = Int64.shift_left 1L 62
+let tag_is_huge tag = Int64.logand tag huge_tag_bit <> 0L
+
+(** Base virtual address covered by a tag (2M- or 4K-aligned). *)
+let vaddr_of_tag tag =
+  if tag_is_huge tag then
+    Int64.shift_left (Int64.logxor tag huge_tag_bit) Pagetable.huge_shift
+  else Int64.shift_left tag Phys_mem.page_shift
 
 (** One set-associative translation array. *)
 type level = {
@@ -127,21 +142,59 @@ let create ?(name = "tlb") config =
 
 let vpn_of_vaddr vaddr = Int64.shift_right_logical vaddr Phys_mem.page_shift
 
+let huge_tag_of_vaddr vaddr =
+  Int64.logor huge_tag_bit
+    (Int64.shift_right_logical vaddr Pagetable.huge_shift)
+
+(** The tag an entry is (or would be) filed under for [vaddr]. *)
+let tag_of_entry e vaddr =
+  if e.huge then huge_tag_of_vaddr vaddr else vpn_of_vaddr vaddr
+
+(** Build a TLB entry from a successful walk. Huge translations store the
+    2M base frame so one entry covers the whole region. *)
+let entry_of_walk (tr : Pagetable.translation) =
+  {
+    vpn = 0L;
+    mfn =
+      (if tr.Pagetable.huge then
+         tr.Pagetable.mfn land lnot (Pagetable.huge_pages - 1)
+       else tr.Pagetable.mfn);
+    writable = tr.Pagetable.writable;
+    user = tr.Pagetable.user;
+    nx = tr.Pagetable.nx;
+    huge = tr.Pagetable.huge;
+  }
+
+(** Physical address of [vaddr] under [e] (valid for both page sizes). *)
+let paddr_of e vaddr =
+  if e.huge then
+    Phys_mem.paddr_of_mfn e.mfn
+    + Int64.to_int (Int64.logand vaddr (Int64.of_int Pagetable.huge_mask))
+  else
+    Phys_mem.paddr_of_mfn e.mfn
+    + Int64.to_int (Int64.logand vaddr (Int64.of_int Phys_mem.page_mask))
+
 (** Result of a lookup: where the translation was found. *)
 type hit = L1_hit of entry | L2_hit of entry | Tlb_miss
 
 let lookup_raw t vaddr =
   let vpn = vpn_of_vaddr vaddr in
-  match level_lookup t.l1 vpn with
+  let hvpn = huge_tag_of_vaddr vaddr in
+  let probe lvl =
+    match level_lookup lvl vpn with
+    | Some _ as h -> h
+    | None -> level_lookup lvl hvpn
+  in
+  match probe t.l1 with
   | Some e -> L1_hit e
   | None ->
     (match t.l2 with
     | None -> Tlb_miss
     | Some l2 ->
-      (match level_lookup l2 vpn with
+      (match probe l2 with
       | Some e ->
-        (* Promote into L1. *)
-        level_insert t.l1 vpn e;
+        (* Promote into L1 under the page-size-appropriate tag. *)
+        level_insert t.l1 (if e.huge then hvpn else vpn) e;
         L2_hit e
       | None -> Tlb_miss))
 
@@ -165,14 +218,14 @@ let lookup t vaddr =
 
 (** Install a translation after a walk fills it. *)
 let insert t vaddr entry =
-  let vpn = vpn_of_vaddr vaddr in
-  level_insert t.l1 vpn entry;
-  Option.iter (fun l2 -> level_insert l2 vpn entry) t.l2;
+  let tag = tag_of_entry entry vaddr in
+  level_insert t.l1 tag entry;
+  Option.iter (fun l2 -> level_insert l2 tag entry) t.l2;
   (* Remember the upper levels of the walk in the PDE cache. *)
   Option.iter
     (fun pde ->
-      level_insert pde (Int64.shift_right_logical vpn 9)
-        { entry with vpn = Int64.shift_right_logical vpn 9 })
+      let upper = Int64.shift_right_logical (vpn_of_vaddr vaddr) 9 in
+      level_insert pde upper { entry with vpn = upper })
     t.pde
 
 (** Number of page-walk memory loads needed on a miss: 4 without a PDE
@@ -190,11 +243,18 @@ let flush t =
   Option.iter level_flush t.l2;
   Option.iter level_flush t.pde
 
-(** Flush one page (invlpg). *)
+(** Flush one page (invlpg): drops both the 4K entry for [vaddr] and any
+    huge entry covering it. *)
 let flush_page t vaddr =
   let vpn = vpn_of_vaddr vaddr in
+  let hvpn = huge_tag_of_vaddr vaddr in
   level_flush_page t.l1 vpn;
-  Option.iter (fun l2 -> level_flush_page l2 vpn) t.l2
+  level_flush_page t.l1 hvpn;
+  Option.iter
+    (fun l2 ->
+      level_flush_page l2 vpn;
+      level_flush_page l2 hvpn)
+    t.l2
 
 (* ---------- checkpointing (sampled-simulation parallel workers) ---------- *)
 

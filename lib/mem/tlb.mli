@@ -4,11 +4,26 @@
 
 type entry = {
   vpn : int64;
-  mfn : int;
+  mfn : int;  (* 4K frame; for a huge entry the 2M region's base frame *)
   writable : bool;
   user : bool;
   nx : bool;
+  huge : bool;  (* entry spans 2M (a PS-set PDE mapping) *)
 }
+
+(** Whether a tag (as returned by {!entries}) names a 2M entry. *)
+val tag_is_huge : int64 -> bool
+
+(** Base virtual address covered by a tag (2M- or 4K-aligned). *)
+val vaddr_of_tag : int64 -> int64
+
+(** Build a TLB entry from a successful walk; huge translations store the
+    2M base frame so one entry covers the whole region. *)
+val entry_of_walk : Pagetable.translation -> entry
+
+(** Physical address of a virtual address under an entry (both page
+    sizes). *)
+val paddr_of : entry -> int64 -> int
 
 type config = {
   l1_entries : int;
@@ -48,7 +63,8 @@ val walk_loads : t -> int64 -> int
 (** Flush everything (CR3 reload; the K8 predates ASIDs). *)
 val flush : t -> unit
 
-(** Flush one page (invlpg). *)
+(** Flush one page (invlpg): drops both the 4K entry and any huge entry
+    covering the address. *)
 val flush_page : t -> int64 -> unit
 
 (** Guard hook: internal tag/entry/LRU consistency of every level.

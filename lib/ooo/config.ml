@@ -35,6 +35,19 @@ type t = {
   dtlb : Ptl_mem.Tlb.config;
   itlb : Ptl_mem.Tlb.config;
   hierarchy : Ptl_mem.Hierarchy.config;
+  (* Page-walk cache entries per level (0 = no PWC): per-level walker
+     caches that cut a TLB miss's dependent loads (lib/mem/pwc.ml). *)
+  pwc_entries : int;
+  (* Honor 2M PDE leaves with single huge TLB entries; when false the
+     TLB fragments huge mappings into exact 4K entries (architecturally
+     identical, so both legs of a sweep replay the same capture). *)
+  tlb_hugepages : bool;
+  (* Guest-kernel VM policy axes, carried in the core config so sweep
+     legs digest them: lazily-populated address spaces (demand paging)
+     and the watermark-driven reclaim loop (0 watermark = no reclaim). *)
+  vm_demand_paging : bool;
+  vm_reclaim_watermark : int;  (* min free frames before reclaim kicks in *)
+  vm_reclaim_batch : int;  (* frames evicted per reclaim pass *)
   load_hoisting : bool;  (* speculative loads past unresolved stores *)
   enforce_banking : bool;  (* L1D bank-conflict replays *)
   redirect_penalty : int;  (* extra cycles on fetch redirect (mispredict) *)
@@ -103,6 +116,11 @@ let k8_ptlsim =
     dtlb = Ptl_mem.Tlb.ptlsim_config;
     itlb = Ptl_mem.Tlb.ptlsim_config;
     hierarchy = Ptl_mem.Hierarchy.k8_ptlsim;
+    pwc_entries = 0;
+    tlb_hugepages = false;
+    vm_demand_paging = false;
+    vm_reclaim_watermark = 0;
+    vm_reclaim_batch = 8;
     load_hoisting = false;
     enforce_banking = true;
     redirect_penalty = 10;
@@ -149,6 +167,11 @@ let tiny =
         btb_entries = 64; btb_ways = 4; ras_entries = 8 };
     dtlb = { Ptl_mem.Tlb.l1_entries = 8; l1_ways = 8; l2 = None; pde_entries = 0 };
     itlb = { Ptl_mem.Tlb.l1_entries = 8; l1_ways = 8; l2 = None; pde_entries = 0 };
+    pwc_entries = 0;
+    tlb_hugepages = false;
+    vm_demand_paging = false;
+    vm_reclaim_watermark = 0;
+    vm_reclaim_batch = 8;
     hierarchy =
       {
         Ptl_mem.Hierarchy.l1d =

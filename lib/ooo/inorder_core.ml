@@ -14,6 +14,7 @@ module Vmem = Ptl_arch.Vmem
 module Env = Ptl_arch.Env
 module Hierarchy = Ptl_mem.Hierarchy
 module Tlb = Ptl_mem.Tlb
+module Pwc = Ptl_mem.Pwc
 module Pm = Ptl_mem.Phys_mem
 module Pt = Ptl_mem.Pagetable
 module Predictor = Ptl_bpred.Predictor
@@ -27,6 +28,8 @@ type t = {
   hierarchy : Hierarchy.t;
   dtlb : Tlb.t;
   itlb : Tlb.t;
+  pwc : Pwc.t option;
+  hugepages : bool;
   bpred : Predictor.t;
   mutable pending_cycles : int;  (* cost accumulated by the current block *)
   mutable tlb_gen_seen : int;
@@ -56,6 +59,8 @@ let create ?(prefix = "inorder") ?uarch (config : Config.t) env ctx =
       hierarchy = uarch.Uarch.hierarchy;
       dtlb = uarch.Uarch.dtlb;
       itlb = uarch.Uarch.itlb;
+      pwc = uarch.Uarch.pwc;
+      hugepages = config.Config.tlb_hugepages;
       bpred = uarch.Uarch.bpred;
       pending_cycles = 0;
       tlb_gen_seen = ctx.Context.tlb_generation;
@@ -71,10 +76,7 @@ let create ?(prefix = "inorder") ?uarch (config : Config.t) env ctx =
   let charge n = t.pending_cycles <- t.pending_cycles + n in
   let translate ~vaddr ~write =
     match Tlb.lookup t.dtlb vaddr with
-    | Tlb.L1_hit e | Tlb.L2_hit e ->
-      Some
-        (Pm.paddr_of_mfn e.Tlb.mfn
-         + Int64.to_int (Int64.logand vaddr (Int64.of_int Pm.page_mask)))
+    | Tlb.L1_hit e | Tlb.L2_hit e -> Some (Tlb.paddr_of e vaddr)
     | Tlb.Tlb_miss ->
       (match
          Pt.walk env.Env.mem ~cr3_mfn:ctx.Context.cr3 ~vaddr ~write
@@ -82,13 +84,31 @@ let create ?(prefix = "inorder") ?uarch (config : Config.t) env ctx =
        with
       | Error _ -> None
       | Ok tr ->
-        Tlb.insert t.dtlb vaddr
-          { Tlb.vpn = 0L; mfn = tr.Pt.mfn; writable = tr.Pt.writable;
-            user = tr.Pt.user; nx = tr.Pt.nx };
-        (* blocking page walk *)
-        List.iter
-          (fun pa -> charge (Hierarchy.load t.hierarchy ~cycle:env.Env.cycle ~paddr:pa))
-          tr.Pt.pte_addrs;
+        let e = Tlb.entry_of_walk tr in
+        let e =
+          if e.Tlb.huge && not t.hugepages then
+            { e with Tlb.huge = false; mfn = tr.Pt.mfn }
+          else e
+        in
+        Tlb.insert t.dtlb vaddr e;
+        (* blocking page walk; the PWC cuts the dependent-load chain *)
+        let addrs = tr.Pt.pte_addrs in
+        let loads =
+          match t.pwc with
+          | None -> List.length addrs
+          | Some pwc ->
+            let left =
+              Pwc.loads_left pwc vaddr ~walk_len:(List.length addrs)
+            in
+            Pwc.insert pwc vaddr ~pte_addrs:addrs;
+            left
+        in
+        let drop = List.length addrs - loads in
+        List.iteri
+          (fun i pa ->
+            if i >= drop then
+              charge (Hierarchy.load t.hierarchy ~cycle:env.Env.cycle ~paddr:pa))
+          addrs;
         Some (Pt.to_paddr tr vaddr))
   in
   t.seq.Seqcore.hooks <-
@@ -146,7 +166,8 @@ let step_block t =
   if t.ctx.Context.tlb_generation <> t.tlb_gen_seen then begin
     t.tlb_gen_seen <- t.ctx.Context.tlb_generation;
     Tlb.flush t.dtlb;
-    Tlb.flush t.itlb
+    Tlb.flush t.itlb;
+    Option.iter Pwc.flush t.pwc
   end;
   t.pending_cycles <- 0;
   let st = Seqcore.step_block t.seq in

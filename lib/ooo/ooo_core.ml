@@ -29,6 +29,7 @@ module Env = Ptl_arch.Env
 module Pm = Ptl_mem.Phys_mem
 module Pt = Ptl_mem.Pagetable
 module Tlb = Ptl_mem.Tlb
+module Pwc = Ptl_mem.Pwc
 module Hierarchy = Ptl_mem.Hierarchy
 module Predictor = Ptl_bpred.Predictor
 module Stats = Ptl_stats.Statstree
@@ -135,6 +136,7 @@ type t = {
   hierarchy : Hierarchy.t;
   dtlb : Tlb.t;
   itlb : Tlb.t;
+  pwc : Pwc.t option;
   bpred : Predictor.t;
   interlock : Interlock.t;
   mutable seq_counter : int;
@@ -217,6 +219,7 @@ let create ?(core_id = 0) ?(prefix = "ooo") ?interlock ?bbcache ?uarch
     hierarchy = uarch.Uarch.hierarchy;
     dtlb = uarch.Uarch.dtlb;
     itlb = uarch.Uarch.itlb;
+    pwc = uarch.Uarch.pwc;
     bpred = uarch.Uarch.bpred;
     interlock =
       (match interlock with Some i -> i | None -> Interlock.create stats);
@@ -440,6 +443,26 @@ let flush_thread t th ~rip =
 
 (* ---------- fetch ---------- *)
 
+(* The TLB entry a walk fills: a single 2M entry when this configuration
+   honors huge pages, else the exact 4K fragment (architecturally
+   identical; only the reach differs). *)
+let tlb_fill_entry t (tr : Pt.translation) =
+  let e = Tlb.entry_of_walk tr in
+  if e.Tlb.huge && not t.config.Config.tlb_hugepages then
+    { e with Tlb.huge = false; mfn = tr.Pt.mfn }
+  else e
+
+(* Consult the page-walk caches: further cut the dependent-load chain of
+   a walk that would issue [loads] loads, and remember the walked
+   tables. *)
+let pwc_filter_loads t vaddr ~addrs loads =
+  match t.pwc with
+  | None -> loads
+  | Some pwc ->
+    let left = Pwc.loads_left pwc vaddr ~walk_len:loads in
+    Pwc.insert pwc vaddr ~pte_addrs:addrs;
+    left
+
 let itlb_fetch_latency t th vaddr =
   (* ITLB lookup; misses walk the page table with timed PTE loads. *)
   match Tlb.lookup t.itlb vaddr with
@@ -453,14 +476,13 @@ let itlb_fetch_latency t th vaddr =
      with
     | Error _ -> 0 (* the fault will surface when decode fetches bytes *)
     | Ok tr ->
-      Tlb.insert t.itlb vaddr
-        { Tlb.vpn = 0L; mfn = tr.Pt.mfn; writable = tr.Pt.writable;
-          user = tr.Pt.user; nx = tr.Pt.nx };
-      let loads = Tlb.walk_loads t.itlb vaddr in
+      Tlb.insert t.itlb vaddr (tlb_fill_entry t tr);
       let addrs = tr.Pt.pte_addrs in
+      let loads = min (Tlb.walk_loads t.itlb vaddr) (List.length addrs) in
+      let loads = pwc_filter_loads t vaddr ~addrs loads in
       let charged =
-        (* charge the last [loads] walk references (PDE cache skips the
-           upper levels) *)
+        (* charge the last [loads] walk references (PDE cache / PWC skip
+           the upper levels) *)
         let rec drop l n = if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop tl (n - 1) in
         drop addrs (List.length addrs - loads)
       in
@@ -781,11 +803,7 @@ let dtlb_translate t th ~vaddr ~write ~at_rip =
     | Tlb.Tlb_miss -> None
   in
   match need_walk with
-  | Some e ->
-    Ok
-      ( Pm.paddr_of_mfn e.Tlb.mfn
-        + Int64.to_int (Int64.logand vaddr (Int64.of_int Pm.page_mask)),
-        0 )
+  | Some e -> Ok (Tlb.paddr_of e vaddr, 0)
   | None ->
     Stats.incr t.c_dtlb_misses;
     (match
@@ -808,11 +826,10 @@ let dtlb_translate t th ~vaddr ~write ~at_rip =
           at_rip;
         }
     | Ok tr ->
-      let loads = Tlb.walk_loads t.dtlb vaddr in
-      Tlb.insert t.dtlb vaddr
-        { Tlb.vpn = 0L; mfn = tr.Pt.mfn; writable = tr.Pt.writable;
-          user = tr.Pt.user; nx = tr.Pt.nx };
       let addrs = tr.Pt.pte_addrs in
+      let loads = min (Tlb.walk_loads t.dtlb vaddr) (List.length addrs) in
+      Tlb.insert t.dtlb vaddr (tlb_fill_entry t tr);
+      let loads = pwc_filter_loads t vaddr ~addrs loads in
       let rec drop l n =
         if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop tl (n - 1)
       in
@@ -970,7 +987,9 @@ let execute_load t th (e : rob_entry) (out : Exec.outcome) =
   let vaddr = out.Exec.value in
   e.vaddr <- vaddr;
   match dtlb_translate t th ~vaddr ~write:false ~at_rip with
-  | Error f -> e.state <- Faulted f
+  | Error f ->
+    e.state <- Faulted f;
+    iq_remove t e
   | Ok (paddr, tlb_lat) -> (
     e.paddr <- paddr;
     e.addr_valid <- true;
@@ -1054,7 +1073,9 @@ let execute_load t th (e : rob_entry) (out : Exec.outcome) =
         end
         else
           match read_guest_data t th ~vaddr ~paddr ~size:u.Uop.mem_size ~at_rip with
-          | Error f -> e.state <- Faulted f
+          | Error f ->
+            e.state <- Faulted f;
+            iq_remove t e
           | Ok (raw, cross_lat) ->
             let lat = Hierarchy.load t.hierarchy ~cycle:(now t) ~paddr in
             e.result <- Exec.finish_load u raw;
@@ -1071,7 +1092,9 @@ let execute_store t th (e : rob_entry) (out : Exec.outcome) ~rc =
   let vaddr = out.Exec.value in
   e.vaddr <- vaddr;
   match dtlb_translate t th ~vaddr ~write:true ~at_rip with
-  | Error f -> e.state <- Faulted f
+  | Error f ->
+    e.state <- Faulted f;
+    iq_remove t e
   | Ok (paddr, tlb_lat) ->
     if
       u.Uop.op = Uop.St
@@ -1408,7 +1431,8 @@ let commit_thread t th =
         if ctx.Context.tlb_generation <> th.tlb_gen_seen then begin
           th.tlb_gen_seen <- ctx.Context.tlb_generation;
           Tlb.flush t.dtlb;
-          Tlb.flush t.itlb
+          Tlb.flush t.itlb;
+          Option.iter Pwc.flush t.pwc
         end)
       end
   done

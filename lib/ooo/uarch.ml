@@ -17,6 +17,7 @@
 
 module Hierarchy = Ptl_mem.Hierarchy
 module Tlb = Ptl_mem.Tlb
+module Pwc = Ptl_mem.Pwc
 module Predictor = Ptl_bpred.Predictor
 module Bbcache = Ptl_uop.Bbcache
 
@@ -24,6 +25,7 @@ type t = {
   hierarchy : Hierarchy.t;
   dtlb : Tlb.t;
   itlb : Tlb.t;
+  pwc : Pwc.t option;  (* page-walk caches; None when pwc_entries = 0 *)
   bpred : Predictor.t;
   bbcache : Bbcache.t;
 }
@@ -34,6 +36,12 @@ let create ?(prefix = "ooo") (config : Config.t) stats =
       Hierarchy.create ~prefix:(prefix ^ ".mem") stats config.Config.hierarchy;
     dtlb = Tlb.create ~name:(prefix ^ ".dtlb") config.Config.dtlb;
     itlb = Tlb.create ~name:(prefix ^ ".itlb") config.Config.itlb;
+    pwc =
+      (if config.Config.pwc_entries > 0 then
+         Some
+           (Pwc.create ~name:(prefix ^ ".pwc")
+              ~entries:config.Config.pwc_entries ())
+       else None);
     bpred = Predictor.create ~prefix:(prefix ^ ".bpred") stats config.Config.bpred;
     bbcache = Bbcache.create stats;
   }
@@ -50,6 +58,7 @@ type snapshot = {
   sn_hierarchy : Hierarchy.snapshot;
   sn_dtlb : Tlb.snapshot;
   sn_itlb : Tlb.snapshot;
+  sn_pwc : Pwc.snapshot option;
   sn_bpred : Predictor.snapshot;
 }
 
@@ -58,6 +67,7 @@ let snapshot t =
     sn_hierarchy = Hierarchy.snapshot t.hierarchy;
     sn_dtlb = Tlb.snapshot t.dtlb;
     sn_itlb = Tlb.snapshot t.itlb;
+    sn_pwc = Option.map Pwc.snapshot t.pwc;
     sn_bpred = Predictor.snapshot t.bpred;
   }
 
@@ -67,6 +77,10 @@ let restore t ~snapshot =
   Hierarchy.restore t.hierarchy ~snapshot:snapshot.sn_hierarchy;
   Tlb.restore t.dtlb ~snapshot:snapshot.sn_dtlb;
   Tlb.restore t.itlb ~snapshot:snapshot.sn_itlb;
+  (match (t.pwc, snapshot.sn_pwc) with
+  | Some pwc, Some s -> Pwc.restore pwc ~snapshot:s
+  | None, None -> ()
+  | _ -> invalid_arg "Uarch.restore: pwc presence mismatch");
   Predictor.restore t.bpred ~snapshot:snapshot.sn_bpred
 
 (** Best-effort restore for replays under a {e different} machine
@@ -90,6 +104,11 @@ let restore_fit t ~snapshot =
   component "itlb"
     (Tlb.fits t.itlb snapshot.sn_itlb)
     (fun () -> Tlb.restore t.itlb ~snapshot:snapshot.sn_itlb);
+  (match (t.pwc, snapshot.sn_pwc) with
+  | Some pwc, Some s ->
+    component "pwc" (Pwc.fits pwc s) (fun () -> Pwc.restore pwc ~snapshot:s)
+  | None, _ -> ()  (* no PWC in this configuration: nothing to restore *)
+  | Some _, None -> component "pwc" false (fun () -> ()));
   component "bpred"
     (Predictor.fits t.bpred snapshot.sn_bpred)
     (fun () -> Predictor.restore t.bpred ~snapshot:snapshot.sn_bpred);
@@ -101,6 +120,10 @@ let diff t snapshot =
   Hierarchy.diff t.hierarchy snapshot.sn_hierarchy
   @ Tlb.diff t.dtlb snapshot.sn_dtlb
   @ Tlb.diff t.itlb snapshot.sn_itlb
+  @ (match (t.pwc, snapshot.sn_pwc) with
+    | Some pwc, Some s -> Pwc.diff pwc s
+    | None, None -> []
+    | _ -> [ "pwc: presence mismatch" ])
   @ Predictor.diff t.bpred snapshot.sn_bpred
 
 (* ---- delta snapshots (cheap per-interval checkpoints) ---- *)
@@ -116,6 +139,7 @@ type delta = {
   d_hierarchy : Hierarchy.snapshot option;
   d_dtlb : Tlb.snapshot option;
   d_itlb : Tlb.snapshot option;
+  d_pwc : Pwc.snapshot option option;  (* Some s = changed to s *)
   d_bpred : Predictor.snapshot option;
 }
 
@@ -126,6 +150,7 @@ let delta t ~base =
     d_hierarchy = keep (sn.sn_hierarchy <> base.sn_hierarchy) sn.sn_hierarchy;
     d_dtlb = keep (sn.sn_dtlb <> base.sn_dtlb) sn.sn_dtlb;
     d_itlb = keep (sn.sn_itlb <> base.sn_itlb) sn.sn_itlb;
+    d_pwc = keep (sn.sn_pwc <> base.sn_pwc) sn.sn_pwc;
     d_bpred = keep (sn.sn_bpred <> base.sn_bpred) sn.sn_bpred;
   }
 
@@ -136,6 +161,7 @@ let resolve_delta ~base ~delta =
     sn_hierarchy = Option.value delta.d_hierarchy ~default:base.sn_hierarchy;
     sn_dtlb = Option.value delta.d_dtlb ~default:base.sn_dtlb;
     sn_itlb = Option.value delta.d_itlb ~default:base.sn_itlb;
+    sn_pwc = Option.value delta.d_pwc ~default:base.sn_pwc;
     sn_bpred = Option.value delta.d_bpred ~default:base.sn_bpred;
   }
 

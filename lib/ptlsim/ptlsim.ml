@@ -40,6 +40,7 @@ module Disasm = Ptl_isa.Disasm
 module Phys_mem = Ptl_mem.Phys_mem
 module Pagetable = Ptl_mem.Pagetable
 module Tlb = Ptl_mem.Tlb
+module Pwc = Ptl_mem.Pwc
 module Cache = Ptl_mem.Cache
 module Hierarchy = Ptl_mem.Hierarchy
 module Coherence = Ptl_mem.Coherence
@@ -72,6 +73,9 @@ module Uarch = Ptl_ooo.Uarch
 module Physreg = Ptl_ooo.Physreg
 module Interlock = Ptl_ooo.Interlock
 module Sim_failure = Ptl_ooo.Sim_failure
+
+(* the virtual-memory scenario layer *)
+module Vm = Ptl_vm.Vm
 
 (* the minios guest kernel *)
 module Kernel = Ptl_kernel.Kernel
@@ -112,6 +116,7 @@ module Fuzz = Ptl_fuzz.Harness
 
 (* workloads *)
 module Gasm = Ptl_workloads.Gasm
+module Microbench = Ptl_workloads.Microbench
 module Crypto = Ptl_workloads.Crypto
 module Lz = Ptl_workloads.Lz
 module Fileset = Ptl_workloads.Fileset

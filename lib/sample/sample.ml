@@ -39,6 +39,7 @@ module Context = Ptl_arch.Context
 module Seqcore = Ptl_arch.Seqcore
 module Hierarchy = Ptl_mem.Hierarchy
 module Tlb = Ptl_mem.Tlb
+module Pwc = Ptl_mem.Pwc
 module Pm = Ptl_mem.Phys_mem
 module Pt = Ptl_mem.Pagetable
 module Predictor = Ptl_bpred.Predictor
@@ -307,17 +308,16 @@ let install_warming (d : Domain.t) (u : Uarch.t) =
       tlb_gen_seen := ctx.Context.tlb_generation;
       Tlb.flush u.Uarch.dtlb;
       Tlb.flush u.Uarch.itlb;
+      Option.iter Pwc.flush u.Uarch.pwc;
       last_iline := -1;
       last_lline := -1;
       last_sline := -1
     end
   in
+  let hugepages = d.Domain.config.Ptl_ooo.Config.tlb_hugepages in
   let translate tlb ~vaddr ~write ~exec =
     match Tlb.lookup_quiet tlb vaddr with
-    | Tlb.L1_hit e | Tlb.L2_hit e ->
-      Some
-        (Pm.paddr_of_mfn e.Tlb.mfn
-         + Int64.to_int (Int64.logand vaddr (Int64.of_int Pm.page_mask)))
+    | Tlb.L1_hit e | Tlb.L2_hit e -> Some (Tlb.paddr_of e vaddr)
     | Tlb.Tlb_miss -> (
       match
         Pt.walk env.Env.mem ~cr3_mfn:ctx.Context.cr3 ~vaddr ~write
@@ -325,14 +325,19 @@ let install_warming (d : Domain.t) (u : Uarch.t) =
       with
       | Error _ -> None
       | Ok tr ->
-        Tlb.insert tlb vaddr
-          {
-            Tlb.vpn = 0L;
-            mfn = tr.Pt.mfn;
-            writable = tr.Pt.writable;
-            user = tr.Pt.user;
-            nx = tr.Pt.nx;
-          };
+        let e = Tlb.entry_of_walk tr in
+        let e =
+          if e.Tlb.huge && not hugepages then
+            { e with Tlb.huge = false; mfn = tr.Pt.mfn }
+          else e
+        in
+        Tlb.insert tlb vaddr e;
+        (* warm the page-walk caches exactly as the timed walk would *)
+        (match u.Uarch.pwc with
+        | Some pwc ->
+          ignore (Pwc.lookup_quiet pwc vaddr);
+          Pwc.insert pwc vaddr ~pte_addrs:tr.Pt.pte_addrs
+        | None -> ());
         Some
           (Pm.paddr_of_mfn tr.Pt.mfn
            + Int64.to_int (Int64.logand vaddr (Int64.of_int Pm.page_mask))))

@@ -238,6 +238,16 @@ let keys =
     bool_key "load.hoisting" (fun c b -> { c with Config.load_hoisting = b });
     nonneg_key "redirect.penalty" (fun c n ->
         { c with Config.redirect_penalty = n });
+    (* virtual-memory scenario axes (lib/vm): page-walk caches, hugepage
+       TLB entries, demand paging and the reclaim loop *)
+    nonneg_key "pwc.entries" (fun c n -> { c with Config.pwc_entries = n });
+    bool_key "tlb.hugepages" (fun c b -> { c with Config.tlb_hugepages = b });
+    bool_key "vm.demand_paging" (fun c b ->
+        { c with Config.vm_demand_paging = b });
+    nonneg_key "vm.reclaim.watermark" (fun c n ->
+        { c with Config.vm_reclaim_watermark = n });
+    pos_key "vm.reclaim.batch" (fun c n ->
+        { c with Config.vm_reclaim_batch = n });
   ]
 
 let known_keys = List.map (fun k -> k.k_name) keys

@@ -64,6 +64,11 @@ type kind =
   (* branch predictor internals *)
   | Bpred_predict
   | Bpred_update
+  (* virtual memory: demand paging, page-walk caches, shootdowns *)
+  | Page_fault
+  | Tlb_shootdown
+  | Pwc_hit
+  | Pwc_miss
 
 let kind_name = function
   | Fetch -> "fetch"
@@ -88,9 +93,13 @@ let kind_name = function
   | Bb_miss -> "bb-miss"
   | Bpred_predict -> "bpred-predict"
   | Bpred_update -> "bpred-update"
+  | Page_fault -> "page-fault"
+  | Tlb_shootdown -> "tlb-shootdown"
+  | Pwc_hit -> "pwc-hit"
+  | Pwc_miss -> "pwc-miss"
 
 (** Coarse event classes, the unit of [-trace-filter] selection. *)
-type cls = Pipe | Retire | Mem | Tlb | Bb | Bpred
+type cls = Pipe | Retire | Mem | Tlb | Bb | Bpred | Vm
 
 let class_of = function
   | Fetch | Rename | Dispatch | Issue | Forward | Writeback | Replay | Annul
@@ -100,6 +109,7 @@ let class_of = function
   | Tlb_hit | Tlb_miss -> Tlb
   | Bb_hit | Bb_miss -> Bb
   | Bpred_predict | Bpred_update -> Bpred
+  | Page_fault | Tlb_shootdown | Pwc_hit | Pwc_miss -> Vm
 
 let class_name = function
   | Pipe -> "pipe"
@@ -108,8 +118,9 @@ let class_name = function
   | Tlb -> "tlb"
   | Bb -> "bb"
   | Bpred -> "bpred"
+  | Vm -> "vm"
 
-let all_classes = [ Pipe; Retire; Mem; Tlb; Bb; Bpred ]
+let all_classes = [ Pipe; Retire; Mem; Tlb; Bb; Bpred; Vm ]
 
 let class_of_name = function
   | "pipe" -> Some Pipe
@@ -118,6 +129,7 @@ let class_of_name = function
   | "tlb" -> Some Tlb
   | "bb" | "bbcache" -> Some Bb
   | "bpred" -> Some Bpred
+  | "vm" | "pagefault" -> Some Vm
   | _ -> None
 
 (** Parse a comma-separated class list ("pipe,commit,tlb"); unknown names
@@ -138,6 +150,7 @@ let class_bit = function
   | Tlb -> 8
   | Bb -> 16
   | Bpred -> 32
+  | Vm -> 64
 
 type event = {
   ev_cycle : int;
@@ -185,7 +198,7 @@ let st =
     ring = Ring.create 1;
     stop_cycle = max_int;
     rip_filter = None;
-    class_mask = 63;
+    class_mask = 127;
     trigger = Immediate;
     triggered = true;
     cycle = 0;
@@ -370,9 +383,9 @@ let dump_csv oc =
    per core, one track (tid) per (SMT thread, pipeline stage) pair, one
    complete event ("ph":"X", 1-cycle duration) per trace event, with the
    payload in "args". Timestamps are simulated cycles interpreted as
-   microseconds. Hardware thread N's tracks occupy tid N*16..N*16+15, so
-   an SMT core's threads group into contiguous, labeled bands ("t1:fetch",
-   "t1:commit", ...); a single-threaded run keeps the plain 0..15 ids. *)
+   microseconds. Hardware thread N's tracks occupy a contiguous band of
+   tids, so an SMT core's threads group into labeled bands ("t1:fetch",
+   "t1:commit", ...); a single-threaded run keeps the plain stage ids. *)
 
 let chrome_tid kind =
   match kind with
@@ -392,6 +405,9 @@ let chrome_tid kind =
   | Tlb_hit | Tlb_miss -> 13
   | Bb_hit | Bb_miss -> 14
   | Bpred_predict | Bpred_update -> 15
+  | Page_fault -> 16
+  | Tlb_shootdown -> 17
+  | Pwc_hit | Pwc_miss -> 18
 
 let chrome_track_name tid =
   match tid with
@@ -410,15 +426,22 @@ let chrome_track_name tid =
   | 12 -> "cache"
   | 13 -> "tlb"
   | 14 -> "bbcache"
-  | _ -> "bpred"
+  | 15 -> "bpred"
+  | 16 -> "pagefault"
+  | 17 -> "shootdown"
+  | _ -> "pwc"
 
-(* Perfetto track id: hardware thread N owns tids N*16..N*16+15, so SMT
-   threads render as contiguous labeled bands. Thread 0 keeps 0..15. *)
-let chrome_tid_of ev = (ev.ev_thread * 16) + chrome_tid ev.ev_kind
+(* Perfetto track id: hardware thread N owns a band of [band] tids, so
+   SMT threads render as contiguous labeled bands. Thread 0 keeps the
+   plain stage ids. *)
+let chrome_band = 32
+
+let chrome_tid_of ev = (ev.ev_thread * chrome_band) + chrome_tid ev.ev_kind
 
 let chrome_track_label tid =
-  let stage = chrome_track_name (tid mod 16) in
-  if tid < 16 then stage else Printf.sprintf "t%d:%s" (tid / 16) stage
+  let stage = chrome_track_name (tid mod chrome_band) in
+  if tid < chrome_band then stage
+  else Printf.sprintf "t%d:%s" (tid / chrome_band) stage
 
 let json_escape s =
   let buf = Buffer.create (String.length s) in
@@ -462,6 +485,42 @@ let chrome_event_json ev =
     ev.ev_cycle ev.ev_core (chrome_tid_of ev) ev.ev_uuid ev.ev_thread
     ev.ev_rip ev.ev_slot ev.ev_info
 
+(* Counter tracks ("ph":"C"): per-core page-fault and shootdown rates,
+   bucketed over the captured window so Perfetto renders them as rate
+   curves above the event bands. *)
+let chrome_counter_events () =
+  let lo = ref max_int and hi = ref min_int in
+  Ring.iter st.ring (fun ev ->
+      if ev.ev_cycle < !lo then lo := ev.ev_cycle;
+      if ev.ev_cycle > !hi then hi := ev.ev_cycle);
+  if !hi < !lo then []
+  else begin
+    let bucket = max 1 ((!hi - !lo + 1) / 100) in
+    (* (core, name, bucket index) -> count *)
+    let counts = Hashtbl.create 64 in
+    let bump core name ev_cycle =
+      let key = (core, name, (ev_cycle - !lo) / bucket) in
+      Hashtbl.replace counts key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+    in
+    Ring.iter st.ring (fun ev ->
+        match ev.ev_kind with
+        | Page_fault -> bump ev.ev_core "vm:faults" ev.ev_cycle
+        | Tlb_shootdown -> bump ev.ev_core "vm:shootdowns" ev.ev_cycle
+        | _ -> ());
+    Hashtbl.fold
+      (fun (core, name, b) n acc ->
+        ((!lo + (b * bucket)),
+         Printf.sprintf
+           "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%d,\"pid\":%d,\"args\":{\"rate\":%d}}"
+           name
+           (!lo + (b * bucket))
+           core n)
+        :: acc)
+      counts []
+    |> List.sort compare |> List.map snd
+  end
+
 let dump_chrome oc =
   let buf = Buffer.create 8192 in
   Buffer.add_string buf "{\"traceEvents\":[";
@@ -489,6 +548,11 @@ let dump_chrome oc =
       sep ();
       Buffer.add_string buf (chrome_sort_meta core tid))
     tracks;
+  List.iter
+    (fun json ->
+      sep ();
+      Buffer.add_string buf json)
+    (chrome_counter_events ());
   Ring.iter st.ring (fun ev ->
       sep ();
       Buffer.add_string buf (chrome_event_json ev);

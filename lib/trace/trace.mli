@@ -33,13 +33,18 @@ type kind =
   | Bb_miss
   | Bpred_predict
   | Bpred_update
+  | Page_fault     (** demand-paging #PF resolved by the guest kernel *)
+  | Tlb_shootdown  (** cross-core invalidation IPI *)
+  | Pwc_hit        (** page-walk-cache hit (slot = depth) *)
+  | Pwc_miss
 
 val kind_name : kind -> string
 
 (** Coarse event classes, the unit of [-trace-filter] selection:
     [Pipe] fetch..mispredict, [Retire] commit events, [Mem] caches,
-    [Tlb], [Bb] basic-block cache, [Bpred] predictor. *)
-type cls = Pipe | Retire | Mem | Tlb | Bb | Bpred
+    [Tlb], [Bb] basic-block cache, [Bpred] predictor, [Vm] virtual
+    memory (page faults, shootdowns, page-walk caches). *)
+type cls = Pipe | Retire | Mem | Tlb | Bb | Bpred | Vm
 
 val class_of : kind -> cls
 val class_name : cls -> string
@@ -156,9 +161,11 @@ val dump_csv : out_channel -> unit
 
 (** Chrome trace-event JSON (Perfetto / chrome://tracing): one process
     per core, one track per (SMT thread, pipeline stage) pair — thread
-    N's tracks occupy tid N*16.. and are labeled "tN:stage", so an SMT
-    core's threads group into contiguous bands — one 1-cycle complete
-    event per trace event, with metadata naming the tracks. *)
+    N's tracks occupy a contiguous tid band labeled "tN:stage", so an
+    SMT core's threads group into contiguous bands — one 1-cycle
+    complete event per trace event, with metadata naming the tracks,
+    plus per-core counter tracks ("C" events) for page-fault and
+    shootdown rates bucketed over the window. *)
 val dump_chrome : out_channel -> unit
 
 (** Output format of an incremental streaming sink. *)

@@ -230,3 +230,39 @@ let qsort_keys ~n ~seed =
     done
   done;
   (heap, Buffer.contents b)
+
+(** GUPS (giga-updates-per-second): [steps] random read-modify-writes over
+    a table of [slots] 8-byte cells at the heap base ([slots] must be a
+    power of two). Each update hits an LCG-random slot, so with a table
+    much larger than TLB reach almost every access is a DTLB miss — the
+    canonical huge-page / page-walk-cache stress. rax ends holding the
+    last value stored (consumed so the updates cannot be dead).
+
+    [user] builds a minios user-mode image instead (for demand-paging
+    runs): the table sits at [heap] — pass [Abi.user_heap_base] — and the
+    program ends in an exit syscall rather than [hlt]. *)
+let gups ?(base = 0x40_0000L) ?(heap = heap) ?(user = false) ~slots ~steps () =
+  if slots land (slots - 1) <> 0 then invalid_arg "gups: slots not a power of two";
+  let g = G.create ~base () in
+  G.li g G.r8 1L (* LCG state *);
+  G.li g G.r9 2862933555777941757L;
+  G.li g G.r10 3037000493L;
+  G.li g G.r11 heap;
+  G.lii g G.rcx steps;
+  G.label g "top";
+  G.imul g G.r8 G.r9;
+  G.add g G.r8 G.r10;
+  (* idx = (state >> 11) & (slots - 1), scaled to an 8-byte cell *)
+  G.mov g G.rax G.r8;
+  G.shr g G.rax 11;
+  G.andi g G.rax (slots - 1);
+  G.shl g G.rax 3;
+  G.add g G.rax G.r11;
+  G.ld g G.rdx ~base:G.rax ();
+  G.xor g G.rdx G.r8;
+  G.st g ~base:G.rax G.rdx ();
+  G.dec g G.rcx;
+  G.jne g "top";
+  G.mov g G.rax G.rdx;
+  if user then G.sys_exit g 0 else G.ins g Insn.Hlt;
+  G.assemble g

@@ -18,6 +18,7 @@ let () =
       ("uop", Test_uop.suite);
       ("seqcore", Test_seqcore.suite);
       ("ooo", Test_ooo.suite);
+      ("vm", Test_vm.suite);
       ("kernel", Test_kernel.suite);
       ("workloads", Test_workloads.suite);
       ("system", Test_system.suite);

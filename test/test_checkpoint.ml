@@ -125,7 +125,7 @@ let test_planted_mutations () =
   plant "TLB entry"
     (fun () ->
       Tlb.insert u.Uarch.dtlb 0x7bcd_e123L
-        { Tlb.vpn = 0L; mfn = 0x999; writable = true; user = true; nx = false })
+        { Tlb.vpn = 0L; mfn = 0x999; writable = true; user = true; nx = false; huge = false })
     "dtlb";
   plant "predictor counter"
     (fun () ->
@@ -204,9 +204,71 @@ let test_delta_clone_worker_state () =
   Alcotest.(check int64) "base image untouched by worker writes" before
     (Ptl_mem.Phys_mem.read64 base.Checkpoint.bk_mem probe)
 
+(* Page-walk-cache and hugepage-TLB state are part of the uarch
+   checkpoint: a capture round-trips losslessly, a planted mutation in
+   either structure is detected with the owner named, and restore heals
+   it. *)
+let test_pwc_hugepage_checkpoint () =
+  let cfg =
+    { Config.tiny with Config.pwc_entries = 8; Config.tlb_hugepages = true }
+  in
+  let g = G.create () in
+  G.ins g Insn.Hlt;
+  let m = Machine.create (G.assemble g) in
+  let env = m.Machine.env and ctx = m.Machine.ctx in
+  let u = Uarch.create ~prefix:"ooo" cfg env.Ptl_arch.Env.stats in
+  let pwc = Option.get u.Uarch.pwc in
+  let module Pwc = Ptl_mem.Pwc in
+  (* warm the walk caches and a hugepage TLB entry *)
+  Pwc.insert pwc 0x40000000L ~pte_addrs:[ 0x1000; 0x2000; 0x3000; 0x4000 ];
+  Pwc.insert pwc 0x7_f800_0000L ~pte_addrs:[ 0x1000; 0x5000; 0x6000 ];
+  let huge_entry mfn =
+    { Tlb.vpn = 0L; mfn; writable = true; user = true; nx = false; huge = true }
+  in
+  Tlb.insert u.Uarch.dtlb 0x40057123L (huge_entry 0x200);
+  let ck = Checkpoint.capture_full ~uarch:u env ctx in
+  no_diff "clean after capture" (Checkpoint.diff_full ck ~uarch:u env ctx);
+  let plant name mutate needle =
+    mutate ();
+    let diff = Checkpoint.diff_full ck ~uarch:u env ctx in
+    Alcotest.(check bool) (name ^ ": detected") true (diff <> []);
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: diff names %s (got: %s)" name needle
+         (String.concat " | " diff))
+      true
+      (List.exists (fun line -> contains line needle) diff);
+    Checkpoint.restore_full ck ~uarch:u env ctx;
+    no_diff (name ^ ": healed by restore")
+      (Checkpoint.diff_full ck ~uarch:u env ctx)
+  in
+  plant "PWC entry"
+    (fun () ->
+      Pwc.insert pwc 0x1_2340_0000L
+        ~pte_addrs:[ 0x1000; 0x7000; 0x8000; 0x9000 ])
+    "pwc";
+  plant "hugepage TLB entry"
+    (fun () -> Tlb.insert u.Uarch.dtlb 0x40257123L (huge_entry 0x400))
+    "dtlb";
+  (* the huge entry survived both round trips: one entry still covers
+     its whole 2M region *)
+  (match Tlb.lookup_quiet u.Uarch.dtlb 0x401FF458L with
+  | Tlb.L1_hit e | Tlb.L2_hit e ->
+    Alcotest.(check bool) "restored entry still huge" true e.Tlb.huge
+  | Tlb.Tlb_miss -> Alcotest.fail "huge entry lost in the round trip");
+  (* a PWC of different geometry refuses the snapshot (fit-tolerant
+     callers then start it cold instead) *)
+  let other = Pwc.create ~entries:16 () in
+  match ck.Checkpoint.fk_uarch.Uarch.sn_pwc with
+  | Some psnap ->
+    Alcotest.(check bool) "geometry mismatch does not fit" false
+      (Pwc.fits other psnap)
+  | None -> Alcotest.fail "checkpoint lost the PWC snapshot"
+
 let suite =
   [
     Alcotest.test_case "full round trip is lossless" `Quick test_round_trip;
+    Alcotest.test_case "pwc + hugepage TLB checkpoint" `Quick
+      test_pwc_hugepage_checkpoint;
     Alcotest.test_case "planted mutations are detected" `Quick
       test_planted_mutations;
     Alcotest.test_case "delta round trip is lossless" `Quick

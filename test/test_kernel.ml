@@ -427,6 +427,96 @@ let test_kernel_on_ooo_core () =
   Alcotest.(check bool) "user cycles counted" true
     (Stats.get stats "ooo.cycles_in_mode.user" > 0)
 
+(* Demand paging (lib/vm behind Kernel.config.demand_paging): the user
+   address space starts empty, every first touch is a real #PF delivered
+   through the simulated IDT and resolved by the VM layer, and the
+   program still computes the right answer. *)
+let heap_sweep ~pages =
+  let g = G.create () in
+  (* stamp page i with i+1, then sum the stamps back; exit code = sum *)
+  G.li g G.rsi Abi.user_heap_base;
+  G.xor g G.rcx G.rcx;
+  G.label g "stamp";
+  G.mov g G.rax G.rcx;
+  G.addi g G.rax 1;
+  G.st g ~base:G.rsi G.rax ();
+  G.addi g G.rsi 4096;
+  G.addi g G.rcx 1;
+  G.cmpi g G.rcx pages;
+  G.jcc g Flags.B "stamp";
+  G.li g G.rsi Abi.user_heap_base;
+  G.xor g G.rbx G.rbx;
+  G.xor g G.rcx G.rcx;
+  G.label g "sum";
+  G.ld g G.rax ~base:G.rsi ();
+  G.add g G.rbx G.rax;
+  G.addi g G.rsi 4096;
+  G.addi g G.rcx 1;
+  G.cmpi g G.rcx pages;
+  G.jcc g Flags.B "sum";
+  G.mov g G.rdi G.rbx;
+  G.syscall g Abi.sys_exit;
+  G.assemble g
+
+let test_demand_paging () =
+  let kconfig = { Kernel.default_config with Kernel.demand_paging = true } in
+  let k, env = boot_and_run ~kconfig [ ("init", heap_sweep ~pages:24) ] in
+  (match Kernel.find_proc k 1 with
+  | Some p ->
+    Alcotest.(check int) "sum over 24 demand-paged pages" (24 * 25 / 2)
+      p.Kernel.exit_code
+  | None -> Alcotest.fail "init vanished");
+  let stats = env.Env.stats in
+  (* at least the touched heap pages plus code and stack faulted in *)
+  Alcotest.(check bool)
+    (Printf.sprintf "faults flowed through the kernel entry path (%d)"
+       (Stats.get stats "vm.faults"))
+    true
+    (Stats.get stats "vm.faults" >= 24);
+  Alcotest.(check bool) "fills recorded" true (Stats.get stats "vm.fills" > 0)
+
+let test_demand_paging_reclaim () =
+  (* a 16-frame resident budget under a 48-page working set: the CLOCK
+     must evict and swap back in, shootdown IPIs must reach the running
+     VCPU, and the program must still be correct *)
+  let kconfig =
+    {
+      Kernel.default_config with
+      Kernel.demand_paging = true;
+      vm_watermark = 16;
+      vm_batch = 4;
+    }
+  in
+  let k, env = boot_and_run ~kconfig [ ("init", heap_sweep ~pages:48) ] in
+  (match Kernel.find_proc k 1 with
+  | Some p ->
+    Alcotest.(check int) "sum survives eviction and swap-in" (48 * 49 / 2)
+      p.Kernel.exit_code
+  | None -> Alcotest.fail "init vanished");
+  let stats = env.Env.stats in
+  Alcotest.(check bool) "evictions happened" true
+    (Stats.get stats "vm.evictions" > 0);
+  Alcotest.(check bool) "evicted pages swapped back in" true
+    (Stats.get stats "vm.swap_ins" > 0);
+  Alcotest.(check bool) "shootdown IPIs delivered" true
+    (Stats.get stats "vm.shootdowns" > 0)
+
+let test_demand_paging_segv () =
+  (* a stray store outside every VMA must kill the process, not the
+     kernel *)
+  let g = G.create () in
+  G.li g G.rsi 0x7000_0000L;
+  G.lii g G.rax 1;
+  G.st g ~base:G.rsi G.rax ();
+  G.lii g G.rdi 0;
+  G.syscall g Abi.sys_exit;
+  let kconfig = { Kernel.default_config with Kernel.demand_paging = true } in
+  let k, _ = boot_and_run ~kconfig [ ("init", G.assemble g) ] in
+  match Kernel.find_proc k 1 with
+  | Some p ->
+    Alcotest.(check int) "killed with -1, not exit 0" (-1) p.Kernel.exit_code
+  | None -> Alcotest.fail "init vanished"
+
 let suite =
   [
     Alcotest.test_case "file write/read" `Quick test_file_write_read;
@@ -436,4 +526,9 @@ let suite =
     Alcotest.test_case "preemptive timeslicing" `Quick test_preemption;
     Alcotest.test_case "readdir/stat" `Quick test_readdir_stat;
     Alcotest.test_case "kernel on ooo core" `Quick test_kernel_on_ooo_core;
+    Alcotest.test_case "demand paging end to end" `Quick test_demand_paging;
+    Alcotest.test_case "demand paging reclaim + shootdown" `Quick
+      test_demand_paging_reclaim;
+    Alcotest.test_case "demand paging segv kills the process" `Quick
+      test_demand_paging_segv;
   ]

@@ -99,7 +99,7 @@ let test_unmap () =
   Pagetable.unmap m ~cr3_mfn:cr3 ~vaddr:0x400000L;
   Alcotest.(check (option int)) "gone" None (Pagetable.probe m ~cr3_mfn:cr3 ~vaddr:0x400000L)
 
-let tlb_entry mfn = { Tlb.vpn = 0L; mfn; writable = true; user = true; nx = false }
+let tlb_entry mfn = { Tlb.vpn = 0L; mfn; writable = true; user = true; nx = false; huge = false }
 
 let test_tlb_hit_miss () =
   let tlb = Tlb.create Tlb.ptlsim_config in
@@ -381,6 +381,214 @@ let test_phys_clone_cow () =
     [ Phys_mem.mfn_of_paddr 0x1000 ]
     (Phys_mem.diff c1 base)
 
+(* ---- A/D discipline: success-only, per level ---- *)
+
+let pte_at m addr = Phys_mem.read64 m addr
+
+let has_bit pte bit = Int64.logand pte bit <> 0L
+
+(* The PTE path for a mapped vaddr, root first, without perturbing A/D. *)
+let path_of m cr3 vaddr =
+  match
+    Pagetable.walk m ~cr3_mfn:cr3 ~vaddr ~write:false ~user:true ~exec:false
+      ~set_ad:false ()
+  with
+  | Ok tr -> tr.Pagetable.pte_addrs
+  | Error _ -> Alcotest.fail "path walk failed"
+
+let test_walk_ad_per_level () =
+  let m, cr3, _ = make_space () in
+  let path = path_of m cr3 0x400000L in
+  Alcotest.(check int) "4-level path" 4 (List.length path);
+  (* set_ad:false must leave every level untouched *)
+  List.iteri
+    (fun i addr ->
+      Alcotest.(check bool)
+        (Printf.sprintf "no A at level %d before any real walk" (3 - i))
+        false
+        (has_bit (pte_at m addr) Pagetable.pte_a))
+    path;
+  (* a read walk sets A on all four levels, D nowhere *)
+  (match
+     Pagetable.walk m ~cr3_mfn:cr3 ~vaddr:0x400000L ~write:false ~user:true
+       ~exec:false ()
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "read walk failed");
+  List.iteri
+    (fun i addr ->
+      let lvl = 3 - i in
+      Alcotest.(check bool) (Printf.sprintf "A set at level %d" lvl) true
+        (has_bit (pte_at m addr) Pagetable.pte_a);
+      Alcotest.(check bool) (Printf.sprintf "no D at level %d" lvl) false
+        (has_bit (pte_at m addr) Pagetable.pte_d))
+    path;
+  (* a write walk adds D on the leaf only *)
+  (match
+     Pagetable.walk m ~cr3_mfn:cr3 ~vaddr:0x400000L ~write:true ~user:true
+       ~exec:false ()
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "write walk failed");
+  List.iteri
+    (fun i addr ->
+      let lvl = 3 - i in
+      Alcotest.(check bool)
+        (Printf.sprintf "D %s at level %d"
+           (if lvl = 0 then "set" else "still clear")
+           lvl)
+        (lvl = 0)
+        (has_bit (pte_at m addr) Pagetable.pte_d))
+    path
+
+let test_walk_ad_only_on_success () =
+  (* map a read-only page; a faulting write walk must not set A or D on
+     any level it visited *)
+  let m = Phys_mem.create () in
+  let cr3 = Phys_mem.alloc_page m in
+  let alloc () = Phys_mem.alloc_page m in
+  let data = Phys_mem.alloc_page m in
+  Pagetable.map m ~cr3_mfn:cr3 ~vaddr:0x400000L ~mfn:data ~writable:false
+    ~user:true ~alloc ();
+  let path = path_of m cr3 0x400000L in
+  (match
+     Pagetable.walk m ~cr3_mfn:cr3 ~vaddr:0x400000L ~write:true ~user:true
+       ~exec:false ()
+   with
+  | Ok _ -> Alcotest.fail "write through a read-only page succeeded"
+  | Error _ -> ());
+  List.iteri
+    (fun i addr ->
+      Alcotest.(check bool)
+        (Printf.sprintf "faulting walk left level %d clean" (3 - i))
+        false
+        (has_bit (pte_at m addr)
+           (Int64.logor Pagetable.pte_a Pagetable.pte_d)))
+    path
+
+(* ---- 2M huge pages: walker and TLB ---- *)
+
+let make_huge_space () =
+  let m = Phys_mem.create () in
+  let cr3 = Phys_mem.alloc_page m in
+  let alloc () = Phys_mem.alloc_page m in
+  let block =
+    Phys_mem.alloc_pages m ~align:Pagetable.huge_pages Pagetable.huge_pages
+  in
+  Pagetable.map m ~cr3_mfn:cr3 ~vaddr:0x40000000L ~mfn:block ~writable:true
+    ~user:true ~huge:true ~alloc ();
+  (m, cr3, block)
+
+let test_huge_walk () =
+  let m, cr3, block = make_huge_space () in
+  (* an offset deep inside the region: the exact 4K frame comes back *)
+  let vaddr = 0x40057123L in
+  (match
+     Pagetable.walk m ~cr3_mfn:cr3 ~vaddr ~write:true ~user:true ~exec:false ()
+   with
+  | Ok tr ->
+    Alcotest.(check bool) "huge" true tr.Pagetable.huge;
+    Alcotest.(check int) "three pte loads" 3 (List.length tr.Pagetable.pte_addrs);
+    Alcotest.(check int) "exact 4K frame" (block + 0x57) tr.Pagetable.mfn;
+    Alcotest.(check int) "paddr"
+      (Phys_mem.paddr_of_mfn block + 0x57123)
+      (Pagetable.to_paddr tr vaddr)
+  | Error _ -> Alcotest.fail "huge walk failed");
+  (* A on all three levels, D on the PS leaf (level 1) *)
+  (match
+     Pagetable.walk m ~cr3_mfn:cr3 ~vaddr ~write:false ~user:true ~exec:false
+       ~set_ad:false ()
+   with
+  | Ok tr ->
+    List.iteri
+      (fun i addr ->
+        let lvl = 3 - i in
+        Alcotest.(check bool) (Printf.sprintf "A at level %d" lvl) true
+          (has_bit (pte_at m addr) Pagetable.pte_a);
+        Alcotest.(check bool)
+          (Printf.sprintf "D %s at level %d"
+             (if lvl = 1 then "set" else "clear")
+             lvl)
+          (lvl = 1)
+          (has_bit (pte_at m addr) Pagetable.pte_d))
+      tr.Pagetable.pte_addrs
+  | Error _ -> Alcotest.fail "probe walk failed");
+  (* misaligned huge mappings are rejected outright *)
+  (match
+     Pagetable.map m ~cr3_mfn:cr3 ~vaddr:0x40001000L ~mfn:block ~writable:true
+       ~user:true ~huge:true
+       ~alloc:(fun () -> Phys_mem.alloc_page m)
+       ()
+   with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "misaligned huge vaddr accepted");
+  (* unmap drops the whole 2M region *)
+  Pagetable.unmap m ~cr3_mfn:cr3 ~vaddr:0x400FF000L;
+  Alcotest.(check (option int)) "whole region gone" None
+    (Pagetable.probe m ~cr3_mfn:cr3 ~vaddr:0x40057000L)
+
+let test_tlb_huge_entry () =
+  let m, cr3, block = make_huge_space () in
+  let tlb = Tlb.create Tlb.k8_config in
+  let tr =
+    match
+      Pagetable.walk m ~cr3_mfn:cr3 ~vaddr:0x40057123L ~write:false ~user:true
+        ~exec:false ()
+    with
+    | Ok tr -> tr
+    | Error _ -> Alcotest.fail "walk failed"
+  in
+  let e = Tlb.entry_of_walk tr in
+  Alcotest.(check bool) "entry tagged huge" true e.Tlb.huge;
+  Alcotest.(check int) "entry stores the 2M base frame" block e.Tlb.mfn;
+  Tlb.insert tlb 0x40057123L e;
+  (* one entry covers every 4K page of the region *)
+  (match Tlb.lookup tlb 0x401FF000L with
+  | Tlb.L1_hit e' ->
+    Alcotest.(check int) "paddr through the huge entry"
+      (Phys_mem.paddr_of_mfn block + 0x1FF458)
+      (Tlb.paddr_of e' 0x401FF458L)
+  | _ -> Alcotest.fail "expected a huge hit across the region");
+  (* ...but not the neighbouring region *)
+  Alcotest.(check bool) "next 2M region misses" true
+    (Tlb.lookup tlb 0x40200000L = Tlb.Tlb_miss);
+  (* flushing any page of the region drops the single huge entry *)
+  Tlb.flush_page tlb 0x40000000L;
+  Alcotest.(check bool) "flush_page drops the huge entry" true
+    (Tlb.lookup tlb 0x40057123L = Tlb.Tlb_miss)
+
+(* ---- page-walk caches ---- *)
+
+let test_pwc_basics () =
+  let m, cr3, _ = make_space () in
+  let pwc = Pwc.create ~entries:4 () in
+  Alcotest.(check int) "cold: all 4 loads" 4
+    (Pwc.loads_left pwc 0x400000L ~walk_len:4);
+  let tr =
+    match
+      Pagetable.walk m ~cr3_mfn:cr3 ~vaddr:0x400000L ~write:false ~user:true
+        ~exec:false ()
+    with
+    | Ok tr -> tr
+    | Error _ -> Alcotest.fail "walk failed"
+  in
+  Pwc.insert pwc 0x400000L ~pte_addrs:tr.Pagetable.pte_addrs;
+  (* same 2M region: the deepest (PT) cache cuts the walk to one load *)
+  Alcotest.(check int) "warm same region: 1 load" 1
+    (Pwc.loads_left pwc 0x401000L ~walk_len:4);
+  (* same 1G region, different 2M: the PD-table cache leaves two loads *)
+  Alcotest.(check int) "same 1G region: 2 loads" 2
+    (Pwc.loads_left pwc 0x10200000L ~walk_len:4);
+  (* a different 512G slot misses every depth *)
+  Alcotest.(check int) "far away: all 4 loads" 4
+    (Pwc.loads_left pwc 0x80_0000_0000L ~walk_len:4);
+  Alcotest.(check bool) "hits counted" true (Pwc.hits pwc > 0);
+  Pwc.flush pwc;
+  Alcotest.(check int) "flush empties every depth" 4
+    (Pwc.loads_left pwc 0x401000L ~walk_len:4);
+  Alcotest.(check int) "flush leaves no entries" 0
+    (List.length (Pwc.entries pwc))
+
 let suite =
   [
     Alcotest.test_case "phys rw" `Quick test_phys_rw;
@@ -391,8 +599,14 @@ let suite =
     Alcotest.test_case "walk ok" `Quick test_walk_ok;
     Alcotest.test_case "walk faults" `Quick test_walk_fault;
     Alcotest.test_case "walk A/D bits" `Quick test_walk_ad_bits;
+    Alcotest.test_case "walk A/D per level" `Quick test_walk_ad_per_level;
+    Alcotest.test_case "walk A/D only on success" `Quick
+      test_walk_ad_only_on_success;
     Alcotest.test_case "walk non-canonical" `Quick test_walk_noncanonical;
     Alcotest.test_case "unmap" `Quick test_unmap;
+    Alcotest.test_case "huge walk" `Quick test_huge_walk;
+    Alcotest.test_case "tlb huge entry" `Quick test_tlb_huge_entry;
+    Alcotest.test_case "pwc basics" `Quick test_pwc_basics;
     Alcotest.test_case "tlb hit/miss" `Quick test_tlb_hit_miss;
     Alcotest.test_case "tlb eviction" `Quick test_tlb_capacity_eviction;
     Alcotest.test_case "tlb two-level" `Quick test_tlb_two_level;

@@ -95,7 +95,7 @@ let test_warming_silent () =
       Hierarchy.warm_store h ~paddr:0x2_0040;
       Hierarchy.warm_ifetch h ~paddr:0x40_0000;
       Tlb.insert u.Uarch.dtlb 0x7f00_0000L
-        { Tlb.vpn = 0L; mfn = 42; writable = true; user = true; nx = false };
+        { Tlb.vpn = 0L; mfn = 42; writable = true; user = true; nx = false; huge = false };
       (match Tlb.lookup_quiet u.Uarch.dtlb 0x7f00_0123L with
       | Tlb.L1_hit e -> Alcotest.(check int) "tlb mfn" 42 e.Tlb.mfn
       | _ -> Alcotest.fail "expected dtlb hit after insert");

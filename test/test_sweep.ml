@@ -317,6 +317,31 @@ let test_geometry_change_leg () =
     (lr.Sweep.lr_result.Sample.cpi > 0.5
     && lr.Sweep.lr_result.Sample.cpi < 100.0)
 
+(* a PWC leg over a capture taken with walk caches disabled: the stored
+   uarch snapshots hold no PWC state, so the pwc.entries=16 leg's walk
+   caches restore fit-tolerantly (start cold and warm up) and the paired
+   report still comes out — the fleet-replay side of the VM scenario
+   axes *)
+let test_pwc_geometry_leg () =
+  let st = Lazy.force store in
+  let r = run_ok st (parse_ok "pwc.entries=0,16") in
+  Alcotest.(check int) "base + 2 legs ranked" 3 (List.length r.Sweep.rep_ranked);
+  List.iter
+    (fun rk ->
+      if not rk.Sweep.rk_base then begin
+        let lr = rk.Sweep.rk in
+        let name = lr.Sweep.lr_leg.Sweep.l_name in
+        Alcotest.(check bool) (name ^ ": replay completed") true
+          (lr.Sweep.lr_result.Sample.measured_insns > 0);
+        Alcotest.(check int) (name ^ ": same interval count as base")
+          (List.length r.Sweep.rep_base.Sweep.lr_result.Sample.intervals)
+          (List.length lr.Sweep.lr_result.Sample.intervals);
+        Alcotest.(check bool) (name ^ ": timed CPI is sane") true
+          (lr.Sweep.lr_result.Sample.cpi > 0.5
+          && lr.Sweep.lr_result.Sample.cpi < 100.0)
+      end)
+    r.Sweep.rep_ranked
+
 let suite =
   [
     Alcotest.test_case "spec round-trips" `Quick test_round_trip;
@@ -331,4 +356,6 @@ let suite =
       test_determinism_and_cache;
     Alcotest.test_case "geometry-changing leg replays cold" `Quick
       test_geometry_change_leg;
+    Alcotest.test_case "pwc leg restores fit-tolerantly" `Quick
+      test_pwc_geometry_leg;
   ]

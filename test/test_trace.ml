@@ -246,15 +246,15 @@ let test_trace_chrome_smt_tracks () =
           (* thread 0 keeps the plain stage track *)
           Alcotest.(check bool) "t0 fetch track" true
             (contains ~sub:"{\"name\":\"fetch\"}" s);
-          (* thread 1's tracks are labeled and live at tid 16+stage *)
+          (* thread 1's tracks are labeled and live at tid 32+stage *)
           Alcotest.(check bool) "t1 fetch track" true
             (contains ~sub:"{\"name\":\"t1:fetch\"}" s);
           Alcotest.(check bool) "t1 commit track" true
             (contains ~sub:"{\"name\":\"t1:commit\"}" s);
           Alcotest.(check bool) "t1 fetch tid" true
-            (contains ~sub:"\"tid\":16," s);
+            (contains ~sub:"\"tid\":32," s);
           Alcotest.(check bool) "t1 commit tid" true
-            (contains ~sub:"\"tid\":27," s)))
+            (contains ~sub:"\"tid\":43," s)))
 
 (* ---------- incremental streaming sinks ---------- *)
 
