@@ -713,7 +713,7 @@ let run_vm trace_opts guard_opts core machine workload slots steps bytes
 (* ---------- differential fuzzing (optlsim fuzz) ---------- *)
 
 let run_fuzz trace_opts guard_opts sample_opts core machine seed iters len
-    classes report_dir inject =
+    classes report_dir inject no_oracle =
   let o = trace_opts in
   if sample_requested sample_opts then begin
     prerr_endline
@@ -736,9 +736,10 @@ let run_fuzz trace_opts guard_opts sample_opts core machine seed iters len
     let config = machine_of_name machine in
     let inject_fn = Option.map (fun n -> Fuzz.flags_bug ~after:n) inject in
     let replay_extra =
-      match inject with
+      (match inject with
       | Some n -> Printf.sprintf " --fuzz-inject %d" n
-      | None -> ""
+      | None -> "")
+      ^ if no_oracle then " --fuzz-no-oracle" else ""
     in
     (* An injected bug corrupts state between checkpoints, where later
        writes can mask it; per-instruction checkpoints pin it reliably. *)
@@ -759,15 +760,25 @@ let run_fuzz trace_opts guard_opts sample_opts core machine seed iters len
       else None
     in
     let s =
-      Fuzz.run ~config ~core ?inject:inject_fn ?guard ~classes ~len
-        ~check_every ~trace_capacity
+      Fuzz.run ~config ~core ?inject:inject_fn ?guard ~oracle:(not no_oracle)
+        ~classes ~len ~check_every ~trace_capacity
         ~trace_classes:(Trace.parse_classes o.t_filter) ~replay_extra
         ~progress ~seed ~iters ()
     in
     Printf.printf
       "fuzz: seed %d, %d iterations, %d instructions generated, core %s vs \
-       seq\n"
-      s.Fuzz.s_seed s.Fuzz.s_iters s.Fuzz.s_gen_insns s.Fuzz.s_core;
+       seq%s\n"
+      s.Fuzz.s_seed s.Fuzz.s_iters s.Fuzz.s_gen_insns s.Fuzz.s_core
+      (if no_oracle then "" else " vs oracle");
+    if not no_oracle then begin
+      Printf.printf "fuzz: %d programs cross-checked against the spec oracle\n"
+        s.Fuzz.s_oracle_checked;
+      if s.Fuzz.s_oracle_unsupported > 0 then
+        Printf.printf
+          "fuzz: WARNING: %d programs hit instructions with no spec row (run \
+           optlsim conformance --coverage)\n"
+          s.Fuzz.s_oracle_unsupported
+    end;
     (match s.Fuzz.s_divergences with
     | [] -> Printf.printf "fuzz: no divergences\n"
     | ds ->
@@ -1287,14 +1298,24 @@ let fuzz_inject_arg =
            once N instructions have committed; the harness must catch, \
            shrink and report it (exit 2).")
 
+let fuzz_no_oracle_arg =
+  Arg.(
+    value & flag
+    & info [ "fuzz-no-oracle" ]
+        ~doc:
+          "Disable the third model: skip the spec-table oracle lockstep \
+           cross-check and fall back to two-way seq-vs-timed fuzzing \
+           (divergence reports then carry no majority verdict).")
+
 let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
-         "Differential fuzzing: random programs co-simulated on a timed \
-          core vs the sequential reference, with delta-debugged shrinking \
-          and trace-backed divergence reports. Exits 2 when divergences \
-          are found."
+         "Differential fuzzing: random programs co-simulated three ways — \
+          timed core, sequential reference and the spec-table oracle — \
+          with delta-debugged shrinking, majority verdicts and \
+          trace-backed divergence reports. Exits 2 when divergences are \
+          found."
        ~man:
          [ `S Manpage.s_description;
            `P
@@ -1302,15 +1323,20 @@ let fuzz_cmd =
               the decoder's supported opcode space), runs each on the \
               chosen timed core and on the sequential reference core from \
               identical initial state, and compares committed \
-              register/flag/memory state at instruction-count checkpoints. \
-              On divergence, the failing sequence is minimized with delta \
-              debugging and re-run with the pipeline event trace armed; \
-              the report carries the shrunk program, both architectural \
-              states and the trace window leading up to the mismatch." ])
+              register/flag/memory state at instruction-count checkpoints; \
+              the same image also runs in lockstep against the independent \
+              spec-derived reference interpreter (see $(b,optlsim \
+              conformance)). On divergence of either pair, the failing \
+              sequence is minimized with delta debugging and re-run with \
+              the pipeline event trace armed; the report carries the \
+              shrunk program, both architectural states, the trace window \
+              leading up to the mismatch, and the majority verdict naming \
+              the odd model out." ])
     Term.(
       const run_fuzz $ trace_term $ guard_term $ sample_term $ core_arg
       $ fuzz_machine_arg $ fuzz_seed_arg $ fuzz_iters_arg $ fuzz_len_arg
-      $ fuzz_classes_arg $ fuzz_report_dir_arg $ fuzz_inject_arg)
+      $ fuzz_classes_arg $ fuzz_report_dir_arg $ fuzz_inject_arg
+      $ fuzz_no_oracle_arg)
 
 let rsync_cmd =
   Cmd.v (Cmd.info "rsync" ~doc:"Run the paper's rsync-over-ssh benchmark")
@@ -1401,6 +1427,51 @@ let replay_cmd =
       const run_replay_cmd $ guard_term $ store_arg $ replay_jobs_arg
       $ fleet_quiet_arg)
 
+(* ---------- conformance: spec-derived property + exception suites ---------- *)
+
+let run_conformance level coverage_only =
+  let cov = Spec.coverage () in
+  print_string (Conformance.coverage_to_string cov);
+  let cov_ok = cov.Spec.missing = [] in
+  if coverage_only then (if not cov_ok then exit 1)
+  else begin
+    let level = if level = "quick" then `Quick else `Full in
+    let progress key = Printf.eprintf "  row %-10s\r%!" key in
+    let rep = Conformance.run_properties ~level ~progress () in
+    Printf.eprintf "%-20s\r%!" "";
+    print_string (Conformance.report_to_string rep);
+    let exc = Conformance.run_exceptions () in
+    print_string (Conformance.exc_report_to_string exc);
+    if not cov_ok then exit 1;
+    if
+      rep.Conformance.p_failures > 0
+      || rep.Conformance.p_vacuous > 0
+      || exc.Conformance.e_failures <> []
+    then exit 2
+  end
+
+let conformance_level_arg =
+  let doc = "Sweep depth: $(b,full) (every corner operand and form) or \
+             $(b,quick) (reduced set)." in
+  Arg.(value & opt (enum [ ("full", "full"); ("quick", "quick") ]) "full"
+       & info [ "level" ] ~docv:"LEVEL" ~doc)
+
+let conformance_coverage_arg =
+  let doc = "Only report spec coverage of the fuzz-generator opcode set; \
+             exit 1 if any generator-reachable opcode has no spec row." in
+  Arg.(value & flag & info [ "coverage" ] ~doc)
+
+let conformance_cmd =
+  Cmd.v
+    (Cmd.info "conformance"
+       ~doc:
+         "Run the spec-derived conformance suites: per-row flag-lattice \
+          property sweeps over corner operands (oracle vs sequential core \
+          in lockstep), table-driven exception triggers (#DE/#GP/#PF \
+          prediction vs IDT delivery), and the generator-coverage gap \
+          report. Exit 2 on any conformance failure, 1 on a coverage gap.")
+    Term.(const run_conformance $ conformance_level_arg $ conformance_coverage_arg)
+
 let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc:"List registered core models")
     Term.(
@@ -1416,5 +1487,6 @@ let () =
           (Cmd.info "optlsim" ~doc:"Cycle-accurate full-system x86-64-style simulator")
           [
             rsync_cmd; compute_cmd; vm_cmd; fuzz_cmd; capture_cmd;
-            serve_cmd; work_cmd; replay_cmd; sweep_cmd; stats_cmd;
+            serve_cmd; work_cmd; replay_cmd; sweep_cmd; conformance_cmd;
+            stats_cmd;
           ]))

@@ -53,11 +53,16 @@ let deliver env (ctx : Context.t) ~vector ~errcode ~return_rip =
     let rsp = push64 env ctx ~rsp errcode ~at_rip in
     Context.set_gpr ctx Ptl_isa.Regs.rsp rsp
   in
+  let saved_cr2 = ctx.cr2 in
   (try
      ctx.mode <- Context.Kernel (* frame pushes are kernel accesses *);
      try push_frame base
      with Fault.Guest_fault _
        when ctx.kernel_rsp <> 0L && base <> ctx.kernel_rsp ->
+       (* the aborted push's #PF is not delivered (hardware would double
+          fault), so it must not clobber the cr2 of the fault being
+          delivered *)
+       ctx.cr2 <- saved_cr2;
        (* The interrupted stack is unmapped — possible in kernel mode
           under demand paging, where kernel paths run on a user stack
           whose page was reclaimed (e.g. the syscall entry's saves).

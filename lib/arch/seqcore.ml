@@ -256,9 +256,17 @@ let step_block t : status =
            | `Continue -> assert false
        in
        loop 0
-     with Fault.Guest_fault f ->
+     with
+     | Fault.Guest_fault f ->
        Stats.incr t.c_faults;
-       Assists.deliver_fault t.env ctx f);
+       Assists.deliver_fault t.env ctx f
+     | Ptl_uop.Exec.Divide_error ->
+       (* the divide uop faults before its macro commits, so ctx.rip is
+          still the faulting instruction (the OOO core does the same via
+          its Faulted completion state) *)
+       Stats.incr t.c_faults;
+       Assists.deliver_fault t.env ctx
+         { Fault.kind = Fault.Divide_error; at_rip = ctx.Context.rip });
     Executed !executed
   end
 

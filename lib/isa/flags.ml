@@ -42,6 +42,14 @@ let set_sf = set_bool sf_mask
 let set_if = set_bool if_mask
 let set_of = set_bool of_mask
 
+(** The five modeled condition-code flags by name, in RFLAGS bit order.
+    Spec-table hook: [lib/spec] iterates this to state a per-flag
+    Written/Preserved/Undefined lattice, and the derived property tests
+    iterate it to check every flag of every row. *)
+let all_cc =
+  [ ("CF", cf_mask); ("PF", pf_mask); ("ZF", zf_mask); ("SF", sf_mask);
+    ("OF", of_mask) ]
+
 (** Build the ZF/SF/PF portion from a result value of the given size,
     preserving the other bits of [f]. *)
 let of_result size v f =

@@ -135,17 +135,82 @@ let alu_name = function
   | Add -> "add" | Or -> "or" | Adc -> "adc" | Sbb -> "sbb"
   | And -> "and" | Sub -> "sub" | Xor -> "xor" | Cmp -> "cmp"
 
-let unary_name = function Not -> "not" | Neg -> "neg" | Inc -> "inc" | Dec -> "dec"
+(** Spec-table key for an instruction: the mnemonic with operand shapes
+    erased (all [Alu] forms of [Add] are one "add" row; a LOCK prefix
+    shares its inner instruction's row). Two deliberate splits: the
+    two-operand [Imul2] is "imul2" (its flag lattice differs from the
+    one-operand widening "imul"), and string ops keep their own keys.
+    Used by [lib/spec] to index declarative rows and by the conformance
+    coverage report. *)
+let rec mnemonic = function
+  | Nop -> "nop"
+  | Alu (op, _, _, _) -> alu_name op
+  | Test _ -> "test"
+  | Mov _ -> "mov"
+  | Movabs _ -> "movabs"
+  | Lea _ -> "lea"
+  | Movzx _ -> "movzx"
+  | Movsx _ -> "movsx"
+  | Unary (u, _, _) -> unary_name u
+  | Shift (s, _, _, _) -> shift_name s
+  | Imul2 _ -> "imul2"
+  | Muldiv (m, _, _) -> muldiv_name m
+  | Push _ -> "push"
+  | Pop _ -> "pop"
+  | Call _ | CallInd _ -> "call"
+  | Ret -> "ret"
+  | Jmp _ | JmpInd _ -> "jmp"
+  | Jcc _ -> "jcc"
+  | Setcc _ -> "setcc"
+  | Cmovcc _ -> "cmovcc"
+  | Xchg _ -> "xchg"
+  | Xadd _ -> "xadd"
+  | Cmpxchg _ -> "cmpxchg"
+  | Bittest (b, _, _, _) -> bittest_name b
+  | Movs _ -> "movs"
+  | Stos _ -> "stos"
+  | Lods _ -> "lods"
+  | Hlt -> "hlt"
+  | Syscall -> "syscall"
+  | Sysret -> "sysret"
+  | Int _ -> "int"
+  | Iret -> "iret"
+  | Pushf -> "pushf"
+  | Popf -> "popf"
+  | Cli -> "cli"
+  | Sti -> "sti"
+  | Pause -> "pause"
+  | Ptlcall -> "ptlcall"
+  | Kcall -> "kcall"
+  | Rdtsc -> "rdtsc"
+  | Rdpmc -> "rdpmc"
+  | Cpuid -> "cpuid"
+  | MovToCr _ -> "mov_to_cr"
+  | MovFromCr _ -> "mov_from_cr"
+  | Invlpg _ -> "invlpg"
+  | Fld _ -> "fld"
+  | Fst _ -> "fst"
+  | Fp (f, _) -> fpop_name f
+  | SseLoad _ -> "sseload"
+  | SseStore _ -> "ssestore"
+  | SseMov _ -> "ssemov"
+  | Sse (s, _, _) -> sse2_name s
+  | Cvtsi2sd _ -> "cvtsi2sd"
+  | Cvtsd2si _ -> "cvtsd2si"
+  | Comisd _ -> "comisd"
+  | Locked i -> mnemonic i
 
-let shift_name = function
+and unary_name = function Not -> "not" | Neg -> "neg" | Inc -> "inc" | Dec -> "dec"
+
+and shift_name = function
   | Shl -> "shl" | Shr -> "shr" | Sar -> "sar" | Rol -> "rol" | Ror -> "ror"
 
-let muldiv_name = function
+and muldiv_name = function
   | Mul -> "mul" | Imul1 -> "imul" | Div -> "div" | Idiv -> "idiv"
 
-let bittest_name = function Bt -> "bt" | Bts -> "bts" | Btr -> "btr" | Btc -> "btc"
+and bittest_name = function Bt -> "bt" | Bts -> "bts" | Btr -> "btr" | Btc -> "btc"
 
-let fpop_name = function Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv"
+and fpop_name = function Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv"
 
-let sse2_name = function
+and sse2_name = function
   | Addsd -> "addsd" | Subsd -> "subsd" | Mulsd -> "mulsd" | Divsd -> "divsd"

@@ -114,6 +114,12 @@ module Fuzzgen = Ptl_fuzz.Fuzzgen
 module Shrink = Ptl_fuzz.Shrink
 module Fuzz = Ptl_fuzz.Harness
 
+(* declarative ISA spec + conformance oracle *)
+module Spec = Ptl_spec.Spec
+module Oracle = Ptl_oracle.Oracle
+module Cross = Ptl_oracle.Cross
+module Conformance = Ptl_oracle.Conformance
+
 (* workloads *)
 module Gasm = Ptl_workloads.Gasm
 module Microbench = Ptl_workloads.Microbench

@@ -24,6 +24,7 @@ let () =
       ("system", Test_system.suite);
       ("microbench", Test_microbench.suite);
       ("fuzz", Test_fuzz.suite);
+      ("spec", Test_spec.suite);
       ("guard", Test_guard.suite);
       ("sample", Test_sample.suite);
       ("checkpoint", Test_checkpoint.suite);

@@ -165,12 +165,51 @@ let test_injected_bug_caught () =
   Alcotest.(check bool) "flags diff reported" true
     (List.exists (fun l -> contains l "flags") d.Fuzz.d_diffs);
   Alcotest.(check bool) "trace window captured" true (d.Fuzz.d_trace <> []);
+  (* the corrupted model is the timed core; oracle and seq still agree,
+     so the majority verdict must blame ooo *)
+  Alcotest.(check string) "diverging pair" "seq vs ooo" d.Fuzz.d_pair;
+  Alcotest.(check bool) "verdict blames the timed core" true
+    (contains d.Fuzz.d_verdict "ooo is the odd model out");
   Alcotest.(check bool) "report embeds listing" true
     (contains d.Fuzz.d_report "-- shrunk program --");
   Alcotest.(check bool) "report embeds trace window" true
     (contains d.Fuzz.d_report "-- trace window");
+  Alcotest.(check bool) "report carries verdict line" true
+    (contains d.Fuzz.d_report "verdict");
   Alcotest.(check bool) "report carries replay line" true
     (contains d.Fuzz.d_report "replay: optlsim fuzz --fuzz-seed 7")
+
+(* --- the complementary self-test: plant the bug in the *spec table*
+   instead — drop SUB's CF write (subtracting from the mostly-zero
+   startup registers borrows constantly, so the mutation bites early);
+   seq and the timed core still agree, so the three-way harness must
+   localize the divergence to the oracle-seq pair and the majority
+   verdict must blame the oracle --- *)
+
+let test_planted_spec_bug_attributed () =
+  let table =
+    Ptl_spec.Spec.drop_flag_write ~key:"sub" ~mask:Flags.cf_mask
+      Ptl_spec.Spec.table
+  in
+  let s =
+    Fuzz.run ~core:"inorder" ~table ~classes:[ Fuzzgen.Alu ]
+      ~seed:Test_seed.seed ~iters:30 ~len:10 ()
+  in
+  Alcotest.(check int) "every program was oracle-checked" 30
+    s.Fuzz.s_oracle_checked;
+  Alcotest.(check int) "no opcode escaped the spec table" 0
+    s.Fuzz.s_oracle_unsupported;
+  Alcotest.(check bool) "the planted spec bug produced divergences" true
+    (s.Fuzz.s_divergences <> []);
+  List.iter
+    (fun d ->
+      Alcotest.(check string) "localized to the oracle-seq pair"
+        "oracle vs seq" d.Fuzz.d_pair;
+      Alcotest.(check bool) "verdict blames the oracle" true
+        (contains d.Fuzz.d_verdict "oracle is the odd model out");
+      Alcotest.(check bool) "report names the pair" true
+        (contains d.Fuzz.d_report "oracle vs seq"))
+    s.Fuzz.s_divergences
 
 let test_injected_bug_deterministic () =
   let reports s = List.map (fun d -> d.Fuzz.d_report) s.Fuzz.s_divergences in
@@ -245,6 +284,8 @@ let suite =
     Alcotest.test_case "clean sweep: smt vs seq" `Quick (clean_sweep "smt");
     Alcotest.test_case "injected flags bug caught + shrunk" `Quick test_injected_bug_caught;
     Alcotest.test_case "injected-bug reports deterministic" `Quick test_injected_bug_deterministic;
+    Alcotest.test_case "planted spec bug attributed to oracle" `Quick
+      test_planted_spec_bug_attributed;
     Alcotest.test_case "flag validation" `Quick test_check_flags;
     Alcotest.test_case "report files" `Quick test_write_reports;
   ]
